@@ -1,0 +1,129 @@
+"""Section V reproduction: citation-network influence mining on a synthetic network.
+
+The paper sketches the application qualitatively (no dataset, no numbers):
+forward influence sets T(a, t), backward influencer sets T⁻¹(a, t), and
+communities as the union of forward searches from the leaves of the backward
+tree.  This harness generates a synthetic citation network, runs the full
+pipeline, and reports the qualitative properties the sketch implies:
+
+* early authors influence more of the network than late authors,
+* T and T⁻¹ are duals (a influences b  <=>  b is influenced by a),
+* communities of co-influenced authors are non-trivial but smaller than the
+  whole network.
+
+Run with::
+
+    pytest benchmarks/bench_citation.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import community_of, influence_set, influencer_set, top_influencers
+from repro.generators import generate_citation_network
+
+from .conftest import scaled, write_report
+
+NUM_EPOCHS = 15
+INITIAL_AUTHORS = scaled(25)
+NEW_AUTHORS = scaled(12)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_citation_network(
+        NUM_EPOCHS,
+        initial_authors=INITIAL_AUTHORS,
+        new_authors_per_epoch=NEW_AUTHORS,
+        seed=2016,
+    )
+
+
+def test_citation_mining_report(network, report_dir, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    graph = network.graph
+    entry = network.entry_epoch
+
+    # influence size by entry epoch (early authors should dominate)
+    sizes_by_epoch: dict[int, list[int]] = {}
+    for author, epoch in entry.items():
+        times = graph.active_times(author)
+        if not times:
+            continue
+        size = len(influence_set(graph, author, times[0]))
+        sizes_by_epoch.setdefault(epoch, []).append(size)
+    mean_by_epoch = {e: float(np.mean(v)) for e, v in sorted(sizes_by_epoch.items()) if v}
+
+    ranking = top_influencers(graph, top_k=5)
+    top_author, top_size = ranking[0]
+    t0 = graph.active_times(top_author)[0]
+
+    start = time.perf_counter()
+    community = community_of(graph, top_author, t0, include_author=True)
+    community_time = time.perf_counter() - start
+
+    # duality spot check
+    sample = sorted(influence_set(graph, top_author, t0))[:10]
+    duality_ok = 0
+    for other in sample:
+        later = [t for t in graph.active_times(other) if t >= t0]
+        if later and top_author in influencer_set(graph, other, later[-1]):
+            duality_ok += 1
+
+    lines = [
+        "Section V — citation-network influence mining (synthetic network)",
+        f"network: {network.num_authors} authors, {NUM_EPOCHS} epochs, "
+        f"{graph.num_static_edges()} citation edges",
+        "",
+        "mean forward-influence size by entry epoch (paper: early work propagates furthest):",
+        *(f"  epoch {e:>2}: {m:7.1f} authors" for e, m in mean_by_epoch.items()),
+        "",
+        "top influencers (author, influenced-author count):",
+        *(f"  author {a}: {s}" for a, s in ranking),
+        "",
+        f"community of top influencer at its first epoch: {len(community)} authors "
+        f"(computed in {community_time:.3f} s)",
+        f"T / T⁻¹ duality spot check: {duality_ok}/{len(sample)} sampled influencees "
+        "list the top influencer among their influencers",
+    ]
+    write_report(report_dir, "section5_citation_mining.txt", lines)
+
+    # qualitative assertions (the paper gives no numbers, only the shape)
+    first_epoch = min(mean_by_epoch)
+    last_epoch = max(mean_by_epoch)
+    assert mean_by_epoch[first_epoch] > mean_by_epoch[last_epoch]
+    assert duality_ok == len(sample)
+    assert 0 < len(community) <= network.num_authors
+
+
+@pytest.mark.benchmark(group="citation")
+def test_influence_set_cost(benchmark, network):
+    graph = network.graph
+    author = network.authors_per_epoch[0][0]
+    t0 = graph.active_times(author)[0]
+    benchmark(lambda: influence_set(graph, author, t0))
+
+
+@pytest.mark.benchmark(group="citation")
+def test_backward_influencer_cost(benchmark, network):
+    graph = network.graph
+    last_epoch = network.epochs[-1]
+    author = network.authors_per_epoch[last_epoch][0]
+    benchmark(lambda: influencer_set(graph, author, last_epoch))
+
+
+@pytest.mark.benchmark(group="citation")
+def test_community_cost(benchmark, network):
+    graph = network.graph
+    last_epoch = network.epochs[-1]
+    author = network.authors_per_epoch[last_epoch][0]
+    benchmark(lambda: community_of(graph, author, last_epoch))
+
+
+@pytest.mark.benchmark(group="citation")
+def test_top_influencers_cost(benchmark, network):
+    benchmark(lambda: top_influencers(network.graph, top_k=5))

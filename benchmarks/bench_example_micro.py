@@ -1,0 +1,88 @@
+"""Figures 1–4 micro-benchmarks: the paper's worked example, regenerated and timed.
+
+These benchmarks keep the exact-value reproduction of the worked example
+honest (the tests in ``tests/test_paper_examples.py`` assert the numbers; the
+reports here record them alongside timings):
+
+* Figure 1/2 — enumerate the two length-4 temporal paths from (1, t1) to (3, t3).
+* Figure 3   — the BFS trace from (1, t2).
+* Figure 4 / Section III-C — assemble the 6x6 block matrix A_3 and run the
+  power-iterate sequence from e_1.
+
+Run with::
+
+    pytest benchmarks/bench_example_micro.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.core import (
+    algebraic_bfs,
+    build_block_adjacency,
+    enumerate_temporal_paths,
+    evolving_bfs,
+)
+
+from .conftest import write_report
+
+
+def test_worked_example_report(report_dir, benchmark):
+    """Record every number of the worked example next to the paper's values."""
+    g = datasets.figure1_graph()
+    paths = benchmark.pedantic(
+        lambda: sorted(tuple(p) for p in enumerate_temporal_paths(g, (1, "t1"), (3, "t3"))),
+        rounds=1, iterations=1)
+    bfs_trace = evolving_bfs(g, (1, "t2"), track_frontiers=True)
+    block = build_block_adjacency(g)
+    iterates = block.power_iterates(block.unit_vector((1, "t1")), 4)
+    lines = [
+        "Figures 1-4 — worked example reproduction",
+        "",
+        "Figure 2 (two temporal paths of length 4 from (1,t1) to (3,t3)):",
+        *(f"  {p}" for p in paths),
+        "",
+        "Figure 3 (BFS frontiers from root (1,t2)):",
+        *(f"  k={k}: {front}" for k, front in enumerate(bfs_trace.frontiers)),
+        "",
+        "Section III-C block matrix A_3 (paper prints the same 6x6 matrix):",
+        *(f"  {row}" for row in block.dense().tolist()),
+        "",
+        "Power iterates from b = e_1 (paper: e1, [0,1,1,0,0,0], [0,0,0,1,1,0], [0,0,0,0,0,2], 0):",
+        *(f"  {v.tolist()}" for v in iterates),
+    ]
+    write_report(report_dir, "figures1to4_worked_example.txt", lines)
+    assert len(paths) == 2
+    assert np.array_equal(block.dense(), datasets.figure4_expected_matrix())
+
+
+@pytest.mark.benchmark(group="worked-example")
+def test_enumerate_paths_cost(benchmark):
+    g = datasets.figure1_graph()
+    paths = benchmark(lambda: list(enumerate_temporal_paths(g, (1, "t1"), (3, "t3"))))
+    assert len(paths) == 2
+
+
+@pytest.mark.benchmark(group="worked-example")
+def test_bfs_trace_cost(benchmark):
+    g = datasets.figure1_graph()
+    result = benchmark(lambda: evolving_bfs(g, (1, "t2"), track_frontiers=True))
+    assert result.reached[(3, "t3")] == 2
+
+
+@pytest.mark.benchmark(group="worked-example")
+def test_block_matrix_assembly_cost(benchmark):
+    g = datasets.figure1_graph()
+    block = benchmark(lambda: build_block_adjacency(g))
+    assert block.num_active_nodes == 6
+
+
+@pytest.mark.benchmark(group="worked-example")
+def test_algebraic_bfs_cost(benchmark):
+    g = datasets.figure1_graph()
+    block = build_block_adjacency(g)
+    result = benchmark(lambda: algebraic_bfs(block, (1, "t1")))
+    assert result.reached[(3, "t3")] == 3

@@ -1,0 +1,42 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures or worked
+examples (see DESIGN.md's experiment index).  Besides the pytest-benchmark
+timing table, each module writes a small plain-text report with the
+paper-vs-measured comparison into ``benchmark_reports/`` at the repository
+root, which EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "benchmark_reports"
+
+# Benchmarks scale with this factor; raise it (e.g. REPRO_BENCH_SCALE=4) to run
+# sweeps closer to the paper's sizes on a bigger machine.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int) -> int:
+    """Scale a workload size by the REPRO_BENCH_SCALE environment variable."""
+    return max(1, int(value * SCALE))
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """Directory collecting the plain-text reproduction reports."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def write_report(report_dir: Path, name: str, lines: list[str]) -> Path:
+    """Write (and echo) a reproduction report."""
+    path = report_dir / name
+    text = "\n".join(lines) + "\n"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n--- {name} ---\n{text}")
+    return path

@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works with older setuptools/pip stacks
+(offline environments without the `wheel` package).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

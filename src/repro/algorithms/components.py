@@ -1,0 +1,142 @@
+"""Temporal connected components of an evolving graph.
+
+Two natural notions arise from the Theorem-1 expansion ``G = (V, E~ ∪ E')``:
+
+* **weak temporal components** — connected components of the expansion with
+  edge directions ignored; temporal nodes in different weak components can
+  never influence each other in either direction.
+* **strong temporal components** — maximal sets of temporal nodes that are
+  mutually reachable by temporal paths.  Because causal edges only run
+  forward in time, nontrivial strong components can only live inside a single
+  timestamp (they need a cycle within one snapshot), which the implementation
+  exploits.
+
+Both are defined on *active temporal nodes* (inactive nodes belong to no
+component, mirroring their exclusion from ``V``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.core.expansion import build_static_expansion
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+
+__all__ = [
+    "weak_temporal_components",
+    "strong_temporal_components",
+    "num_weak_components",
+    "component_of",
+]
+
+
+def weak_temporal_components(graph: BaseEvolvingGraph) -> list[set[TemporalNodeTuple]]:
+    """Connected components of the expansion, ignoring edge direction.
+
+    Returned in decreasing order of size (ties broken deterministically).
+    """
+    expansion = build_static_expansion(graph)
+    g = expansion.graph
+    seen: set[TemporalNodeTuple] = set()
+    components: list[set[TemporalNodeTuple]] = []
+    for start in expansion.node_order:
+        if start in seen:
+            continue
+        component: set[TemporalNodeTuple] = {start}
+        seen.add(start)
+        queue: deque[TemporalNodeTuple] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for w in g.successors(u) + g.predecessors(u):
+                if w not in seen:
+                    seen.add(w)
+                    component.add(w)
+                    queue.append(w)
+        components.append(component)
+    components.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
+    return components
+
+
+def num_weak_components(graph: BaseEvolvingGraph) -> int:
+    """Number of weak temporal components."""
+    return len(weak_temporal_components(graph))
+
+
+def component_of(graph: BaseEvolvingGraph,
+                 temporal_node: TemporalNodeTuple) -> set[TemporalNodeTuple]:
+    """The weak temporal component containing ``temporal_node`` (empty set if inactive)."""
+    temporal_node = tuple(temporal_node)
+    if not graph.is_active(*temporal_node):
+        return set()
+    for component in weak_temporal_components(graph):
+        if temporal_node in component:
+            return component
+    return set()
+
+
+def strong_temporal_components(graph: BaseEvolvingGraph) -> list[set[TemporalNodeTuple]]:
+    """Maximal sets of mutually reachable temporal nodes.
+
+    Since causal edges are strictly forward in time, any cycle in the
+    expansion must stay within a single timestamp, so the strongly connected
+    components of the expansion are exactly the per-snapshot strongly
+    connected components (plus singletons).  Tarjan's algorithm is run on
+    each snapshot independently.
+    """
+    components: list[set[TemporalNodeTuple]] = []
+    for t in graph.timestamps:
+        active = graph.active_nodes_at(t)
+        if not active:
+            continue
+        # iterative Tarjan on the snapshot restricted to active nodes
+        index_counter = 0
+        indices: dict[Hashable, int] = {}
+        lowlink: dict[Hashable, int] = {}
+        on_stack: dict[Hashable, bool] = {}
+        stack: list[Hashable] = []
+
+        adjacency = {
+            v: [w for w in graph.out_neighbors_at(v, t) if w != v and w in active]
+            for v in active
+        }
+
+        for root in sorted(active, key=repr):
+            if root in indices:
+                continue
+            work: list[tuple[Hashable, int]] = [(root, 0)]
+            while work:
+                v, edge_idx = work.pop()
+                if edge_idx == 0:
+                    indices[v] = index_counter
+                    lowlink[v] = index_counter
+                    index_counter += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                recurse = False
+                neighbors = adjacency[v]
+                for i in range(edge_idx, len(neighbors)):
+                    w = neighbors[i]
+                    if w not in indices:
+                        work.append((v, i + 1))
+                        work.append((w, 0))
+                        recurse = True
+                        break
+                    if on_stack.get(w, False):
+                        lowlink[v] = min(lowlink[v], indices[w])
+                if recurse:
+                    continue
+                if lowlink[v] == indices[v]:
+                    scc: set[TemporalNodeTuple] = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        scc.add((w, t))
+                        if w == v:
+                            break
+                    components.append(scc)
+                if work:
+                    parent, _ = work[-1]
+                    lowlink[parent] = min(lowlink[parent], lowlink[v])
+    components.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
+    return components

@@ -1,0 +1,110 @@
+"""Alternative temporal shortest-path notions, for comparison with the paper's distance.
+
+The paper's Definition 6 minimises the *hop count* of a temporal path, where
+causal hops count just like spatial hops.  Other papers minimise different
+quantities; the three most common are implemented here so the differences can
+be measured (the comparison tables in EXPERIMENTS.md and
+``benchmarks/bench_distance_notions.py`` use them):
+
+* :func:`earliest_arrival_time` — the smallest timestamp at which the target
+  node can be reached at all (Tang-style temporal reachability),
+* :func:`fewest_spatial_hops` — the minimum number of *static* edges
+  traversed, with causal waiting free of charge (the dynamic-walk convention
+  of Grindrod & Higham),
+* :func:`latest_departure_time` — the latest time one can leave the source
+  and still reach the target (useful for backward scheduling).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+
+__all__ = [
+    "earliest_arrival_time",
+    "fewest_spatial_hops",
+    "latest_departure_time",
+]
+
+
+def earliest_arrival_time(
+    graph: BaseEvolvingGraph,
+    source: TemporalNodeTuple,
+    target_node: Hashable,
+):
+    """Earliest timestamp at which ``target_node`` is reachable from ``source``.
+
+    Returns ``None`` when no temporal path reaches the node.  The source
+    itself counts: if ``source = (v, t)`` and ``target_node == v`` the answer
+    is ``t`` (provided the source is active).
+    """
+    source = tuple(source)
+    if not graph.is_active(*source):
+        return None
+    if source[0] == target_node:
+        return source[1]
+    from repro.core.bfs import evolving_bfs
+
+    reached = evolving_bfs(graph, source).reached
+    times = [t for v, t in reached if v == target_node]
+    return min(times) if times else None
+
+
+def fewest_spatial_hops(
+    graph: BaseEvolvingGraph,
+    source: TemporalNodeTuple,
+    target: TemporalNodeTuple,
+):
+    """Minimum number of *static* edges on any temporal path from ``source`` to ``target``.
+
+    Causal hops (waiting on the same node) are free, which is exactly the
+    dynamic-walk length convention of Grindrod & Higham that the paper
+    contrasts with its own distance.  Implemented as a 0/1-weight Dijkstra
+    (causal edges cost 0, static edges cost 1) over forward neighbours.
+
+    Returns ``None`` when the target is unreachable.
+    """
+    source = tuple(source)
+    target = tuple(target)
+    if not graph.is_active(*source):
+        return None
+    best: dict[TemporalNodeTuple, int] = {source: 0}
+    heap: list[tuple[int, int, TemporalNodeTuple]] = [(0, 0, source)]
+    counter = 0
+    while heap:
+        cost, _, current = heapq.heappop(heap)
+        if cost > best.get(current, float("inf")):
+            continue
+        if current == target:
+            return cost
+        v, t = current
+        for nxt in graph.forward_neighbors(v, t):
+            step = 0 if nxt[0] == v else 1
+            new_cost = cost + step
+            if new_cost < best.get(nxt, float("inf")):
+                best[nxt] = new_cost
+                counter += 1
+                heapq.heappush(heap, (new_cost, counter, nxt))
+    return best.get(target)
+
+
+def latest_departure_time(
+    graph: BaseEvolvingGraph,
+    source_node: Hashable,
+    target: TemporalNodeTuple,
+):
+    """Latest timestamp ``t`` such that ``(source_node, t)`` can still reach ``target``.
+
+    Computed with one backward BFS from the target.  Returns ``None`` when no
+    active appearance of ``source_node`` reaches the target.
+    """
+    target = tuple(target)
+    if not graph.is_active(*target):
+        return None
+    from repro.core.backward import backward_bfs
+
+    reached = backward_bfs(graph, target).reached
+    times = [t for v, t in reached if v == source_node]
+    return max(times) if times else None

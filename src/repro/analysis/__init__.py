@@ -1,0 +1,37 @@
+"""Analysis utilities: graph statistics, implementation cross-validation, scaling harness."""
+
+from repro.analysis.equivalence import (
+    EquivalenceReport,
+    all_implementations,
+    check_bfs_equivalence,
+)
+from repro.analysis.scaling import (
+    LinearFit,
+    ScalingPoint,
+    ScalingResult,
+    fit_linear,
+    format_scaling_report,
+    measure_bfs_scaling,
+)
+from repro.analysis.stats import (
+    EvolvingGraphStats,
+    causal_to_static_ratio,
+    compute_stats,
+    per_snapshot_edge_counts,
+)
+
+__all__ = [
+    "EvolvingGraphStats",
+    "compute_stats",
+    "per_snapshot_edge_counts",
+    "causal_to_static_ratio",
+    "EquivalenceReport",
+    "check_bfs_equivalence",
+    "all_implementations",
+    "ScalingPoint",
+    "ScalingResult",
+    "LinearFit",
+    "fit_linear",
+    "measure_bfs_scaling",
+    "format_scaling_report",
+]

@@ -1,0 +1,192 @@
+"""Scaling-measurement harness (the Figure-5 reproduction machinery).
+
+Figure 5 of the paper plots the runtime of Algorithm 1 against the number of
+static edges ``|E~|`` for a family of random evolving graphs grown by
+consecutively adding edges, and reads off linear scaling (Theorem 2).  This
+module provides the measurement loop, the linear-fit analysis that turns raw
+timings into a pass/fail statement about linearity, and a plain-text report
+writer used by EXPERIMENTS.md.
+
+The measured times are wall-clock (``time.perf_counter``) medians over
+repeats.  Absolute values depend on the host and are *not* the reproduction
+target; the shape (linearity in ``|E~|``) is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.bfs import evolving_bfs
+from repro.generators.random_evolving import incremental_edge_sequence
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingResult",
+    "LinearFit",
+    "fit_linear",
+    "measure_bfs_scaling",
+    "format_scaling_report",
+]
+
+
+@dataclass
+class ScalingPoint:
+    """One measurement: a graph size and the corresponding BFS runtime."""
+
+    num_static_edges: int
+    num_active_temporal_nodes: int
+    num_causal_edges: int
+    seconds: float
+    reached_nodes: int
+
+
+@dataclass
+class LinearFit:
+    """Least-squares fit ``time = slope * edges + intercept`` with quality measures."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, edges: float) -> float:
+        """Predicted runtime for a given edge count."""
+        return self.slope * edges + self.intercept
+
+
+@dataclass
+class ScalingResult:
+    """A full scaling sweep: the measured points and their linear fit."""
+
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def edges(self) -> np.ndarray:
+        return np.array([p.num_static_edges for p in self.points], dtype=np.float64)
+
+    @property
+    def seconds(self) -> np.ndarray:
+        return np.array([p.seconds for p in self.points], dtype=np.float64)
+
+    def linear_fit(self) -> LinearFit:
+        """Least-squares linear fit of runtime against the static edge count."""
+        return fit_linear(self.edges, self.seconds)
+
+    def time_per_edge(self) -> np.ndarray:
+        """Per-point runtime divided by edge count (should be roughly constant)."""
+        return self.seconds / np.maximum(self.edges, 1.0)
+
+    def is_linear(self, *, min_r_squared: float = 0.9,
+                  max_per_edge_spread: float = 3.0) -> bool:
+        """Heuristic linearity check used by the benchmark harness.
+
+        Requires (a) a good linear fit (R² at least ``min_r_squared``) and
+        (b) the max/min ratio of time-per-edge to stay below
+        ``max_per_edge_spread`` — superlinear growth fails (b) even when a
+        line fits reasonably well over a narrow range.
+        """
+        if len(self.points) < 3:
+            raise ValueError("need at least 3 points to assess linearity")
+        fit = self.linear_fit()
+        per_edge = self.time_per_edge()
+        spread = float(per_edge.max() / max(per_edge.min(), 1e-12))
+        return fit.r_squared >= min_r_squared and spread <= max_per_edge_spread
+
+
+def fit_linear(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> LinearFit:
+    """Ordinary least squares fit of ``y = slope * x + intercept`` with R²."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape[0] != y.shape[0] or x.shape[0] < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def _default_root(graph: AdjacencyListEvolvingGraph) -> TemporalNodeTuple:
+    """Pick a deterministic active root: the first active node at the earliest active time."""
+    for t in graph.timestamps:
+        active = graph.active_nodes_at(t)
+        if active:
+            return (min(active, key=repr), t)
+    raise ValueError("graph has no active temporal node")
+
+
+def measure_bfs_scaling(
+    num_nodes: int,
+    num_timestamps: int,
+    edge_counts: Sequence[int],
+    *,
+    seed: int | None = 12345,
+    repeats: int = 3,
+    bfs: Callable[[BaseEvolvingGraph, TemporalNodeTuple], object] | None = None,
+    root_picker: Callable[[AdjacencyListEvolvingGraph], TemporalNodeTuple] | None = None,
+) -> ScalingResult:
+    """Run the Figure-5 sweep: grow a random evolving graph and time the BFS at each size.
+
+    Parameters
+    ----------
+    num_nodes, num_timestamps:
+        Size of the node universe and number of snapshots (the paper uses
+        1e5 nodes and 10 snapshots; the defaults used by the benchmarks are
+        smaller so the sweep completes in seconds).
+    edge_counts:
+        Increasing static-edge targets; one measurement per target.
+    repeats:
+        The reported time is the median of this many BFS runs.
+    bfs:
+        The search to time (default: Algorithm 1 via ``evolving_bfs``).
+    root_picker:
+        How to choose the root for each measurement (default: first active
+        node at the earliest active timestamp, so the search spans the graph).
+    """
+    search = bfs if bfs is not None else (lambda g, r: evolving_bfs(g, r))
+    pick_root = root_picker if root_picker is not None else _default_root
+    result = ScalingResult()
+    for target, graph in incremental_edge_sequence(
+            num_nodes, num_timestamps, list(edge_counts), seed=seed):
+        root = pick_root(graph)
+        timings = []
+        reached_nodes = 0
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            outcome = search(graph, root)
+            timings.append(time.perf_counter() - start)
+            reached = getattr(outcome, "reached", None)
+            reached_nodes = len(reached) if reached is not None else reached_nodes
+        result.points.append(
+            ScalingPoint(
+                num_static_edges=graph.num_static_edges(),
+                num_active_temporal_nodes=len(graph.active_temporal_nodes()),
+                num_causal_edges=graph.num_causal_edges(),
+                seconds=float(np.median(timings)),
+                reached_nodes=reached_nodes,
+            ))
+    return result
+
+
+def format_scaling_report(result: ScalingResult, *, title: str = "BFS scaling sweep") -> str:
+    """Render a plain-text table of a scaling sweep plus its linear fit."""
+    lines = [title, "=" * len(title)]
+    causal_header = "|E'| (causal)"
+    lines.append(f"{'|E~|':>12} {'|V| (active)':>14} {causal_header:>14} "
+                 f"{'time [s]':>12} {'time/edge [µs]':>16}")
+    for p in result.points:
+        per_edge_us = 1e6 * p.seconds / max(p.num_static_edges, 1)
+        lines.append(f"{p.num_static_edges:>12d} {p.num_active_temporal_nodes:>14d} "
+                     f"{p.num_causal_edges:>14d} {p.seconds:>12.4f} {per_edge_us:>16.3f}")
+    if len(result.points) >= 2:
+        fit = result.linear_fit()
+        lines.append("")
+        lines.append(f"linear fit: time = {fit.slope:.3e} * |E~| + {fit.intercept:.3e}  "
+                     f"(R² = {fit.r_squared:.4f})")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Core algorithms of the paper: BFS over evolving graphs and its algebraic form.
+
+The public surface re-exports the main entry points:
+
+* :func:`~repro.core.bfs.evolving_bfs` — Algorithm 1.
+* :func:`~repro.core.algebraic.algebraic_bfs` /
+  :func:`~repro.core.algebraic.algebraic_bfs_blocked` — Algorithm 2.
+* :func:`~repro.core.expansion.build_static_expansion` — the Theorem-1
+  static expansion (correctness oracle).
+* :func:`~repro.core.block_matrix.build_block_adjacency` — the block matrix
+  ``A_n`` of Section III-C.
+* :mod:`~repro.core.path_counting` — correct vs. naive temporal-path counting
+  (Section III-A).
+* :mod:`~repro.core.distance` / :mod:`~repro.core.backward` — distances,
+  reachability and the time-reversed search used by Section V.
+"""
+
+from repro.core.algebraic import (
+    activeness_mask,
+    algebraic_bfs,
+    algebraic_bfs_blocked,
+    forward_neighbors_algebraic,
+    odot,
+)
+from repro.core.backward import (
+    ReversedTime,
+    backward_bfs,
+    backward_distance,
+    backward_reachable_set,
+    reversed_evolving_graph,
+)
+from repro.core.bfs import BFSResult, evolving_bfs, evolving_bfs_tree, multi_source_bfs
+from repro.core.block_matrix import (
+    BlockAdjacencyMatrix,
+    build_block_adjacency,
+    build_full_block_matrix,
+)
+from repro.core.distance import (
+    all_pairs_distances,
+    distance_dict,
+    is_reachable,
+    reachable_set,
+    temporal_distance,
+    temporal_eccentricity,
+)
+from repro.core.expansion import StaticExpansion, build_static_expansion, expansion_bfs
+from repro.core.neighbors import (
+    backward_neighbors,
+    forward_neighbors,
+    forward_neighbors_of_set,
+    k_backward_neighbors,
+    k_forward_neighbors,
+)
+from repro.core.path_counting import (
+    count_temporal_paths,
+    count_temporal_paths_by_hops,
+    diagonal_augmented_path_count,
+    diagonal_augmented_path_sum,
+    naive_path_count,
+    naive_path_sum,
+    temporal_path_count_vector,
+)
+from repro.core.paths import (
+    TemporalPath,
+    count_temporal_paths_exhaustive,
+    enumerate_temporal_paths,
+    shortest_temporal_path,
+)
+from repro.core.temporal import (
+    TemporalNode,
+    active_temporal_nodes,
+    inactive_temporal_nodes,
+    is_active,
+    temporal_node_index,
+)
+
+__all__ = [
+    # temporal nodes & paths
+    "TemporalNode",
+    "is_active",
+    "active_temporal_nodes",
+    "inactive_temporal_nodes",
+    "temporal_node_index",
+    "TemporalPath",
+    "enumerate_temporal_paths",
+    "count_temporal_paths_exhaustive",
+    "shortest_temporal_path",
+    # neighbours
+    "forward_neighbors",
+    "backward_neighbors",
+    "forward_neighbors_of_set",
+    "k_forward_neighbors",
+    "k_backward_neighbors",
+    # BFS (Algorithm 1)
+    "BFSResult",
+    "evolving_bfs",
+    "evolving_bfs_tree",
+    "multi_source_bfs",
+    # expansion / block matrix
+    "StaticExpansion",
+    "build_static_expansion",
+    "expansion_bfs",
+    "BlockAdjacencyMatrix",
+    "build_block_adjacency",
+    "build_full_block_matrix",
+    # algebraic BFS (Algorithm 2)
+    "odot",
+    "activeness_mask",
+    "algebraic_bfs",
+    "algebraic_bfs_blocked",
+    "forward_neighbors_algebraic",
+    # path counting
+    "count_temporal_paths",
+    "count_temporal_paths_by_hops",
+    "temporal_path_count_vector",
+    "naive_path_sum",
+    "naive_path_count",
+    "diagonal_augmented_path_sum",
+    "diagonal_augmented_path_count",
+    # distances & reachability
+    "temporal_distance",
+    "is_reachable",
+    "reachable_set",
+    "distance_dict",
+    "all_pairs_distances",
+    "temporal_eccentricity",
+    # backward search
+    "backward_bfs",
+    "backward_reachable_set",
+    "backward_distance",
+    "reversed_evolving_graph",
+    "ReversedTime",
+]

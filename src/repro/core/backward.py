@@ -1,0 +1,139 @@
+"""Backward (time-reversed) search over evolving graphs.
+
+Section V observes that the backward search — "which temporal nodes can reach
+``(v, t)``?" — follows from the forward BFS "simply by reversing the time
+labels, e.g. by the transformation ``t -> -t``" (and, for directed graphs,
+reversing the edge directions).  Rather than rebuilding a reversed copy of
+the graph, the implementations below reuse the BFS driver of
+:mod:`repro.core.bfs` with the *backward-neighbour* expansion, which is the
+same thing expressed directly: spatial in-neighbours at the same time plus
+earlier active appearances of the same node.
+
+:func:`reversed_evolving_graph` is also provided for callers (and tests) that
+want the literal ``t -> -t`` construction; forward BFS on the reversed graph
+agrees with :func:`backward_bfs` on the original.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.bfs import BFSResult, evolving_bfs, multi_source_bfs
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+
+__all__ = [
+    "backward_bfs",
+    "backward_reachable_set",
+    "backward_distance",
+    "reversed_evolving_graph",
+    "ReversedTime",
+]
+
+
+class ReversedTime:
+    """Order-reversing wrapper around a timestamp, used by ``t -> -t`` reversal.
+
+    Works for any orderable timestamp type (numbers, strings, tuples), unlike
+    literal negation which only works for numbers.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ReversedTime) and self.value == other.value
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, ReversedTime):
+            return NotImplemented
+        return other.value < self.value
+
+    def __le__(self, other) -> bool:
+        if not isinstance(other, ReversedTime):
+            return NotImplemented
+        return other.value <= self.value
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, ReversedTime):
+            return NotImplemented
+        return other.value > self.value
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, ReversedTime):
+            return NotImplemented
+        return other.value >= self.value
+
+    def __hash__(self) -> int:
+        return hash(("ReversedTime", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReversedTime({self.value!r})"
+
+
+def backward_bfs(
+    graph: BaseEvolvingGraph,
+    root: TemporalNodeTuple,
+    *,
+    track_parents: bool = False,
+    track_frontiers: bool = False,
+) -> BFSResult:
+    """BFS backwards in time and against edge direction from ``root``.
+
+    ``reached[(u, s)] = k`` means there is a temporal path of ``k`` hops from
+    ``(u, s)`` to the root, and ``k`` is minimal.  This computes the influence
+    *sources* ``T^{-1}(a, t)`` of Section V.
+    """
+    return evolving_bfs(
+        graph,
+        root,
+        track_parents=track_parents,
+        track_frontiers=track_frontiers,
+        neighbor_fn=graph.backward_neighbors,
+    )
+
+
+def backward_reachable_set(graph: BaseEvolvingGraph,
+                           root: TemporalNodeTuple) -> set[TemporalNodeTuple]:
+    """All temporal nodes that can reach ``root`` by a temporal path (including ``root``)."""
+    return set(backward_bfs(graph, root).reached)
+
+
+def backward_distance(
+    graph: BaseEvolvingGraph,
+    origin: TemporalNodeTuple,
+    target: TemporalNodeTuple,
+) -> int | None:
+    """Distance from ``origin`` to ``target`` computed by searching backwards from ``target``.
+
+    Equals :func:`repro.core.distance.temporal_distance(graph, origin, target)`;
+    useful when many origins share one target.
+    """
+    origin = tuple(origin)
+    target = tuple(target)
+    if not graph.is_active(*target):
+        return None
+    result = backward_bfs(graph, target)
+    return result.reached.get(origin)
+
+
+def reversed_evolving_graph(graph: BaseEvolvingGraph) -> AdjacencyListEvolvingGraph:
+    """The literal ``t -> -t`` reversal of an evolving graph.
+
+    Every edge ``u -> v`` at time ``t`` becomes ``v -> u`` at time
+    ``ReversedTime(t)``; timestamps therefore sort in the opposite order.
+    Forward BFS on the reversed graph from ``(v, ReversedTime(t))`` reaches
+    ``(u, ReversedTime(s))`` at distance ``k`` exactly when backward BFS on
+    the original reaches ``(u, s)`` at distance ``k``.
+    """
+    reversed_graph = AdjacencyListEvolvingGraph(directed=graph.is_directed)
+    for t in graph.timestamps:
+        reversed_graph.add_timestamp(ReversedTime(t))
+    for u, v, t in graph.temporal_edges():
+        if graph.is_directed:
+            reversed_graph.add_edge(v, u, ReversedTime(t))
+        else:
+            reversed_graph.add_edge(u, v, ReversedTime(t))
+    return reversed_graph

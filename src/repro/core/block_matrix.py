@@ -1,0 +1,249 @@
+"""Block adjacency matrices of an evolving graph (Section III-C).
+
+Two matrices are defined in the paper:
+
+* ``M_n`` — indexed by *all* temporal nodes (node universe × timestamps),
+  with diagonal blocks ``A[t]`` (the per-snapshot adjacency matrices, static
+  edges ``E~``) and off-diagonal blocks ``M[ti, tj]`` (causal edges ``E'``,
+  i.e. identity-like matrices restricted to nodes active at both times).
+* ``A_n`` — the restriction of ``M_n`` to rows/columns of *active* temporal
+  nodes; it is exactly the adjacency matrix of the Theorem-1 static expansion
+  ``G = (V, E~ ∪ E')``.
+
+Both are block *upper* triangular because causal edges only point forward in
+time; when every snapshot is acyclic the matrix is nilpotent (Lemma 1), which
+is what guarantees termination of the algebraic BFS (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NodeNotFoundError, RepresentationError
+from repro.graph.base import BaseEvolvingGraph, Node, TemporalNodeTuple, Time
+from repro.core.expansion import StaticExpansion, build_static_expansion
+
+__all__ = ["BlockAdjacencyMatrix", "build_block_adjacency", "build_full_block_matrix"]
+
+
+@dataclass
+class BlockAdjacencyMatrix:
+    """The sparse block adjacency matrix ``A_n`` over active temporal nodes.
+
+    Attributes
+    ----------
+    matrix:
+        CSR matrix of shape ``(|V|, |V|)`` with 0/1 entries; row ``i`` has a 1
+        in column ``j`` when there is an expanded edge ``node_order[i] ->
+        node_order[j]`` (static or causal).
+    node_order:
+        Active temporal nodes ordered by time then node (time-major blocks,
+        matching the paper's ordering of ``V`` in the worked example).
+    expansion:
+        The Theorem-1 static expansion the matrix was assembled from.
+    """
+
+    matrix: sp.csr_matrix
+    node_order: tuple[TemporalNodeTuple, ...]
+    expansion: StaticExpansion
+
+    def __post_init__(self) -> None:
+        if self.matrix.shape[0] != self.matrix.shape[1]:
+            raise RepresentationError("block adjacency matrix must be square")
+        if self.matrix.shape[0] != len(self.node_order):
+            raise RepresentationError(
+                "matrix dimension does not match the number of active temporal nodes")
+        self._index = {tn: i for i, tn in enumerate(self.node_order)}
+
+    # -- indexing ---------------------------------------------------------- #
+
+    @property
+    def num_active_nodes(self) -> int:
+        """``|V|``, the matrix dimension."""
+        return self.matrix.shape[0]
+
+    def index_of(self, temporal_node: TemporalNodeTuple) -> int:
+        """Row/column index of an active temporal node."""
+        try:
+            return self._index[tuple(temporal_node)]
+        except KeyError as exc:
+            raise NodeNotFoundError(*temporal_node) from exc
+
+    def temporal_node_at(self, index: int) -> TemporalNodeTuple:
+        """Inverse of :meth:`index_of`."""
+        return self.node_order[index]
+
+    def unit_vector(self, temporal_node: TemporalNodeTuple) -> np.ndarray:
+        """The elementary block vector ``e_k`` selecting ``temporal_node``."""
+        b = np.zeros(self.num_active_nodes, dtype=np.int64)
+        b[self.index_of(temporal_node)] = 1
+        return b
+
+    # -- matrix views ------------------------------------------------------ #
+
+    def dense(self) -> np.ndarray:
+        """Dense ``numpy`` copy of ``A_n`` (only sensible for small examples)."""
+        return np.asarray(self.matrix.todense(), dtype=np.int64)
+
+    def transpose(self) -> sp.csr_matrix:
+        """``A_n^T`` as CSR (the operator applied repeatedly by Algorithm 2)."""
+        return self.matrix.T.tocsr()
+
+    # -- algebra ------------------------------------------------------------ #
+
+    def matvec(self, b: np.ndarray) -> np.ndarray:
+        """``A_n @ b``."""
+        return self.matrix @ np.asarray(b)
+
+    def rmatvec(self, b: np.ndarray) -> np.ndarray:
+        """``A_n^T @ b`` — one BFS-style expansion step of Algorithm 2."""
+        return self.matrix.T @ np.asarray(b)
+
+    def power_iterates(self, b: np.ndarray, num_steps: int) -> list[np.ndarray]:
+        """The sequence ``[b, A^T b, (A^T)^2 b, ...]`` with ``num_steps`` products.
+
+        This reproduces the iterate sequence displayed at the end of
+        Section III-C; entry ``k`` counts the temporal paths of ``k`` hops
+        from the nodes selected by ``b`` to each active temporal node.
+        """
+        at = self.matrix.T.tocsr()
+        out = [np.asarray(b, dtype=np.int64).copy()]
+        for _ in range(num_steps):
+            out.append(at @ out[-1])
+        return out
+
+    # -- structure ----------------------------------------------------------- #
+
+    def is_upper_triangular(self) -> bool:
+        """Whether the matrix is (non-strictly) upper triangular in the block ordering."""
+        coo = self.matrix.tocoo()
+        return bool(np.all(coo.row <= coo.col))
+
+    def is_strictly_upper_triangular(self) -> bool:
+        """Upper triangular with a zero diagonal (sufficient for nilpotence)."""
+        coo = self.matrix.tocoo()
+        return bool(np.all(coo.row < coo.col)) if coo.nnz else True
+
+    def is_nilpotent(self, max_power: int | None = None) -> bool:
+        """Whether ``A_n^k = 0`` for some ``k <= max_power`` (default ``|V|``).
+
+        Lemma 1 guarantees this whenever every snapshot is acyclic.
+        """
+        n = self.num_active_nodes
+        if n == 0:
+            return True
+        limit = n if max_power is None else min(max_power, n)
+        power = sp.identity(n, dtype=np.int64, format="csr")
+        for _ in range(limit):
+            power = (power @ self.matrix).tocsr()
+            # clamp to 0/1 to avoid integer blow-up; only the zero pattern matters
+            power.data = np.minimum(power.data, 1)
+            power.eliminate_zeros()
+            if power.nnz == 0:
+                return True
+        return False
+
+    def nilpotency_index(self, max_power: int | None = None) -> int | None:
+        """Smallest ``k`` with ``A_n^k = 0``, or ``None`` if not nilpotent within the cap."""
+        n = self.num_active_nodes
+        if n == 0:
+            return 0
+        limit = n if max_power is None else min(max_power, n)
+        power = sp.identity(n, dtype=np.int64, format="csr")
+        for k in range(1, limit + 1):
+            power = (power @ self.matrix).tocsr()
+            power.data = np.minimum(power.data, 1)
+            power.eliminate_zeros()
+            if power.nnz == 0:
+                return k
+        return None
+
+    def diagonal_block(self, time: Time) -> sp.csr_matrix:
+        """The diagonal block ``A[t]`` restricted to active temporal nodes at ``time``."""
+        idx = [i for i, (_, t) in enumerate(self.node_order) if t == time]
+        if not idx:
+            raise RepresentationError(f"no active temporal nodes at time {time!r}")
+        return self.matrix[idx, :][:, idx].tocsr()
+
+    def causal_block(self, time_i: Time, time_j: Time) -> sp.csr_matrix:
+        """The off-diagonal block ``M[ti, tj]`` restricted to active temporal nodes."""
+        rows = [i for i, (_, t) in enumerate(self.node_order) if t == time_i]
+        cols = [j for j, (_, t) in enumerate(self.node_order) if t == time_j]
+        if not rows or not cols:
+            raise RepresentationError(
+                f"no active temporal nodes at time {time_i!r} or {time_j!r}")
+        return self.matrix[rows, :][:, cols].tocsr()
+
+
+def build_block_adjacency(graph: BaseEvolvingGraph,
+                          expansion: StaticExpansion | None = None) -> BlockAdjacencyMatrix:
+    """Assemble ``A_n`` (active temporal nodes only) from an evolving graph.
+
+    The node ordering is time-major (all active nodes of ``t_1``, then of
+    ``t_2``, ...), matching the worked 6x6 example ``A_3`` of Section III-C.
+    """
+    if expansion is None:
+        expansion = build_static_expansion(graph)
+    order = expansion.node_order
+    index = {tn: i for i, tn in enumerate(order)}
+    rows: list[int] = []
+    cols: list[int] = []
+    for src in order:
+        for dst in expansion.graph.successors(src):
+            rows.append(index[src])
+            cols.append(index[dst])
+    data = np.ones(len(rows), dtype=np.int64)
+    n = len(order)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    matrix.sum_duplicates()
+    matrix.data[:] = 1
+    return BlockAdjacencyMatrix(matrix=matrix, node_order=tuple(order), expansion=expansion)
+
+
+def build_full_block_matrix(
+    graph: BaseEvolvingGraph,
+    *,
+    node_labels: Sequence[Node] | None = None,
+) -> tuple[sp.csr_matrix, list[TemporalNodeTuple]]:
+    """Assemble ``M_n`` over *all* temporal nodes (active and inactive).
+
+    Returns the sparse matrix together with its row/column labels, which are
+    all ``(node, time)`` pairs in time-major order over the full node
+    universe.  Retaining only the rows/columns of active temporal nodes
+    recovers ``A_n``, exactly as described in Section III-C.
+    """
+    if node_labels is None:
+        node_labels = sorted(graph.nodes(), key=repr)
+    labels = list(node_labels)
+    times = list(graph.timestamps)
+    order: list[TemporalNodeTuple] = [(v, t) for t in times for v in labels]
+    index = {tn: i for i, tn in enumerate(order)}
+
+    rows: list[int] = []
+    cols: list[int] = []
+    # diagonal blocks: static edges
+    for t in times:
+        for u, v in graph.edges_at(t):
+            if u == v:
+                continue
+            rows.append(index[(u, t)])
+            cols.append(index[(v, t)])
+            if not graph.is_directed:
+                rows.append(index[(v, t)])
+                cols.append(index[(u, t)])
+    # off-diagonal blocks: causal edges between active appearances
+    for (v, s), (w, t) in graph.causal_edges():
+        rows.append(index[(v, s)])
+        cols.append(index[(w, t)])
+
+    n = len(order)
+    data = np.ones(len(rows), dtype=np.int64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    matrix.sum_duplicates()
+    if matrix.nnz:
+        matrix.data[:] = 1
+    return matrix, order

@@ -1,0 +1,145 @@
+"""Theorem-1 static expansion of an evolving graph.
+
+The proof of Theorem 1 constructs, from an evolving graph ``G_n``, a static
+directed graph ``G = (V, E)`` whose nodes are the *active temporal nodes* of
+``G_n`` and whose edges are
+
+* the *static edges* ``E~`` — every snapshot edge ``(u, v)`` at time ``t``
+  becomes ``(u, t) -> (v, t)`` (both directions for undirected graphs), and
+* the *causal edges* ``E'`` — ``(v, s) -> (v, t)`` for every pair of active
+  appearances of the same node with ``s < t``.
+
+BFS on ``G`` is then in 1-1 correspondence with the evolving-graph BFS of
+Algorithm 1, which makes this construction an executable correctness oracle:
+``static_bfs(expansion.graph, root)`` must agree with ``evolving_bfs`` on
+every reachable temporal node and distance.  The expansion is also the graph
+whose adjacency matrix is the block matrix ``A_n`` of Section III-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+from repro.graph.static_graph import StaticGraph, static_bfs
+
+__all__ = ["StaticExpansion", "build_static_expansion", "expansion_bfs"]
+
+
+@dataclass(frozen=True)
+class StaticExpansion:
+    """The static graph ``G = (V, E~ ∪ E')`` of Theorem 1 plus bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The expanded static directed graph over active temporal nodes.
+    node_order:
+        Active temporal nodes ordered by time then node; this is the
+        row/column ordering of the block adjacency matrix ``A_n``.
+    static_edges:
+        The set ``E~`` as edges between temporal nodes.
+    causal_edges:
+        The set ``E'`` as edges between temporal nodes.
+    """
+
+    graph: StaticGraph
+    node_order: tuple[TemporalNodeTuple, ...]
+    static_edges: frozenset[tuple[TemporalNodeTuple, TemporalNodeTuple]]
+    causal_edges: frozenset[tuple[TemporalNodeTuple, TemporalNodeTuple]]
+
+    @property
+    def num_active_nodes(self) -> int:
+        """``|V|`` — the number of active temporal nodes."""
+        return len(self.node_order)
+
+    @property
+    def num_static_edges(self) -> int:
+        """``|E~|`` counted as expanded edges (undirected snapshot edges count once)."""
+        return len(self.static_edges)
+
+    @property
+    def num_causal_edges(self) -> int:
+        """``|E'|``."""
+        return len(self.causal_edges)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E| = |E~ ∪ E'|``."""
+        return self.graph.num_edges()
+
+    def index_of(self, temporal_node: TemporalNodeTuple) -> int:
+        """Position of an active temporal node in :attr:`node_order`."""
+        try:
+            return self._index[tuple(temporal_node)]
+        except KeyError as exc:
+            raise NodeNotFoundError(*temporal_node) from exc
+
+    @property
+    def _index(self) -> dict[TemporalNodeTuple, int]:
+        # Cached lazily on the instance; object.__setattr__ because the dataclass is frozen.
+        cache = self.__dict__.get("_index_cache")
+        if cache is None:
+            cache = {tn: i for i, tn in enumerate(self.node_order)}
+            object.__setattr__(self, "_index_cache", cache)
+        return cache
+
+
+def build_static_expansion(graph: BaseEvolvingGraph) -> StaticExpansion:
+    """Construct the Theorem-1 static expansion of ``graph``.
+
+    The expansion contains only *active* temporal nodes; inactive temporal
+    nodes (e.g. ``(3, t1)`` in Figure 1) are omitted, exactly as in the
+    definition of ``V`` in the proof.  Undirected snapshot edges become two
+    directed expanded edges; causal edges are always directed forward in time.
+    """
+    node_order: list[TemporalNodeTuple] = list(graph.active_temporal_nodes())
+    expanded = StaticGraph(directed=True)
+    for tn in node_order:
+        expanded.add_node(tn)
+
+    static_edges: set[tuple[TemporalNodeTuple, TemporalNodeTuple]] = set()
+    for t in graph.timestamps:
+        for u, v in graph.edges_at(t):
+            if u == v:
+                continue  # self-loops create no activeness and no temporal paths
+            a, b = (u, t), (v, t)
+            expanded.add_edge(a, b)
+            static_edges.add((a, b))
+            if not graph.is_directed:
+                expanded.add_edge(b, a)
+                static_edges.add((b, a))
+
+    causal_edges: set[tuple[TemporalNodeTuple, TemporalNodeTuple]] = set()
+    for src, dst in graph.causal_edges():
+        expanded.add_edge(src, dst)
+        causal_edges.add((src, dst))
+
+    return StaticExpansion(
+        graph=expanded,
+        node_order=tuple(node_order),
+        static_edges=frozenset(static_edges),
+        causal_edges=frozenset(causal_edges),
+    )
+
+
+def expansion_bfs(graph: BaseEvolvingGraph,
+                  root: TemporalNodeTuple,
+                  expansion: StaticExpansion | None = None) -> dict[TemporalNodeTuple, int]:
+    """Run the correctness oracle: ordinary BFS on the Theorem-1 expansion.
+
+    Returns ``{(v, t): distance}`` exactly like Algorithm 1's ``reached``;
+    Theorem 1 states this always equals :func:`repro.core.bfs.evolving_bfs`.
+
+    Parameters
+    ----------
+    expansion:
+        An already-built expansion to reuse (building it is ``O(|V| + |E|)``).
+    """
+    if expansion is None:
+        expansion = build_static_expansion(graph)
+    root = (root[0], root[1])
+    graph.require_active(*root)
+    return {tn: d for tn, d in static_bfs(expansion.graph, root).items()}

@@ -1,0 +1,98 @@
+"""Forward and backward neighbours of temporal nodes (Definition 5).
+
+The forward neighbours of an active temporal node ``(v, t)`` are the temporal
+nodes one hop away along either a static edge (same time, different node) or a
+causal edge (same node, later active time).  ``k``-forward neighbours are the
+temporal nodes at hop-distance exactly ``k``; they coincide with the level-
+``k`` frontier of the BFS of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+
+__all__ = [
+    "forward_neighbors",
+    "backward_neighbors",
+    "k_forward_neighbors",
+    "k_backward_neighbors",
+    "forward_neighbors_of_set",
+]
+
+
+def forward_neighbors(graph: BaseEvolvingGraph,
+                      temporal_node: TemporalNodeTuple) -> list[TemporalNodeTuple]:
+    """Forward neighbours of ``temporal_node`` (Definition 5).
+
+    Inactive temporal nodes have no forward neighbours because temporal paths
+    may only traverse active nodes.
+    """
+    v, t = temporal_node
+    return graph.forward_neighbors(v, t)
+
+
+def backward_neighbors(graph: BaseEvolvingGraph,
+                       temporal_node: TemporalNodeTuple) -> list[TemporalNodeTuple]:
+    """Temporal nodes whose forward neighbours include ``temporal_node``.
+
+    This is the neighbourhood used by the time-reversed search of Section V.
+    """
+    v, t = temporal_node
+    return graph.backward_neighbors(v, t)
+
+
+def forward_neighbors_of_set(
+    graph: BaseEvolvingGraph,
+    frontier: Iterable[TemporalNodeTuple],
+) -> set[TemporalNodeTuple]:
+    """Union of forward neighbours over a set of temporal nodes (one BFS level expansion)."""
+    out: set[TemporalNodeTuple] = set()
+    for v, t in frontier:
+        out.update(graph.forward_neighbors(v, t))
+    return out
+
+
+def _k_neighbors(graph: BaseEvolvingGraph, root: TemporalNodeTuple, k: int,
+                 *, backward: bool) -> set[TemporalNodeTuple]:
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    root = tuple(root)
+    if not graph.is_active(*root):
+        return set() if k > 0 else set()
+    expand = graph.backward_neighbors if backward else graph.forward_neighbors
+    # level-synchronous BFS truncated at depth k
+    visited: set[TemporalNodeTuple] = {root}
+    frontier: list[TemporalNodeTuple] = [root]
+    level = 0
+    while frontier and level < k:
+        nxt: list[TemporalNodeTuple] = []
+        for v, t in frontier:
+            for n in expand(v, t):
+                if n not in visited:
+                    visited.add(n)
+                    nxt.append(n)
+        frontier = nxt
+        level += 1
+    return set(frontier) if level == k else set()
+
+
+def k_forward_neighbors(graph: BaseEvolvingGraph, root: TemporalNodeTuple,
+                        k: int) -> set[TemporalNodeTuple]:
+    """Temporal nodes at hop-distance exactly ``k`` from ``root``.
+
+    ``k = 0`` returns ``{root}`` (when active), ``k = 1`` the forward
+    neighbours, and so on.  This matches the frontier of iteration ``k`` in
+    Algorithm 1, and is the self-consistent reading of Definition 5 (the
+    worked matrix example of Section III-C confirms it: the distance-2 set
+    from ``(1, t1)`` in Figure 1 is ``{(3, t2), (2, t3)}``).
+    """
+    return _k_neighbors(graph, root, k, backward=False)
+
+
+def k_backward_neighbors(graph: BaseEvolvingGraph, root: TemporalNodeTuple,
+                         k: int) -> set[TemporalNodeTuple]:
+    """Temporal nodes from which ``root`` is at hop-distance exactly ``k``."""
+    return _k_neighbors(graph, root, k, backward=True)

@@ -1,0 +1,240 @@
+"""Temporal paths (Definition 4): validation, enumeration and counting.
+
+A temporal path of length ``m`` is a time-ordered sequence of ``m`` active
+temporal nodes where each consecutive step traverses either a static edge
+within one snapshot or a causal edge between two active appearances of the
+same node.  The *length* of a path is its number of temporal nodes (so a
+single active node is a path of length 1, matching the paper's "temporal path
+of length k + 1" phrasing in Definition 5).
+
+Enumeration is exponential in general and intended for small graphs, worked
+examples and tests; the scalable interfaces are the BFS of
+:mod:`repro.core.bfs` and the matrix-power counting of
+:mod:`repro.core.path_counting`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.exceptions import InvalidTemporalPathError
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+from repro.graph.validation import validate_temporal_path
+
+__all__ = [
+    "TemporalPath",
+    "enumerate_temporal_paths",
+    "count_temporal_paths_exhaustive",
+    "shortest_temporal_path",
+]
+
+
+class TemporalPath(Sequence[TemporalNodeTuple]):
+    """An immutable, validated temporal path.
+
+    Parameters
+    ----------
+    nodes:
+        The sequence of ``(v, t)`` temporal nodes.
+    graph:
+        When given, the path is validated against the graph at construction
+        time (active nodes only, time-ordered, steps along static or causal
+        edges); otherwise only the local ordering constraints are checked.
+    """
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self, nodes: Sequence[TemporalNodeTuple],
+                 graph: BaseEvolvingGraph | None = None) -> None:
+        nodes = tuple((v, t) for v, t in nodes)
+        if graph is not None:
+            validate_temporal_path(graph, nodes)
+        else:
+            self._validate_ordering(nodes)
+        self._nodes = nodes
+
+    @staticmethod
+    def _validate_ordering(nodes: Sequence[TemporalNodeTuple]) -> None:
+        for (v1, t1), (v2, t2) in zip(nodes, nodes[1:]):
+            if t2 < t1:
+                raise InvalidTemporalPathError(f"time ordering violated: {t2!r} < {t1!r}")
+            if v1 == v2 and t1 == t2:
+                raise InvalidTemporalPathError(f"repeated temporal node ({v1!r}, {t1!r})")
+            if v1 != v2 and t1 != t2:
+                raise InvalidTemporalPathError(
+                    "steps may change either the node (static edge) or the time "
+                    "(causal edge), not both")
+
+    # -- sequence protocol ------------------------------------------------ #
+
+    def __getitem__(self, idx):
+        return self._nodes[idx]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TemporalPath):
+            return self._nodes == other._nodes
+        if isinstance(other, (tuple, list)):
+            return self._nodes == tuple(tuple(x) for x in other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"({v!r}, {t!r})" for v, t in self._nodes)
+        return f"TemporalPath(<{inner}>)"
+
+    # -- path-specific accessors ------------------------------------------ #
+
+    @property
+    def length(self) -> int:
+        """Number of temporal nodes in the path (the paper's notion of length)."""
+        return len(self._nodes)
+
+    @property
+    def num_hops(self) -> int:
+        """Number of edges traversed (``length - 1`` for non-empty paths)."""
+        return max(0, len(self._nodes) - 1)
+
+    @property
+    def source(self) -> TemporalNodeTuple:
+        """First temporal node (raises ``IndexError`` on the empty path)."""
+        return self._nodes[0]
+
+    @property
+    def target(self) -> TemporalNodeTuple:
+        """Last temporal node (raises ``IndexError`` on the empty path)."""
+        return self._nodes[-1]
+
+    def causal_hops(self) -> int:
+        """Number of steps that are causal edges (same node, later time)."""
+        return sum(1 for (v1, _), (v2, _) in zip(self._nodes, self._nodes[1:]) if v1 == v2)
+
+    def spatial_hops(self) -> int:
+        """Number of steps that traverse a static edge within one snapshot."""
+        return self.num_hops - self.causal_hops()
+
+    def nodes_visited(self) -> list[Hashable]:
+        """Distinct node identities in visit order."""
+        seen: list[Hashable] = []
+        for v, _ in self._nodes:
+            if not seen or seen[-1] != v:
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+
+def enumerate_temporal_paths(
+    graph: BaseEvolvingGraph,
+    source: TemporalNodeTuple,
+    target: TemporalNodeTuple,
+    *,
+    max_length: int | None = None,
+) -> Iterator[TemporalPath]:
+    """Yield every temporal path from ``source`` to ``target``.
+
+    Paths are simple in the expanded (static) graph sense: no temporal node is
+    revisited within one path, which is guaranteed anyway because every step
+    strictly advances either the time or the position within a snapshot DAG —
+    but cyclic snapshots could otherwise loop within a single timestamp, so
+    the visited-set guard below is required for termination.
+
+    Parameters
+    ----------
+    max_length:
+        Optional cap on path length (number of temporal nodes); useful to
+        bound the exponential enumeration on larger graphs.
+    """
+    source = tuple(source)
+    target = tuple(target)
+    if not graph.is_active(*source) or not graph.is_active(*target):
+        return
+    if max_length is not None and max_length < 1:
+        return
+
+    stack: list[TemporalNodeTuple] = [source]
+    on_path: set[TemporalNodeTuple] = {source}
+
+    def _dfs() -> Iterator[TemporalPath]:
+        current = stack[-1]
+        if current == target:
+            yield TemporalPath(list(stack))
+            # A temporal path may in principle continue and return to the
+            # target only if the target repeats, which cannot happen for a
+            # fixed temporal node; so we stop extending here.
+            return
+        if max_length is not None and len(stack) >= max_length:
+            return
+        for nxt in graph.forward_neighbors(*current):
+            if nxt in on_path:
+                continue
+            stack.append(nxt)
+            on_path.add(nxt)
+            yield from _dfs()
+            on_path.discard(nxt)
+            stack.pop()
+
+    yield from _dfs()
+
+
+def count_temporal_paths_exhaustive(
+    graph: BaseEvolvingGraph,
+    source: TemporalNodeTuple,
+    target: TemporalNodeTuple,
+    *,
+    length: int | None = None,
+    max_length: int | None = None,
+) -> int:
+    """Count temporal paths from ``source`` to ``target`` by explicit enumeration.
+
+    When ``length`` is given, only paths with exactly that many temporal nodes
+    are counted (e.g. the two length-4 paths of Figure 2).
+    """
+    cap = max_length if length is None else length
+    total = 0
+    for path in enumerate_temporal_paths(graph, source, target, max_length=cap):
+        if length is None or path.length == length:
+            total += 1
+    return total
+
+
+def shortest_temporal_path(
+    graph: BaseEvolvingGraph,
+    source: TemporalNodeTuple,
+    target: TemporalNodeTuple,
+) -> TemporalPath | None:
+    """A temporal path from ``source`` to ``target`` with the fewest hops, or ``None``.
+
+    Implemented as a BFS with parent pointers, so its hop count equals the
+    distance of Definition 6.
+    """
+    from collections import deque
+
+    source = tuple(source)
+    target = tuple(target)
+    if not graph.is_active(*source):
+        return None
+    if source == target:
+        return TemporalPath([source])
+    parent: dict[TemporalNodeTuple, TemporalNodeTuple] = {source: source}
+    frontier: deque[TemporalNodeTuple] = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for nxt in graph.forward_neighbors(*current):
+            if nxt in parent:
+                continue
+            parent[nxt] = current
+            if nxt == target:
+                chain = [nxt]
+                while chain[-1] != source:
+                    chain.append(parent[chain[-1]])
+                chain.reverse()
+                return TemporalPath(chain)
+            frontier.append(nxt)
+    return None

@@ -1,0 +1,70 @@
+"""Temporal nodes (Definition 2) and activeness predicates (Definition 3).
+
+The rest of the core package passes temporal nodes around as plain
+``(node, time)`` tuples for speed; :class:`TemporalNode` is a friendlier,
+frozen wrapper with the same tuple layout (it *is* a tuple), so the two forms
+interoperate transparently: ``TemporalNode(1, "t1") == (1, "t1")``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, NamedTuple
+
+from repro.graph.base import BaseEvolvingGraph
+
+__all__ = [
+    "TemporalNode",
+    "is_active",
+    "active_temporal_nodes",
+    "inactive_temporal_nodes",
+    "temporal_node_index",
+]
+
+
+class TemporalNode(NamedTuple):
+    """A node paired with a timestamp, ``(v, t)`` (Definition 2)."""
+
+    node: Hashable
+    time: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.node!r}, {self.time!r})"
+
+
+def is_active(graph: BaseEvolvingGraph, node: Hashable, time: Hashable) -> bool:
+    """Whether ``(node, time)`` is an active node of ``graph`` (Definition 3).
+
+    A temporal node is active when at least one edge of the snapshot at
+    ``time`` connects ``node`` to a *different* node; self-loops do not make a
+    node active.
+    """
+    return graph.is_active(node, time)
+
+
+def active_temporal_nodes(graph: BaseEvolvingGraph) -> list[TemporalNode]:
+    """All active temporal nodes of ``graph``, ordered by time then node.
+
+    This ordering matches the row/column ordering the paper uses for the
+    block adjacency matrix ``A_n`` in Section III-C (time-major blocks).
+    """
+    return [TemporalNode(v, t) for v, t in graph.active_temporal_nodes()]
+
+
+def inactive_temporal_nodes(graph: BaseEvolvingGraph) -> list[TemporalNode]:
+    """Temporal nodes ``(v, t)`` where ``v`` appears somewhere in the graph but is
+    inactive at ``t`` (e.g. ``(3, t1)`` in Figure 1)."""
+    all_nodes = sorted(graph.nodes(), key=repr)
+    out: list[TemporalNode] = []
+    for t in graph.timestamps:
+        active = graph.active_nodes_at(t)
+        for v in all_nodes:
+            if v not in active:
+                out.append(TemporalNode(v, t))
+    return out
+
+
+def temporal_node_index(
+    temporal_nodes: Iterable[tuple[Hashable, Hashable]],
+) -> dict[tuple[Hashable, Hashable], int]:
+    """Map each temporal node to its position, e.g. for block-vector indexing."""
+    return {tuple(tn): i for i, tn in enumerate(temporal_nodes)}

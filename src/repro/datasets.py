@@ -1,0 +1,122 @@
+"""Built-in example datasets: the paper's worked examples as ready-made graphs.
+
+These fixtures are used throughout the examples, tests and micro-benchmarks
+to reproduce the exact numbers printed in the paper:
+
+* :func:`figure1_graph` — the 3-node, 3-timestamp evolving digraph of
+  Figure 1 (edges ``1->2`` at ``t1``, ``1->3`` at ``t2``, ``2->3`` at ``t3``).
+* :func:`figure1_adjacency_sequence` — its per-snapshot adjacency matrices
+  as printed at the start of Section III-A.
+* :func:`figure4_expected_matrix` — the 6x6 block adjacency matrix ``A_3``
+  printed in Section III-C, with its node ordering.
+* :func:`figure4_expected_iterates` — the published power-iterate sequence
+  starting from ``b = e_1``.
+* :func:`message_game_graph` — the three-player message game of the
+  introduction, parameterised by the order in which the players talk.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+
+__all__ = [
+    "FIGURE1_TIMESTAMPS",
+    "figure1_graph",
+    "figure1_adjacency_sequence",
+    "figure4_node_order",
+    "figure4_expected_matrix",
+    "figure4_expected_iterates",
+    "figure2_expected_paths",
+    "message_game_graph",
+]
+
+#: Time labels used by the Figure-1 example, in order.
+FIGURE1_TIMESTAMPS: tuple[str, str, str] = ("t1", "t2", "t3")
+
+
+def figure1_graph() -> AdjacencyListEvolvingGraph:
+    """The evolving directed graph of Figure 1.
+
+    Three nodes (1, 2, 3) and three snapshots: edge ``1 -> 2`` at ``t1``,
+    ``1 -> 3`` at ``t2`` and ``2 -> 3`` at ``t3``.
+    """
+    return AdjacencyListEvolvingGraph(
+        [(1, 2, "t1"), (1, 3, "t2"), (2, 3, "t3")],
+        directed=True,
+        timestamps=FIGURE1_TIMESTAMPS,
+    )
+
+
+def figure1_adjacency_sequence() -> list[np.ndarray]:
+    """The per-snapshot one-sided adjacency matrices printed in Section III-A."""
+    a1 = np.array([[0, 1, 0], [0, 0, 0], [0, 0, 0]], dtype=np.int64)
+    a2 = np.array([[0, 0, 1], [0, 0, 0], [0, 0, 0]], dtype=np.int64)
+    a3 = np.array([[0, 0, 0], [0, 0, 1], [0, 0, 0]], dtype=np.int64)
+    return [a1, a2, a3]
+
+
+def figure4_node_order() -> list[tuple[int, str]]:
+    """The ordering of active temporal nodes used for ``A_3`` in Section III-C."""
+    return [(1, "t1"), (2, "t1"), (1, "t2"), (3, "t2"), (2, "t3"), (3, "t3")]
+
+
+def figure4_expected_matrix() -> np.ndarray:
+    """The 6x6 block adjacency matrix ``A_3`` printed in Section III-C."""
+    return np.array(
+        [
+            [0, 1, 1, 0, 0, 0],
+            [0, 0, 0, 0, 1, 0],
+            [0, 0, 0, 1, 0, 0],
+            [0, 0, 0, 0, 0, 1],
+            [0, 0, 0, 0, 0, 1],
+            [0, 0, 0, 0, 0, 0],
+        ],
+        dtype=np.int64,
+    )
+
+
+def figure4_expected_iterates() -> list[np.ndarray]:
+    """The published iterate sequence ``b, A^T b, (A^T)^2 b, (A^T)^3 b, (A^T)^4 b``
+    starting from ``b = e_1`` (the temporal node ``(1, t1)``)."""
+    return [
+        np.array([1, 0, 0, 0, 0, 0], dtype=np.int64),
+        np.array([0, 1, 1, 0, 0, 0], dtype=np.int64),
+        np.array([0, 0, 0, 1, 1, 0], dtype=np.int64),
+        np.array([0, 0, 0, 0, 0, 2], dtype=np.int64),
+        np.array([0, 0, 0, 0, 0, 0], dtype=np.int64),
+    ]
+
+
+def figure2_expected_paths() -> list[list[tuple[int, str]]]:
+    """The two length-4 temporal paths from ``(1, t1)`` to ``(3, t3)`` shown in Figure 2."""
+    return [
+        [(1, "t1"), (1, "t2"), (3, "t2"), (3, "t3")],
+        [(1, "t1"), (2, "t1"), (2, "t3"), (3, "t3")],
+    ]
+
+
+def message_game_graph(
+    talk_order: Sequence[tuple[int, int]] = ((1, 2), (2, 3)),
+) -> AdjacencyListEvolvingGraph:
+    """The three-player message game of the introduction as an evolving graph.
+
+    Players 1, 2, 3 each hold a message; at turn ``k`` the pair
+    ``talk_order[k] = (speaker, listener)`` communicates, i.e. a directed edge
+    ``speaker -> listener`` exists at time ``k``.  Player ``p`` can collect
+    message ``m`` of player ``q`` exactly when ``(p, t_last)`` is reachable
+    from ``(q, t_first_talk_of_q)`` — which the evolving-graph BFS decides.
+
+    The default order ``1 talks to 2, then 2 talks to 3`` lets player 3 win;
+    the order ``(2, 3), (1, 2)`` makes message ``a`` unreachable for player 3,
+    exactly as the introduction describes.
+    """
+    edges = [(speaker, listener, turn) for turn, (speaker, listener) in enumerate(talk_order)]
+    return AdjacencyListEvolvingGraph(
+        edges,
+        directed=True,
+        timestamps=list(range(len(list(talk_order)))),
+    )

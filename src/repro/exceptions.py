@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating in this package with a single ``except``
+clause while still being able to distinguish more specific failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "TimestampNotFoundError",
+    "InactiveNodeError",
+    "InvalidTemporalPathError",
+    "RepresentationError",
+    "ConvergenceError",
+    "IOFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to evolving-graph construction or queries."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node (or temporal node) was requested that does not exist in the graph."""
+
+    def __init__(self, node, time=None):
+        self.node = node
+        self.time = time
+        if time is None:
+            msg = f"node {node!r} not present in the evolving graph"
+        else:
+            msg = f"temporal node ({node!r}, {time!r}) not present in the evolving graph"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError quotes its argument; keep the message readable.
+        return self.args[0]
+
+
+class TimestampNotFoundError(GraphError, KeyError):
+    """A timestamp was requested that has no snapshot in the evolving graph."""
+
+    def __init__(self, time):
+        self.time = time
+        super().__init__(f"timestamp {time!r} not present in the evolving graph")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class InactiveNodeError(GraphError):
+    """An operation that requires an active temporal node was given an inactive one.
+
+    Following Definition 3 of the paper, a temporal node ``(v, t)`` is *active*
+    when at least one edge at time ``t`` connects ``v`` to a different node.
+    Several operations (e.g. rooting a BFS) are only defined for active nodes.
+    """
+
+    def __init__(self, node, time):
+        self.node = node
+        self.time = time
+        super().__init__(f"temporal node ({node!r}, {time!r}) is not an active node")
+
+
+class InvalidTemporalPathError(ReproError, ValueError):
+    """A sequence of temporal nodes does not form a valid temporal path (Definition 4)."""
+
+
+class RepresentationError(ReproError, ValueError):
+    """An evolving-graph or matrix representation is malformed or unsupported."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its iteration budget."""
+
+
+class IOFormatError(ReproError, ValueError):
+    """An input file or stream does not conform to the expected format."""

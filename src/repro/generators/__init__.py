@@ -1,0 +1,27 @@
+"""Workload generators: random evolving graphs, growth models, citation networks, streams."""
+
+from repro.generators.citation import CitationNetwork, generate_citation_network
+from repro.generators.growth import (
+    preferential_attachment_evolving,
+    sliding_window_communication,
+)
+from repro.generators.random_evolving import (
+    incremental_edge_sequence,
+    random_evolving_graph,
+    random_snapshot_er,
+    random_temporal_edges,
+)
+from repro.generators.stream import EdgeStream, apply_stream
+
+__all__ = [
+    "random_temporal_edges",
+    "random_evolving_graph",
+    "incremental_edge_sequence",
+    "random_snapshot_er",
+    "preferential_attachment_evolving",
+    "sliding_window_communication",
+    "CitationNetwork",
+    "generate_citation_network",
+    "EdgeStream",
+    "apply_stream",
+]

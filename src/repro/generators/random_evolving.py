@@ -1,0 +1,163 @@
+"""Random evolving-graph generators (the Figure-5 workload).
+
+The paper's scaling experiment generates "a sequence of random (directed)
+``IntEvolvingGraph``s with 10^5 active nodes and 10 time stamps", starting
+from roughly 10^8 static edges and *consecutively adding* new random static
+edges to produce graphs with 1.5x10^8, 1.8x10^8, ... edges.  The generators
+below reproduce that construction at configurable (laptop-friendly) scale:
+
+* :func:`random_evolving_graph` — a single random evolving graph with a given
+  number of nodes, timestamps and static edges.
+* :func:`incremental_edge_sequence` — a sequence of evolving graphs obtained
+  by consecutively adding random edges to a base graph, which is exactly the
+  Figure-5 sweep.
+* :func:`random_snapshot_er` — per-snapshot Erdős–Rényi graphs with
+  independent edge probability, a common synthetic model for evolving graphs.
+
+All generators are deterministic given a NumPy ``Generator`` (or integer
+seed) and produce edge triples in bulk with vectorised sampling, per the HPC
+guide's advice to avoid Python-level loops for data generation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+from repro.graph.base import TemporalEdgeTuple
+
+__all__ = [
+    "random_temporal_edges",
+    "random_evolving_graph",
+    "incremental_edge_sequence",
+    "random_snapshot_er",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_temporal_edges(
+    num_nodes: int,
+    num_timestamps: int,
+    num_edges: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    allow_self_loops: bool = False,
+) -> list[TemporalEdgeTuple]:
+    """Sample ``num_edges`` random temporal edges ``(u, v, t)`` with integer labels.
+
+    Nodes are ``0 .. num_nodes-1`` and timestamps ``0 .. num_timestamps-1``.
+    Edges are sampled uniformly with replacement and then de-duplicated, so
+    the returned list can be slightly shorter than requested for very dense
+    graphs; the Figure-5 regime (sparse graphs) is unaffected.
+    """
+    if num_nodes < 2:
+        raise GraphError("random evolving graphs need at least 2 nodes")
+    if num_timestamps < 1:
+        raise GraphError("random evolving graphs need at least 1 timestamp")
+    if num_edges < 0:
+        raise GraphError("num_edges must be non-negative")
+    rng = _rng(seed)
+    # oversample slightly to compensate for duplicate removal
+    oversample = int(num_edges * 1.05) + 16
+    u = rng.integers(0, num_nodes, size=oversample, dtype=np.int64)
+    v = rng.integers(0, num_nodes, size=oversample, dtype=np.int64)
+    t = rng.integers(0, num_timestamps, size=oversample, dtype=np.int64)
+    if not allow_self_loops:
+        mask = u != v
+        u, v, t = u[mask], v[mask], t[mask]
+    # de-duplicate (u, v, t) triples while preserving order
+    keys = (u * num_nodes + v) * num_timestamps + t
+    _, first_idx = np.unique(keys, return_index=True)
+    first_idx.sort()
+    u, v, t = u[first_idx], v[first_idx], t[first_idx]
+    u, v, t = u[:num_edges], v[:num_edges], t[:num_edges]
+    return list(zip(u.tolist(), v.tolist(), t.tolist()))
+
+
+def random_evolving_graph(
+    num_nodes: int,
+    num_timestamps: int,
+    num_edges: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = True,
+) -> AdjacencyListEvolvingGraph:
+    """A random evolving graph with ``num_edges`` static edges spread over the snapshots."""
+    edges = random_temporal_edges(num_nodes, num_timestamps, num_edges, seed=seed)
+    return AdjacencyListEvolvingGraph(
+        edges, directed=directed, timestamps=list(range(num_timestamps)))
+
+
+def incremental_edge_sequence(
+    num_nodes: int,
+    num_timestamps: int,
+    edge_counts: Sequence[int],
+    *,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = True,
+) -> Iterable[tuple[int, AdjacencyListEvolvingGraph]]:
+    """Yield ``(target_edge_count, graph)`` pairs by consecutively adding random edges.
+
+    This mirrors the Figure-5 construction: the first graph has
+    ``edge_counts[0]`` static edges; each subsequent graph is the *same*
+    graph object grown to the next target count by adding new random static
+    edges (so causal edges may appear as nodes become active at new times).
+    The caller receives the same underlying graph instance each iteration —
+    copy it if snapshots of the sequence must be retained.
+    """
+    counts = list(edge_counts)
+    if counts != sorted(counts):
+        raise GraphError("edge_counts must be non-decreasing for incremental growth")
+    rng = _rng(seed)
+    graph = AdjacencyListEvolvingGraph(
+        directed=directed, timestamps=list(range(num_timestamps)))
+    current = 0
+    for target in counts:
+        deficit = target - current
+        if deficit < 0:
+            raise GraphError("edge_counts must be non-decreasing")
+        while deficit > 0:
+            batch = random_temporal_edges(
+                num_nodes, num_timestamps, deficit, seed=rng)
+            added = graph.add_edges_from(batch)
+            if added == 0:
+                # graph saturated: cannot reach the target edge count
+                raise GraphError(
+                    f"cannot grow the graph to {target} edges: "
+                    f"only {current} distinct edges exist")
+            deficit -= added
+            current += added
+        yield target, graph
+
+
+def random_snapshot_er(
+    num_nodes: int,
+    num_timestamps: int,
+    edge_probability: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = True,
+) -> AdjacencyListEvolvingGraph:
+    """Evolving graph whose snapshots are independent Erdős–Rényi ``G(n, p)`` graphs."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError("edge_probability must lie in [0, 1]")
+    rng = _rng(seed)
+    edges: list[TemporalEdgeTuple] = []
+    for t in range(num_timestamps):
+        # vectorised Bernoulli sampling over the full adjacency matrix
+        matrix = rng.random((num_nodes, num_nodes)) < edge_probability
+        np.fill_diagonal(matrix, False)
+        if not directed:
+            matrix = np.triu(matrix)
+        rows, cols = np.nonzero(matrix)
+        edges.extend(zip(rows.tolist(), cols.tolist(), [t] * rows.shape[0]))
+    return AdjacencyListEvolvingGraph(
+        edges, directed=directed, timestamps=list(range(num_timestamps)))

@@ -1,0 +1,264 @@
+"""Adjacency-list representation of an evolving graph.
+
+This is the Python analogue of ``IntEvolvingGraph`` from EvolvingGraphs.jl,
+the representation the paper's Algorithm 1 and the Figure-5 experiment use.
+Each snapshot is stored as a pair of hash maps ``node -> list of neighbours``
+(forward and reverse), and per-node active-time lists are maintained
+incrementally so that forward-neighbour queries — the inner loop of the BFS —
+run in time proportional to their output size.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import GraphError, TimestampNotFoundError
+from repro.graph.base import (
+    BaseEvolvingGraph,
+    EdgeTuple,
+    Node,
+    TemporalEdgeTuple,
+    TemporalNodeTuple,
+    Time,
+)
+
+__all__ = ["AdjacencyListEvolvingGraph"]
+
+
+class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
+    """Evolving graph stored as per-snapshot adjacency lists.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v, t)`` temporal edges to insert.
+    directed:
+        Whether edges are directed (default ``True``).  For undirected graphs
+        every inserted edge is traversable in both directions, matching the
+        paper's treatment in the proof of Theorem 1.
+
+    Examples
+    --------
+    >>> g = AdjacencyListEvolvingGraph([(1, 2, "t1"), (1, 3, "t2"), (2, 3, "t3")],
+    ...                                timestamps=["t1", "t2", "t3"])
+    >>> g.forward_neighbors(1, "t1")
+    [(2, 't1'), (1, 't2')]
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[TemporalEdgeTuple] | None = None,
+        *,
+        directed: bool = True,
+        timestamps: Sequence[Time] | None = None,
+    ) -> None:
+        self._directed = bool(directed)
+        # snapshot adjacency: time -> node -> list of neighbours
+        self._succ: dict[Time, dict[Node, list[Node]]] = {}
+        self._pred: dict[Time, dict[Node, list[Node]]] = {}
+        # per-snapshot edge count and edge set for O(1) membership / dedup
+        self._edge_sets: dict[Time, set[EdgeTuple]] = {}
+        # sorted list of timestamps (may include empty snapshots registered explicitly)
+        self._timestamps: list[Time] = []
+        # node -> sorted list of timestamps at which the node is *active*
+        self._active_times: dict[Node, list[Time]] = {}
+
+        if timestamps is not None:
+            for t in timestamps:
+                self.add_timestamp(t)
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------ #
+    # construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    def add_timestamp(self, time: Time) -> None:
+        """Register a (possibly empty) snapshot labelled ``time``."""
+        if time in self._succ:
+            return
+        self._succ[time] = {}
+        self._pred[time] = {}
+        self._edge_sets[time] = set()
+        bisect.insort(self._timestamps, time)
+
+    def add_edge(self, u: Node, v: Node, time: Time) -> bool:
+        """Insert the edge ``u -> v`` into the snapshot at ``time``.
+
+        Returns ``True`` when the edge was new, ``False`` when it was already
+        present (duplicates are ignored so the representation stays a simple
+        graph per snapshot, as assumed by the 0/1 adjacency matrices of
+        Section III).
+        """
+        self.add_timestamp(time)
+        edge = self._canonical_edge(u, v)
+        edge_set = self._edge_sets[time]
+        if edge in edge_set:
+            return False
+        edge_set.add(edge)
+        self._succ[time].setdefault(u, []).append(v)
+        self._pred[time].setdefault(v, []).append(u)
+        if not self._directed:
+            self._succ[time].setdefault(v, []).append(u)
+            self._pred[time].setdefault(u, []).append(v)
+        if u != v:
+            self._mark_active(u, time)
+            self._mark_active(v, time)
+        return True
+
+    def add_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
+        """Insert many ``(u, v, t)`` edges; return the number actually added."""
+        added = 0
+        for item in edges:
+            try:
+                u, v, t = item
+            except (TypeError, ValueError) as exc:
+                raise GraphError(
+                    f"temporal edges must be (u, v, t) triples, got {item!r}"
+                ) from exc
+            added += self.add_edge(u, v, t)
+        return added
+
+    def _mark_active(self, node: Node, time: Time) -> None:
+        times = self._active_times.setdefault(node, [])
+        idx = bisect.bisect_left(times, time)
+        if idx >= len(times) or times[idx] != time:
+            times.insert(idx, time)
+
+    # ------------------------------------------------------------------ #
+    # primitives required by BaseEvolvingGraph                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_directed(self) -> bool:
+        return self._directed
+
+    @property
+    def timestamps(self) -> Sequence[Time]:
+        return tuple(self._timestamps)
+
+    def edges_at(self, time: Time) -> Iterator[EdgeTuple]:
+        if time not in self._edge_sets:
+            raise TimestampNotFoundError(time)
+        return iter(sorted(self._edge_sets[time], key=repr))
+
+    def out_neighbors_at(self, node: Node, time: Time) -> Iterator[Node]:
+        snapshot = self._succ.get(time)
+        if snapshot is None:
+            raise TimestampNotFoundError(time)
+        return iter(snapshot.get(node, ()))
+
+    def in_neighbors_at(self, node: Node, time: Time) -> Iterator[Node]:
+        snapshot = self._pred.get(time)
+        if snapshot is None:
+            raise TimestampNotFoundError(time)
+        return iter(snapshot.get(node, ()))
+
+    # ------------------------------------------------------------------ #
+    # fast overrides of derived queries                                  #
+    # ------------------------------------------------------------------ #
+
+    def has_timestamp(self, time: Time) -> bool:
+        return time in self._succ
+
+    def num_static_edges(self) -> int:
+        return sum(len(s) for s in self._edge_sets.values())
+
+    def num_static_edges_at(self, time: Time) -> int:
+        """Number of static edges in the snapshot at ``time``."""
+        if time not in self._edge_sets:
+            raise TimestampNotFoundError(time)
+        return len(self._edge_sets[time])
+
+    def nodes(self) -> set[Node]:
+        out: set[Node] = set()
+        for t in self._timestamps:
+            out.update(self._succ[t].keys())
+            out.update(self._pred[t].keys())
+        return out
+
+    def active_times(self, node: Node) -> list[Time]:
+        return list(self._active_times.get(node, ()))
+
+    def is_active(self, node: Node, time: Time) -> bool:
+        times = self._active_times.get(node)
+        if not times:
+            return False
+        idx = bisect.bisect_left(times, time)
+        return idx < len(times) and times[idx] == time
+
+    def active_nodes_at(self, time: Time) -> set[Node]:
+        if time not in self._succ:
+            raise TimestampNotFoundError(time)
+        return {v for v, times in self._active_times.items() if self._has_time(times, time)}
+
+    @staticmethod
+    def _has_time(times: list[Time], time: Time) -> bool:
+        idx = bisect.bisect_left(times, time)
+        return idx < len(times) and times[idx] == time
+
+    def forward_neighbors(self, node: Node, time: Time) -> list[TemporalNodeTuple]:
+        if not self.is_active(node, time):
+            return []
+        result: list[TemporalNodeTuple] = []
+        seen: set[TemporalNodeTuple] = set()
+        for w in self._succ[time].get(node, ()):
+            if w == node:
+                continue
+            tn = (w, time)
+            if tn not in seen:
+                seen.add(tn)
+                result.append(tn)
+        times = self._active_times.get(node, ())
+        idx = bisect.bisect_right(times, time)
+        for t_later in times[idx:]:
+            result.append((node, t_later))
+        return result
+
+    def backward_neighbors(self, node: Node, time: Time) -> list[TemporalNodeTuple]:
+        if not self.is_active(node, time):
+            return []
+        result: list[TemporalNodeTuple] = []
+        seen: set[TemporalNodeTuple] = set()
+        for w in self._pred[time].get(node, ()):
+            if w == node:
+                continue
+            tn = (w, time)
+            if tn not in seen:
+                seen.add(tn)
+                result.append(tn)
+        times = self._active_times.get(node, ())
+        idx = bisect.bisect_left(times, time)
+        for t_earlier in times[:idx]:
+            result.append((node, t_earlier))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # misc                                                               #
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "AdjacencyListEvolvingGraph":
+        """Deep-enough copy sharing no mutable state with the original."""
+        clone = AdjacencyListEvolvingGraph(directed=self._directed,
+                                           timestamps=self._timestamps)
+        for t in self._timestamps:
+            for u, v in self._edge_sets[t]:
+                clone.add_edge(u, v, t)
+        return clone
+
+    def subgraph_from(self, time: Time) -> "AdjacencyListEvolvingGraph":
+        """Return the evolving graph restricted to snapshots with label ``>= time``.
+
+        The paper notes that snapshots earlier than the root's timestamp never
+        participate in a BFS, so this restriction is the natural preprocessing
+        step before rooting a search at ``(v, time)``.
+        """
+        clone = AdjacencyListEvolvingGraph(directed=self._directed)
+        for t in self._timestamps:
+            if t < time:
+                continue
+            clone.add_timestamp(t)
+            for u, v in self._edge_sets[t]:
+                clone.add_edge(u, v, t)
+        return clone

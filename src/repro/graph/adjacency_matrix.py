@@ -1,0 +1,269 @@
+"""Matrix-sequence representation of an evolving graph.
+
+Section III of the paper represents an evolving graph ``G_n`` by the sequence
+of per-snapshot one-sided adjacency matrices ``A_n = <A[1], ..., A[n]>`` over
+a common node universe.  This module provides that representation backed by
+``scipy.sparse`` CSR matrices, which is the natural input for the algebraic
+BFS (Algorithm 2), the naive path-sum baseline of Eq. (2), and the blocked
+matrix ``M_n`` / ``A_n`` construction of Section III-C.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import RepresentationError, TimestampNotFoundError
+from repro.graph.base import (
+    BaseEvolvingGraph,
+    EdgeTuple,
+    Node,
+    TemporalEdgeTuple,
+    Time,
+)
+
+__all__ = ["MatrixSequenceEvolvingGraph"]
+
+
+class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
+    """Evolving graph stored as a sequence of sparse adjacency matrices.
+
+    All snapshots share a single node universe (the union of nodes over all
+    times), so matrix ``k`` is an ``N x N`` CSR matrix where ``N`` is the size
+    of the universe.  Entry ``(i, j)`` is 1 when the edge ``i -> j`` exists at
+    the ``k``-th timestamp, exactly as in Eq. (1) of the paper.
+
+    Parameters
+    ----------
+    matrices:
+        Sequence of square sparse/dense matrices, one per timestamp.
+    timestamps:
+        Time labels, one per matrix, strictly increasing.
+    node_labels:
+        Optional labels for the matrix rows/columns; defaults to ``0..N-1``.
+    directed:
+        When ``False``, each matrix is interpreted as one-sided storage of an
+        undirected snapshot (an edge is traversable both ways even when only
+        one orientation is stored), mirroring the remark after Lemma 1.
+    """
+
+    def __init__(
+        self,
+        matrices: Sequence[sp.spmatrix | np.ndarray],
+        timestamps: Sequence[Time],
+        *,
+        node_labels: Sequence[Node] | None = None,
+        directed: bool = True,
+    ) -> None:
+        if len(matrices) != len(timestamps):
+            raise RepresentationError(
+                f"got {len(matrices)} matrices but {len(timestamps)} timestamps")
+        if len(timestamps) != len(set(timestamps)):
+            raise RepresentationError("timestamps must be distinct")
+        if list(timestamps) != sorted(timestamps):
+            raise RepresentationError("timestamps must be sorted increasingly")
+        if not matrices:
+            raise RepresentationError("at least one snapshot matrix is required")
+
+        csr_list: list[sp.csr_matrix] = []
+        n = None
+        for m in matrices:
+            csr = sp.csr_matrix(m)
+            if csr.shape[0] != csr.shape[1]:
+                raise RepresentationError(f"adjacency matrices must be square, got {csr.shape}")
+            if n is None:
+                n = csr.shape[0]
+            elif csr.shape[0] != n:
+                raise RepresentationError(
+                    f"all adjacency matrices must share the same shape, got {csr.shape} vs {n}")
+            csr = csr.astype(np.int64)
+            csr.setdiag(0)  # self-loops never create activeness (Definition 3)
+            csr.eliminate_zeros()
+            csr.data[:] = 1  # 0/1 adjacency per Eq. (1)
+            csr_list.append(csr)
+
+        self._matrices = csr_list
+        self._timestamps = list(timestamps)
+        self._time_index = {t: k for k, t in enumerate(self._timestamps)}
+        self._directed = bool(directed)
+        self._n = int(n)
+
+        if node_labels is None:
+            node_labels = list(range(self._n))
+        if len(node_labels) != self._n:
+            raise RepresentationError(
+                f"expected {self._n} node labels, got {len(node_labels)}")
+        self._node_labels = list(node_labels)
+        self._node_index: Mapping[Node, int] = {v: i for i, v in enumerate(self._node_labels)}
+        if len(self._node_index) != self._n:
+            raise RepresentationError("node labels must be distinct")
+
+        # cache transposes (CSC views) for in-neighbour queries
+        self._matrices_T = [m.T.tocsr() for m in self._matrices]
+
+    # ------------------------------------------------------------------ #
+    # constructors                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[TemporalEdgeTuple],
+        *,
+        directed: bool = True,
+        node_labels: Sequence[Node] | None = None,
+        timestamps: Sequence[Time] | None = None,
+    ) -> "MatrixSequenceEvolvingGraph":
+        """Build the matrix sequence from ``(u, v, t)`` triples."""
+        triples = list(edges)
+        times = sorted(set(t for _, _, t in triples) | set(timestamps or ()))
+        if not times:
+            raise RepresentationError("cannot build a matrix sequence without timestamps")
+        if node_labels is None:
+            labels = sorted({u for u, _, _ in triples} | {v for _, v, _ in triples}, key=repr)
+        else:
+            labels = list(node_labels)
+        index = {v: i for i, v in enumerate(labels)}
+        n = len(labels)
+        mats = []
+        for t in times:
+            rows = [index[u] for u, v, tt in triples if tt == t]
+            cols = [index[v] for u, v, tt in triples if tt == t]
+            data = np.ones(len(rows), dtype=np.int64)
+            mats.append(sp.csr_matrix((data, (rows, cols)), shape=(n, n)))
+        return cls(mats, times, node_labels=labels, directed=directed)
+
+    # ------------------------------------------------------------------ #
+    # matrix accessors                                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Size of the shared node universe ``N``."""
+        return self._n
+
+    @property
+    def node_labels(self) -> list[Node]:
+        """Node labels indexing matrix rows/columns."""
+        return list(self._node_labels)
+
+    def node_index(self, node: Node) -> int:
+        """Row/column index of ``node`` in every snapshot matrix."""
+        return self._node_index[node]
+
+    def matrix_at(self, time: Time) -> sp.csr_matrix:
+        """The one-sided adjacency matrix ``A[t]`` (CSR, 0/1 entries)."""
+        return self._matrices[self._time_code(time)]
+
+    def matrices(self) -> list[sp.csr_matrix]:
+        """All snapshot matrices in time order."""
+        return list(self._matrices)
+
+    def symmetrized_matrix_at(self, time: Time) -> sp.csr_matrix:
+        """``A[t]`` for directed graphs, ``A[t] + A[t]^T`` (0/1) for undirected ones."""
+        a = self.matrix_at(time)
+        if self._directed:
+            return a
+        s = a + a.T
+        s.data[:] = 1
+        return s.tocsr()
+
+    def _time_code(self, time: Time) -> int:
+        try:
+            return self._time_index[time]
+        except KeyError as exc:
+            raise TimestampNotFoundError(time) from exc
+
+    # ------------------------------------------------------------------ #
+    # BaseEvolvingGraph primitives                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_directed(self) -> bool:
+        return self._directed
+
+    @property
+    def timestamps(self) -> Sequence[Time]:
+        return tuple(self._timestamps)
+
+    def edges_at(self, time: Time) -> Iterator[EdgeTuple]:
+        mat = self.matrix_at(time).tocoo()
+        labels = self._node_labels
+        for i, j in zip(mat.row, mat.col):
+            yield (labels[i], labels[j])
+
+    def out_neighbors_at(self, node: Node, time: Time) -> Iterator[Node]:
+        idx = self._node_index.get(node)
+        if idx is None:
+            return iter(())
+        k = self._time_code(time)
+        labels = self._node_labels
+        row = self._matrices[k].indices[
+            self._matrices[k].indptr[idx]:self._matrices[k].indptr[idx + 1]]
+        out = [labels[j] for j in row]
+        if not self._directed:
+            row_t = self._matrices_T[k].indices[
+                self._matrices_T[k].indptr[idx]:self._matrices_T[k].indptr[idx + 1]]
+            out.extend(labels[j] for j in row_t if labels[j] not in out)
+        return iter(out)
+
+    def in_neighbors_at(self, node: Node, time: Time) -> Iterator[Node]:
+        idx = self._node_index.get(node)
+        if idx is None:
+            return iter(())
+        k = self._time_code(time)
+        labels = self._node_labels
+        row_t = self._matrices_T[k].indices[
+            self._matrices_T[k].indptr[idx]:self._matrices_T[k].indptr[idx + 1]]
+        out = [labels[j] for j in row_t]
+        if not self._directed:
+            row = self._matrices[k].indices[
+                self._matrices[k].indptr[idx]:self._matrices[k].indptr[idx + 1]]
+            out.extend(labels[j] for j in row if labels[j] not in out)
+        return iter(out)
+
+    # ------------------------------------------------------------------ #
+    # fast overrides                                                      #
+    # ------------------------------------------------------------------ #
+
+    def num_static_edges(self) -> int:
+        return int(sum(m.nnz for m in self._matrices))
+
+    def nodes(self) -> set[Node]:
+        present: set[Node] = set()
+        labels = self._node_labels
+        for k in range(len(self._matrices)):
+            coo = self._matrices[k].tocoo()
+            present.update(labels[i] for i in coo.row)
+            present.update(labels[j] for j in coo.col)
+        return present
+
+    def active_nodes_at(self, time: Time) -> set[Node]:
+        k = self._time_code(time)
+        m = self._matrices[k]
+        out_deg = np.asarray(m.sum(axis=1)).ravel()
+        in_deg = np.asarray(m.sum(axis=0)).ravel()
+        active = np.nonzero((out_deg + in_deg) > 0)[0]
+        labels = self._node_labels
+        return {labels[i] for i in active}
+
+    def active_mask_at(self, time: Time) -> np.ndarray:
+        """Boolean mask of length ``N`` marking active node indices at ``time``."""
+        k = self._time_code(time)
+        m = self._matrices[k]
+        out_deg = np.asarray(m.sum(axis=1)).ravel()
+        in_deg = np.asarray(m.sum(axis=0)).ravel()
+        return (out_deg + in_deg) > 0
+
+    # ------------------------------------------------------------------ #
+    # conversion                                                          #
+    # ------------------------------------------------------------------ #
+
+    def to_triples(self) -> list[TemporalEdgeTuple]:
+        """Materialise the graph as ``(u, v, t)`` label triples."""
+        out: list[TemporalEdgeTuple] = []
+        for t in self._timestamps:
+            out.extend((u, v, t) for u, v in self.edges_at(t))
+        return out

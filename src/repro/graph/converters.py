@@ -1,0 +1,84 @@
+"""Conversions between evolving-graph representations.
+
+Every representation in :mod:`repro.graph` can express the same evolving
+graph; the right one depends on the workload (incremental updates, columnar
+bulk processing, algebraic formulations, literal per-snapshot processing).
+The converters below go through the common ``(u, v, t)`` triple form, which
+keeps the number of conversion paths linear in the number of representations
+while preserving directedness and the timestamp universe (including empty
+snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph, Node, TemporalEdgeTuple, Time
+from repro.graph.edge_list import TemporalEdgeList
+from repro.graph.snapshots import SnapshotSequenceEvolvingGraph
+
+__all__ = [
+    "to_triples",
+    "to_adjacency_list",
+    "to_edge_list",
+    "to_matrix_sequence",
+    "to_snapshot_sequence",
+]
+
+
+def to_triples(graph: BaseEvolvingGraph) -> list[TemporalEdgeTuple]:
+    """Extract all ``(u, v, t)`` temporal edges from any representation."""
+    return list(graph.temporal_edges())
+
+
+def to_adjacency_list(graph: BaseEvolvingGraph) -> AdjacencyListEvolvingGraph:
+    """Convert any evolving graph to the adjacency-list representation."""
+    if isinstance(graph, AdjacencyListEvolvingGraph):
+        return graph.copy()
+    return AdjacencyListEvolvingGraph(
+        to_triples(graph),
+        directed=graph.is_directed,
+        timestamps=graph.timestamps,
+    )
+
+
+def to_edge_list(graph: BaseEvolvingGraph) -> TemporalEdgeList:
+    """Convert any evolving graph to the NumPy-backed temporal edge list."""
+    return TemporalEdgeList(
+        to_triples(graph),
+        directed=graph.is_directed,
+        timestamps=graph.timestamps,
+    )
+
+
+def to_matrix_sequence(
+    graph: BaseEvolvingGraph,
+    *,
+    node_labels: Sequence[Node] | None = None,
+) -> MatrixSequenceEvolvingGraph:
+    """Convert any evolving graph to the sparse matrix-sequence representation.
+
+    ``node_labels`` fixes the row/column ordering of the matrices; when
+    omitted, nodes are ordered by their ``repr`` for determinism.
+    """
+    triples = to_triples(graph)
+    if node_labels is None:
+        node_labels = sorted(graph.nodes(), key=repr)
+    return MatrixSequenceEvolvingGraph.from_edges(
+        triples,
+        directed=graph.is_directed,
+        node_labels=node_labels,
+        timestamps=graph.timestamps,
+    )
+
+
+def to_snapshot_sequence(graph: BaseEvolvingGraph) -> SnapshotSequenceEvolvingGraph:
+    """Convert any evolving graph to the snapshot-sequence representation."""
+    out = SnapshotSequenceEvolvingGraph(directed=graph.is_directed)
+    for t in graph.timestamps:
+        snap = out.add_snapshot(t)
+        for u, v in graph.edges_at(t):
+            snap.add_edge(u, v)
+    return out

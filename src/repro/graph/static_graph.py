@@ -1,0 +1,182 @@
+"""A minimal static directed/undirected graph.
+
+The paper's Theorem 1 proves correctness of the evolving-graph BFS by
+exhibiting a 1-1 correspondence with an ordinary BFS on a *static* expanded
+graph ``G = (V, E~ ∪ E')`` whose nodes are the active temporal nodes.  This
+module provides that static graph type together with a textbook BFS, so the
+expansion can serve as an executable oracle in tests and benchmarks.
+
+The type is deliberately small — it is a substrate, not a general-purpose
+graph library — but it supports everything the expansion, the oracle BFS and
+the algebraic formulation need: insertion, neighbour queries, adjacency-matrix
+export and conversion to/from edge lists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import NodeNotFoundError
+
+__all__ = ["StaticGraph", "static_bfs"]
+
+
+class StaticGraph:
+    """A simple static graph with hashable nodes.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs.
+    directed:
+        Whether edges are directed.
+    """
+
+    def __init__(self, edges: Iterable[tuple[Hashable, Hashable]] | None = None,
+                 *, directed: bool = True) -> None:
+        self._directed = bool(directed)
+        self._succ: dict[Hashable, list[Hashable]] = {}
+        self._pred: dict[Hashable, list[Hashable]] = {}
+        self._edges: set[tuple[Hashable, Hashable]] = set()
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # -- construction ---------------------------------------------------- #
+
+    @property
+    def is_directed(self) -> bool:
+        return self._directed
+
+    def add_node(self, v: Hashable) -> None:
+        """Ensure ``v`` exists even if isolated."""
+        self._succ.setdefault(v, [])
+        self._pred.setdefault(v, [])
+
+    def add_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Insert edge ``u -> v`` (both directions when undirected); return True if new."""
+        key = self._canonical(u, v)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        if not self._directed and u != v:
+            self._succ[v].append(u)
+            self._pred[u].append(v)
+        return True
+
+    def add_edges_from(self, edges: Iterable[tuple[Hashable, Hashable]]) -> int:
+        return sum(self.add_edge(u, v) for u, v in edges)
+
+    def _canonical(self, u: Hashable, v: Hashable) -> tuple[Hashable, Hashable]:
+        if self._directed:
+            return (u, v)
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    # -- queries ---------------------------------------------------------- #
+
+    def nodes(self) -> list[Hashable]:
+        return list(self._succ.keys())
+
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        return iter(self._edges)
+
+    def has_node(self, v: Hashable) -> bool:
+        return v in self._succ
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return self._canonical(u, v) in self._edges
+
+    def successors(self, v: Hashable) -> list[Hashable]:
+        if v not in self._succ:
+            raise NodeNotFoundError(v)
+        return list(self._succ[v])
+
+    def predecessors(self, v: Hashable) -> list[Hashable]:
+        if v not in self._pred:
+            raise NodeNotFoundError(v)
+        return list(self._pred[v])
+
+    def out_degree(self, v: Hashable) -> int:
+        if v not in self._succ:
+            raise NodeNotFoundError(v)
+        return len(self._succ[v])
+
+    def in_degree(self, v: Hashable) -> int:
+        if v not in self._pred:
+            raise NodeNotFoundError(v)
+        return len(self._pred[v])
+
+    def reverse(self) -> "StaticGraph":
+        """Return the graph with every edge direction flipped."""
+        rev = StaticGraph(directed=self._directed)
+        for v in self.nodes():
+            rev.add_node(v)
+        for u, v in self._edges:
+            rev.add_edge(v, u)
+        return rev
+
+    # -- matrix export ---------------------------------------------------- #
+
+    def adjacency_matrix(self, order: Sequence[Hashable] | None = None) -> np.ndarray:
+        """Dense 0/1 adjacency matrix with rows/columns in ``order``.
+
+        When ``order`` is omitted the insertion order of nodes is used.  For
+        undirected graphs the matrix is symmetric.
+        """
+        if order is None:
+            order = self.nodes()
+        index: Mapping[Hashable, int] = {v: i for i, v in enumerate(order)}
+        missing = [v for v in self._succ if v not in index]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        n = len(order)
+        mat = np.zeros((n, n), dtype=np.int64)
+        for u, v in self._edges:
+            mat[index[u], index[v]] = 1
+            if not self._directed:
+                mat[index[v], index[u]] = 1
+        return mat
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<StaticGraph nodes={self.num_nodes()} edges={self.num_edges()} "
+                f"directed={self._directed}>")
+
+
+def static_bfs(graph: StaticGraph, root: Hashable) -> dict[Hashable, int]:
+    """Textbook BFS on a static graph: shortest hop-distance from ``root``.
+
+    This is the classical algorithm the paper's Algorithm 1 reduces to via the
+    Theorem-1 expansion; it serves as the correctness oracle in the test
+    suite.
+
+    Returns
+    -------
+    dict
+        ``{node: distance}`` for every node reachable from ``root``
+        (including ``root`` itself at distance 0).
+    """
+    if not graph.has_node(root):
+        raise NodeNotFoundError(root)
+    reached: dict[Hashable, int] = {root: 0}
+    frontier: deque[Hashable] = deque([root])
+    while frontier:
+        u = frontier.popleft()
+        d = reached[u]
+        for w in graph.successors(u):
+            if w not in reached:
+                reached[w] = d + 1
+                frontier.append(w)
+    return reached

@@ -1,0 +1,25 @@
+"""Input/output: temporal edge-list files and JSON (de)serialisation."""
+
+from repro.io.edge_list_io import (
+    parse_temporal_edge_lines,
+    read_temporal_edge_list,
+    write_temporal_edge_list,
+)
+from repro.io.serialization import (
+    bfs_result_to_dict,
+    evolving_graph_from_dict,
+    evolving_graph_to_dict,
+    load_evolving_graph,
+    save_evolving_graph,
+)
+
+__all__ = [
+    "read_temporal_edge_list",
+    "write_temporal_edge_list",
+    "parse_temporal_edge_lines",
+    "evolving_graph_to_dict",
+    "evolving_graph_from_dict",
+    "save_evolving_graph",
+    "load_evolving_graph",
+    "bfs_result_to_dict",
+]

@@ -1,0 +1,100 @@
+"""Reading and writing temporal edge lists.
+
+The de-facto interchange format for temporal graphs (used by SNAP, Koblenz /
+KONECT and most published datasets) is a plain text file with one edge per
+line: ``source destination timestamp``, whitespace- or comma-separated,
+optionally with comment lines starting with ``#`` or ``%``.  These routines
+read and write that format, preserving integer node/timestamp labels when
+possible and falling back to strings otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.exceptions import IOFormatError
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph, TemporalEdgeTuple
+
+__all__ = ["read_temporal_edge_list", "write_temporal_edge_list", "parse_temporal_edge_lines"]
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _coerce(token: str):
+    """Interpret a token as int, then float, then string."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def parse_temporal_edge_lines(
+    lines: Iterable[str],
+    *,
+    delimiter: str | None = None,
+) -> list[TemporalEdgeTuple]:
+    """Parse an iterable of text lines into ``(u, v, t)`` triples.
+
+    Blank lines and comment lines (``#``, ``%``, ``//``) are skipped.  Lines
+    with more than three fields keep only the first three (extra columns such
+    as edge weights are ignored); lines with fewer than three raise
+    :class:`IOFormatError`.
+    """
+    triples: list[TemporalEdgeTuple] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        parts = line.split(delimiter) if delimiter else line.replace(",", " ").split()
+        if len(parts) < 3:
+            raise IOFormatError(
+                f"line {line_number}: expected 'source destination timestamp', got {raw!r}")
+        u, v, t = (_coerce(p) for p in parts[:3])
+        triples.append((u, v, t))
+    return triples
+
+
+def read_temporal_edge_list(
+    path: str | Path | TextIO,
+    *,
+    directed: bool = True,
+    delimiter: str | None = None,
+) -> AdjacencyListEvolvingGraph:
+    """Read a temporal edge-list file into an evolving graph."""
+    if isinstance(path, (str, Path)):
+        with open(path, "r", encoding="utf-8") as handle:
+            triples = parse_temporal_edge_lines(handle, delimiter=delimiter)
+    else:
+        triples = parse_temporal_edge_lines(path, delimiter=delimiter)
+    return AdjacencyListEvolvingGraph(triples, directed=directed)
+
+
+def write_temporal_edge_list(
+    graph: BaseEvolvingGraph,
+    path: str | Path | TextIO,
+    *,
+    delimiter: str = "\t",
+    header: bool = True,
+) -> int:
+    """Write an evolving graph as a temporal edge list; returns the number of edges written."""
+    def _write(handle: TextIO) -> int:
+        count = 0
+        if header:
+            handle.write(f"# temporal edge list: source{delimiter}destination{delimiter}timestamp\n")
+            handle.write(f"# directed={graph.is_directed}\n")
+        for u, v, t in graph.temporal_edges():
+            handle.write(f"{u}{delimiter}{v}{delimiter}{t}\n")
+            count += 1
+        return count
+
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="utf-8") as handle:
+            return _write(handle)
+    return _write(path)

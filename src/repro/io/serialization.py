@@ -1,0 +1,135 @@
+"""JSON (de)serialisation of evolving graphs and BFS results.
+
+A small, dependency-free persistence layer so experiments can checkpoint
+their inputs and outputs (the benchmark harness stores measured scaling
+curves this way).  The format is intentionally simple and explicit:
+
+.. code-block:: json
+
+    {
+      "format": "repro-evolving-graph",
+      "version": 1,
+      "directed": true,
+      "timestamps": ["t1", "t2"],
+      "edges": [["1", "2", "t1"], ...],
+      "label_types": {"nodes": "int", "times": "str"}
+    }
+
+Node and timestamp labels are stored as strings together with a type tag so
+integer labels round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.core.bfs import BFSResult
+from repro.exceptions import IOFormatError
+from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph
+
+__all__ = [
+    "evolving_graph_to_dict",
+    "evolving_graph_from_dict",
+    "save_evolving_graph",
+    "load_evolving_graph",
+    "bfs_result_to_dict",
+]
+
+_FORMAT = "repro-evolving-graph"
+_VERSION = 1
+
+
+def _label_type(values) -> str:
+    types = {type(v) for v in values}
+    if types <= {int}:
+        return "int"
+    if types <= {float, int}:
+        return "float"
+    return "str"
+
+
+def _encode(value) -> str:
+    return str(value)
+
+
+def _decode(value: str, kind: str):
+    if kind == "int":
+        return int(value)
+    if kind == "float":
+        return float(value)
+    return value
+
+
+def evolving_graph_to_dict(graph: BaseEvolvingGraph) -> dict[str, Any]:
+    """Serialise an evolving graph to a JSON-compatible dictionary."""
+    nodes = sorted(graph.nodes(), key=repr)
+    times = list(graph.timestamps)
+    node_kind = _label_type(nodes) if nodes else "int"
+    time_kind = _label_type(times) if times else "int"
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "directed": graph.is_directed,
+        "timestamps": [_encode(t) for t in times],
+        "edges": [[_encode(u), _encode(v), _encode(t)] for u, v, t in graph.temporal_edges()],
+        "label_types": {"nodes": node_kind, "times": time_kind},
+    }
+
+
+def evolving_graph_from_dict(data: dict[str, Any]) -> AdjacencyListEvolvingGraph:
+    """Reconstruct an evolving graph from :func:`evolving_graph_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise IOFormatError(f"not a {_FORMAT} document: format={data.get('format')!r}")
+    if int(data.get("version", -1)) != _VERSION:
+        raise IOFormatError(f"unsupported version {data.get('version')!r}")
+    label_types = data.get("label_types", {})
+    node_kind = label_types.get("nodes", "str")
+    time_kind = label_types.get("times", "str")
+    timestamps = [_decode(t, time_kind) for t in data.get("timestamps", [])]
+    edges = [
+        (_decode(u, node_kind), _decode(v, node_kind), _decode(t, time_kind))
+        for u, v, t in data.get("edges", [])
+    ]
+    return AdjacencyListEvolvingGraph(
+        edges, directed=bool(data.get("directed", True)), timestamps=timestamps)
+
+
+def save_evolving_graph(graph: BaseEvolvingGraph, path: str | Path | TextIO) -> None:
+    """Write an evolving graph as JSON to ``path`` (file path or open text handle)."""
+    data = evolving_graph_to_dict(graph)
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+    else:
+        json.dump(data, path, indent=2)
+
+
+def load_evolving_graph(path: str | Path | TextIO) -> AdjacencyListEvolvingGraph:
+    """Load an evolving graph saved by :func:`save_evolving_graph`."""
+    if isinstance(path, (str, Path)):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(path)
+    return evolving_graph_from_dict(data)
+
+
+def bfs_result_to_dict(result: BFSResult) -> dict[str, Any]:
+    """Serialise a BFS result (root, distances) to a JSON-compatible dictionary."""
+    root = result.root
+    if root and isinstance(root, tuple) and root and isinstance(root[0], tuple):
+        root_repr: Any = [[_encode(v), _encode(t)] for v, t in root]
+    else:
+        root_repr = [_encode(root[0]), _encode(root[1])]
+    return {
+        "format": "repro-bfs-result",
+        "version": 1,
+        "root": root_repr,
+        "reached": [
+            {"node": _encode(v), "time": _encode(t), "distance": d}
+            for (v, t), d in sorted(result.reached.items(), key=lambda kv: (kv[1], repr(kv[0])))
+        ],
+    }

@@ -1,0 +1,27 @@
+"""Sparse linear-algebra substrate used by the algebraic BFS.
+
+* :class:`~repro.linalg.csr.CSRMatrix` — transparent CSR/CSC kernels with
+  explicit operation counters (the cost model of Theorems 5/6).
+* :class:`~repro.linalg.block_operator.BlockTriangularOperator` — matrix-free
+  action of the block matrix ``M_n`` / ``M_n^T`` on block vectors.
+* :mod:`~repro.linalg.nilpotence` — nilpotence checks backing Lemma 1.
+"""
+
+from repro.linalg.block_operator import BlockTriangularOperator
+from repro.linalg.csr import CSRMatrix, OperationCounter
+from repro.linalg.nilpotence import (
+    is_nilpotent,
+    is_strictly_upper_triangular,
+    nilpotency_index,
+    topological_order,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "OperationCounter",
+    "BlockTriangularOperator",
+    "is_nilpotent",
+    "is_strictly_upper_triangular",
+    "nilpotency_index",
+    "topological_order",
+]

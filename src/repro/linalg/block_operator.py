@@ -1,0 +1,197 @@
+"""Matrix-free block upper-triangular operator for the algebraic BFS.
+
+Section III-C stresses that the block matrix ``A_n`` "need never be
+instantiated for practical computations": Algorithm 2 only requires the
+action of ``A_n^T`` on a block vector, which decomposes into per-snapshot
+sparse mat-vecs (the diagonal blocks ``A[t]``) plus activeness masks (the
+causal off-diagonal blocks ``M[s, t]``, applied through the ``⊙`` product).
+
+:class:`BlockTriangularOperator` packages exactly that action.  It works with
+either SciPy CSR matrices or the instrumented
+:class:`~repro.linalg.csr.CSRMatrix`, and exposes ``matvec`` / ``rmatvec`` on
+*block vectors* (a list of per-timestamp components) as well as on flat
+concatenated vectors, so it can be compared entry-for-entry against the
+materialised matrix in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import RepresentationError
+from repro.linalg.csr import CSRMatrix
+
+__all__ = ["BlockTriangularOperator"]
+
+
+class BlockTriangularOperator:
+    """The operator ``A_n`` (and ``A_n^T``) acting on block vectors, never materialised.
+
+    Parameters
+    ----------
+    diagonal_blocks:
+        Per-timestamp adjacency matrices ``A[t]`` over a shared node universe
+        of size ``N`` (SciPy sparse, dense arrays, or :class:`CSRMatrix`).
+    active_masks:
+        Optional boolean masks (length ``N``) of the nodes active at each
+        timestamp; computed from the blocks when omitted.  The causal block
+        ``M[s, t]`` is the diagonal 0/1 matrix ``diag(active[s] & active[t])``.
+    """
+
+    def __init__(
+        self,
+        diagonal_blocks: Sequence[sp.spmatrix | np.ndarray | CSRMatrix],
+        active_masks: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        if not diagonal_blocks:
+            raise RepresentationError("at least one diagonal block is required")
+        self._blocks: list[sp.csr_matrix] = []
+        n = None
+        for block in diagonal_blocks:
+            if isinstance(block, CSRMatrix):
+                csr = block.to_scipy()
+            else:
+                csr = sp.csr_matrix(block)
+            if csr.shape[0] != csr.shape[1]:
+                raise RepresentationError("diagonal blocks must be square")
+            if n is None:
+                n = csr.shape[0]
+            elif csr.shape[0] != n:
+                raise RepresentationError("all diagonal blocks must share the same shape")
+            self._blocks.append(csr)
+        self._n = int(n)
+        self._k = len(self._blocks)
+
+        if active_masks is None:
+            active_masks = []
+            for csr in self._blocks:
+                out_deg = np.asarray(np.abs(csr).sum(axis=1)).ravel()
+                in_deg = np.asarray(np.abs(csr).sum(axis=0)).ravel()
+                active_masks.append((out_deg + in_deg) > 0)
+        else:
+            active_masks = [np.asarray(m, dtype=bool) for m in active_masks]
+            if len(active_masks) != self._k:
+                raise RepresentationError("one active mask per diagonal block is required")
+            for m in active_masks:
+                if m.shape[0] != self._n:
+                    raise RepresentationError("active masks must have length N")
+        self._active = active_masks
+        self._blocks_T = [b.T.tocsr() for b in self._blocks]
+
+    # ------------------------------------------------------------------ #
+    # shape information                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_timestamps(self) -> int:
+        """Number of diagonal blocks (timestamps)."""
+        return self._k
+
+    @property
+    def block_size(self) -> int:
+        """Size ``N`` of the shared node universe."""
+        return self._n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the (virtual) full matrix ``M_n``: ``(N·k, N·k)``."""
+        total = self._n * self._k
+        return (total, total)
+
+    def active_mask(self, block_index: int) -> np.ndarray:
+        """Boolean activeness mask of timestamp ``block_index``."""
+        return self._active[block_index]
+
+    # ------------------------------------------------------------------ #
+    # block-vector helpers                                                #
+    # ------------------------------------------------------------------ #
+
+    def zero_block_vector(self, dtype=np.float64) -> list[np.ndarray]:
+        """A block vector of zeros (one length-``N`` component per timestamp)."""
+        return [np.zeros(self._n, dtype=dtype) for _ in range(self._k)]
+
+    def split(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Split a flat length-``N·k`` vector into per-timestamp components."""
+        flat = np.asarray(flat)
+        if flat.shape[0] != self._n * self._k:
+            raise RepresentationError(
+                f"expected a vector of length {self._n * self._k}, got {flat.shape[0]}")
+        return [flat[i * self._n:(i + 1) * self._n].copy() for i in range(self._k)]
+
+    def concatenate(self, blocks: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-timestamp components into a flat vector."""
+        if len(blocks) != self._k:
+            raise RepresentationError(f"expected {self._k} components, got {len(blocks)}")
+        return np.concatenate([np.asarray(b) for b in blocks])
+
+    # ------------------------------------------------------------------ #
+    # operator action                                                     #
+    # ------------------------------------------------------------------ #
+
+    def rmatvec_blocks(self, blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Apply ``M_n^T`` to a block vector: one BFS expansion step.
+
+        ``out[t] = A[t]^T · blocks[t]  +  Σ_{s < t} diag(active[s] & active[t]) · blocks[s]``
+        """
+        if len(blocks) != self._k:
+            raise RepresentationError(f"expected {self._k} components, got {len(blocks)}")
+        out: list[np.ndarray] = []
+        for j in range(self._k):
+            component = self._blocks_T[j] @ np.asarray(blocks[j], dtype=np.float64)
+            for i in range(j):
+                b_i = np.asarray(blocks[i], dtype=np.float64)
+                if b_i.any():
+                    mask = self._active[i] & self._active[j]
+                    component = component + np.where(mask, b_i, 0.0)
+            out.append(component)
+        return out
+
+    def matvec_blocks(self, blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Apply ``M_n`` to a block vector.
+
+        ``out[s] = A[s] · blocks[s]  +  Σ_{t > s} diag(active[s] & active[t]) · blocks[t]``
+        """
+        if len(blocks) != self._k:
+            raise RepresentationError(f"expected {self._k} components, got {len(blocks)}")
+        out: list[np.ndarray] = []
+        for i in range(self._k):
+            component = self._blocks[i] @ np.asarray(blocks[i], dtype=np.float64)
+            for j in range(i + 1, self._k):
+                b_j = np.asarray(blocks[j], dtype=np.float64)
+                if b_j.any():
+                    mask = self._active[i] & self._active[j]
+                    component = component + np.where(mask, b_j, 0.0)
+            out.append(component)
+        return out
+
+    def matvec(self, flat: np.ndarray) -> np.ndarray:
+        """Apply ``M_n`` to a flat length-``N·k`` vector."""
+        return self.concatenate(self.matvec_blocks(self.split(flat)))
+
+    def rmatvec(self, flat: np.ndarray) -> np.ndarray:
+        """Apply ``M_n^T`` to a flat length-``N·k`` vector."""
+        return self.concatenate(self.rmatvec_blocks(self.split(flat)))
+
+    # ------------------------------------------------------------------ #
+    # materialisation (testing / small examples only)                     #
+    # ------------------------------------------------------------------ #
+
+    def materialize(self) -> sp.csr_matrix:
+        """Assemble the full ``M_n`` explicitly (for tests and small examples)."""
+        n, k = self._n, self._k
+        blocks: list[list[sp.spmatrix]] = []
+        for i in range(k):
+            row: list[sp.spmatrix] = []
+            for j in range(k):
+                if i == j:
+                    row.append(self._blocks[i])
+                elif i < j:
+                    mask = (self._active[i] & self._active[j]).astype(np.float64)
+                    row.append(sp.diags(mask, format="csr"))
+                else:
+                    row.append(sp.csr_matrix((n, n)))
+            blocks.append(row)
+        return sp.bmat(blocks, format="csr")

@@ -1,0 +1,22 @@
+"""Parallel execution helpers (extension beyond the paper's single-core experiment).
+
+* :func:`~repro.parallel.frontier.parallel_evolving_bfs` — level-synchronous
+  parallel BFS (thread pool, identical results to Algorithm 1).
+* :func:`~repro.parallel.batch.batch_bfs` — many independent searches over a
+  shared graph with serial / thread / process backends.
+* :mod:`~repro.parallel.partition` — frontier chunking and time-based graph
+  partitioning utilities.
+"""
+
+from repro.parallel.batch import batch_bfs, map_over_roots
+from repro.parallel.frontier import parallel_evolving_bfs
+from repro.parallel.partition import chunk_by_weight, chunk_evenly, partition_timestamps
+
+__all__ = [
+    "parallel_evolving_bfs",
+    "batch_bfs",
+    "map_over_roots",
+    "chunk_evenly",
+    "chunk_by_weight",
+    "partition_timestamps",
+]

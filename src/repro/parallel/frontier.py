@@ -1,0 +1,107 @@
+"""Level-synchronous parallel BFS over evolving graphs.
+
+The BFS of Algorithm 1 is embarrassingly parallel *within* a level: each
+frontier node's forward neighbours can be computed independently, and the
+merge (deduplication against the visited set) is a cheap reduction.  This
+module provides a thread-pool implementation of that scheme.
+
+A note on fidelity (and the GIL)
+--------------------------------
+The paper's implementation is single-threaded Julia; its measured claim
+(Figure 5) is about *linear scaling in the number of edges*, not about
+parallel speed-up, so the serial :func:`repro.core.bfs.evolving_bfs` is the
+primary reproduction target.  CPython's GIL means the thread-pool variant
+here mostly overlaps bookkeeping rather than achieving true multi-core
+traversal of hash-map adjacency structures; it exists (a) to document the
+level-synchronous decomposition, (b) to provide a correctness-checked
+parallel code path whose speed-up can be measured honestly in the ablation
+benchmark ``bench_parallel.py``, and (c) so the library can transparently
+benefit on GIL-free builds of CPython.  Process pools are intentionally not
+used for the inner loop: pickling a large evolving graph to worker processes
+costs far more than the traversal itself.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+from repro.core.bfs import BFSResult
+from repro.exceptions import GraphError
+from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+from repro.parallel.partition import chunk_evenly
+
+__all__ = ["parallel_evolving_bfs"]
+
+
+def _expand_chunk(
+    graph: BaseEvolvingGraph,
+    chunk: list[TemporalNodeTuple],
+) -> list[TemporalNodeTuple]:
+    """Expand one frontier chunk; returns candidate neighbours (possibly duplicated)."""
+    out: list[TemporalNodeTuple] = []
+    for v, t in chunk:
+        out.extend(graph.forward_neighbors(v, t))
+    return out
+
+
+def parallel_evolving_bfs(
+    graph: BaseEvolvingGraph,
+    root: TemporalNodeTuple,
+    *,
+    num_workers: int = 4,
+    min_chunk_size: int = 64,
+    track_frontiers: bool = False,
+) -> BFSResult:
+    """Level-synchronous parallel BFS; produces exactly the same result as Algorithm 1.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker threads.  With ``num_workers=1`` the implementation
+        degenerates to the serial algorithm (no executor is created).
+    min_chunk_size:
+        Frontiers smaller than ``num_workers * min_chunk_size`` are expanded
+        serially: for small frontiers the fork/join overhead dominates any
+        benefit, and most BFS levels on sparse graphs are small.
+    track_frontiers:
+        Record the per-level frontier lists in the result.
+    """
+    if num_workers < 1:
+        raise GraphError("num_workers must be at least 1")
+    root = (root[0], root[1])
+    graph.require_active(*root)
+
+    reached: dict[TemporalNodeTuple, int] = {root: 0}
+    frontiers: list[list[TemporalNodeTuple]] = [[root]] if track_frontiers else []
+    frontier: list[TemporalNodeTuple] = [root]
+    k = 1
+
+    executor: ThreadPoolExecutor | None = None
+    try:
+        if num_workers > 1:
+            executor = ThreadPoolExecutor(max_workers=num_workers)
+        while frontier:
+            if executor is not None and len(frontier) >= num_workers * min_chunk_size:
+                chunks = chunk_evenly(frontier, num_workers)
+                futures = [executor.submit(_expand_chunk, graph, chunk) for chunk in chunks]
+                candidate_lists: Iterable[list[TemporalNodeTuple]] = (
+                    f.result() for f in futures)
+            else:
+                candidate_lists = [_expand_chunk(graph, frontier)]
+
+            next_frontier: list[TemporalNodeTuple] = []
+            for candidates in candidate_lists:
+                for neighbor in candidates:
+                    if neighbor not in reached:
+                        reached[neighbor] = k
+                        next_frontier.append(neighbor)
+            if track_frontiers and next_frontier:
+                frontiers.append(next_frontier)
+            frontier = next_frontier
+            k += 1
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    return BFSResult(root=root, reached=reached, frontiers=frontiers)

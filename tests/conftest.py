@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets
+from repro.generators import (
+    generate_citation_network,
+    preferential_attachment_evolving,
+    random_evolving_graph,
+)
+from repro.graph import AdjacencyListEvolvingGraph
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure-1 evolving digraph."""
+    return datasets.figure1_graph()
+
+
+@pytest.fixture
+def figure1_undirected():
+    """The Figure-1 edges interpreted as an undirected evolving graph."""
+    return AdjacencyListEvolvingGraph(
+        [(1, 2, "t1"), (1, 3, "t2"), (2, 3, "t3")],
+        directed=False,
+        timestamps=["t1", "t2", "t3"],
+    )
+
+
+@pytest.fixture
+def diamond_graph():
+    """A 4-node evolving graph with two disjoint routes of equal length.
+
+    Edges: 0->1 and 0->2 at time 0; 1->3 and 2->3 at time 1.  From (0, 0) the
+    temporal node (3, 1) is reachable at distance 3 (one causal hop included)
+    through either route; useful for checking that path counting sees both.
+    """
+    return AdjacencyListEvolvingGraph(
+        [(0, 1, 0), (0, 2, 0), (1, 3, 1), (2, 3, 1)],
+        directed=True,
+        timestamps=[0, 1],
+    )
+
+
+@pytest.fixture
+def cyclic_snapshot_graph():
+    """An evolving graph whose first snapshot contains a directed cycle (0->1->2->0)."""
+    return AdjacencyListEvolvingGraph(
+        [(0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 1)],
+        directed=True,
+        timestamps=[0, 1],
+    )
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two evolving components that never interact."""
+    return AdjacencyListEvolvingGraph(
+        [(0, 1, 0), (1, 2, 1), (10, 11, 0), (11, 12, 1)],
+        directed=True,
+        timestamps=[0, 1],
+    )
+
+
+@pytest.fixture
+def small_random_graph():
+    """A modest random evolving graph used by integration-style unit tests."""
+    return random_evolving_graph(60, 4, 200, seed=7)
+
+
+@pytest.fixture
+def medium_random_graph():
+    """A larger random evolving graph for cross-implementation checks."""
+    return random_evolving_graph(250, 6, 1200, seed=11)
+
+
+@pytest.fixture
+def pa_graph():
+    """Preferential-attachment evolving graph (heavy-tailed degrees)."""
+    return preferential_attachment_evolving(80, 5, edges_per_node=2, seed=5)
+
+
+@pytest.fixture(scope="session")
+def citation_network():
+    """A session-scoped synthetic citation network (generation is the slow part)."""
+    return generate_citation_network(
+        10, initial_authors=12, new_authors_per_epoch=6, seed=42)
+
+
+def first_active_root(graph):
+    """Deterministic helper: the first active temporal node of a graph."""
+    for t in graph.timestamps:
+        active = graph.active_nodes_at(t)
+        if active:
+            return (min(active, key=repr), t)
+    raise ValueError("graph has no active temporal nodes")

@@ -1,0 +1,205 @@
+"""Unit tests for alternative path notions, temporal centralities and comparison baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    aggregate_pagerank,
+    average_temporal_distance,
+    broadcast_centrality,
+    communicability_matrix,
+    count_dynamic_walks,
+    earliest_arrival_time,
+    evolving_pagerank,
+    fewest_spatial_hops,
+    latest_departure_time,
+    receive_centrality,
+    snapshot_pagerank,
+    temporal_betweenness_sampled,
+    temporal_closeness,
+    temporal_distance_tang,
+    temporal_efficiency,
+    temporal_in_reach,
+    temporal_katz,
+    temporal_out_reach,
+)
+from repro.core import temporal_distance
+from repro.exceptions import ConvergenceError
+from repro.graph import AdjacencyListEvolvingGraph
+
+
+class TestAlternativePathNotions:
+    def test_earliest_arrival(self, figure1):
+        assert earliest_arrival_time(figure1, (1, "t1"), 3) == "t2"
+        assert earliest_arrival_time(figure1, (1, "t1"), 1) == "t1"
+        assert earliest_arrival_time(figure1, (3, "t2"), 1) is None
+        assert earliest_arrival_time(figure1, (3, "t1"), 2) is None
+
+    def test_fewest_spatial_hops_ignores_causal_hops(self, figure1):
+        # paper distance is 3; only one static edge needs to be crossed... actually 2:
+        # (1,t1) -> (1,t2) [causal] -> (3,t2) [static] -> (3,t3) [causal]: 1 static hop
+        assert fewest_spatial_hops(figure1, (1, "t1"), (3, "t3")) == 1
+        assert temporal_distance(figure1, (1, "t1"), (3, "t3")) == 3
+
+    def test_fewest_spatial_hops_same_node_over_time(self, figure1):
+        assert fewest_spatial_hops(figure1, (1, "t1"), (1, "t2")) == 0
+
+    def test_fewest_spatial_hops_unreachable(self, disconnected_graph):
+        assert fewest_spatial_hops(disconnected_graph, (0, 0), (10, 0)) is None
+
+    def test_fewest_spatial_hops_inactive_source(self, figure1):
+        assert fewest_spatial_hops(figure1, (3, "t1"), (3, "t3")) is None
+
+    def test_latest_departure(self, figure1):
+        # to reach (3, t3), node 1 can leave no later than t2
+        assert latest_departure_time(figure1, 1, (3, "t3")) == "t2"
+        assert latest_departure_time(figure1, 2, (3, "t3")) == "t3"
+        assert latest_departure_time(figure1, 3, (1, "t1")) is None
+
+    def test_latest_departure_inactive_target(self, figure1):
+        assert latest_departure_time(figure1, 1, (3, "t1")) is None
+
+
+class TestTangDistance:
+    def test_counts_time_steps_not_hops(self, figure1):
+        # from node 1 starting at t1: node 2 informed during the first snapshot
+        assert temporal_distance_tang(figure1, 1, 2) == 1
+        # node 3 informed during the second snapshot (edge 1->3 at t2)
+        assert temporal_distance_tang(figure1, 1, 3) == 2
+
+    def test_same_node_zero(self, figure1):
+        assert temporal_distance_tang(figure1, 1, 1) == 0
+
+    def test_unreachable_none(self, figure1):
+        assert temporal_distance_tang(figure1, 3, 1) is None
+
+    def test_start_time_offset(self, figure1):
+        assert temporal_distance_tang(figure1, 1, 3, start_time="t2") == 1
+        assert temporal_distance_tang(figure1, 1, 3, start_time="bogus") is None
+
+    def test_horizon_allows_multi_hop_within_snapshot(self):
+        g = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 0)])
+        # horizon=2 lets the message cross both edges within the single snapshot
+        assert temporal_distance_tang(g, 0, 2, horizon=2) == 1
+        # horizon=1 allows only one edge per snapshot, and there is only one snapshot
+        assert temporal_distance_tang(g, 0, 2, horizon=1) is None
+        assert temporal_distance_tang(g, 0, 1, horizon=1) == 1
+
+    def test_average_and_efficiency(self, figure1):
+        avg = average_temporal_distance(figure1)
+        eff = temporal_efficiency(figure1)
+        assert avg >= 1.0
+        assert 0.0 < eff < 1.0
+
+    def test_efficiency_empty_graph(self):
+        g = AdjacencyListEvolvingGraph(timestamps=[0])
+        assert np.isnan(temporal_efficiency(g))
+        assert np.isnan(average_temporal_distance(g))
+
+
+class TestDynamicWalks:
+    def test_communicability_matrix_shape(self, figure1):
+        q, labels = communicability_matrix(figure1, alpha=0.3)
+        assert q.shape == (3, 3)
+        assert labels == [1, 2, 3]
+
+    def test_alpha_too_large_raises(self, cyclic_snapshot_graph):
+        with pytest.raises(ConvergenceError):
+            communicability_matrix(cyclic_snapshot_graph, alpha=1.5)
+
+    def test_broadcast_and_receive_centralities(self, figure1):
+        b = broadcast_centrality(figure1, alpha=0.3)
+        r = receive_centrality(figure1, alpha=0.3)
+        # node 1 only broadcasts, node 3 only receives
+        assert b[1] > b[3]
+        assert r[3] > r[1]
+
+    def test_dynamic_walks_count_waiting_for_free(self, figure1):
+        # dynamic walks from 1 to 3: wait-then-move conventions give 2 routes
+        assert count_dynamic_walks(figure1, 1, 3) == 2
+        # but also count the 'linger on inactive node' route that temporal paths forbid:
+        g = AdjacencyListEvolvingGraph(
+            [(1, 2, "t1"), (1, 3, "t2"), (2, 3, "t3"), (3, 4, "t3")],
+            timestamps=["t1", "t2", "t3"])
+        assert count_dynamic_walks(g, 3, 4) >= 1
+
+    def test_dynamic_walks_same_node(self, figure1):
+        assert count_dynamic_walks(figure1, 1, 1) == 1  # the empty walk
+
+
+class TestPageRank:
+    def test_snapshot_pagerank_sums_to_one(self, figure1):
+        scores = snapshot_pagerank(figure1, "t1")
+        assert scores and abs(sum(scores.values()) - 1.0) < 1e-8
+
+    def test_sink_node_gets_high_rank(self):
+        g = AdjacencyListEvolvingGraph([(0, 2, 0), (1, 2, 0)])
+        scores = snapshot_pagerank(g, 0)
+        assert scores[2] > scores[0]
+        assert scores[2] > scores[1]
+
+    def test_evolving_pagerank_per_snapshot(self, figure1):
+        history = evolving_pagerank(figure1)
+        assert set(history) == {"t1", "t2", "t3"}
+        for scores in history.values():
+            assert abs(sum(scores.values()) - 1.0) < 1e-8
+
+    def test_warm_start_matches_cold_start(self, small_random_graph):
+        warm = evolving_pagerank(small_random_graph, warm_start=True)
+        cold = evolving_pagerank(small_random_graph, warm_start=False)
+        for t in small_random_graph.timestamps:
+            for node in warm[t]:
+                assert warm[t][node] == pytest.approx(cold[t][node], abs=1e-6)
+
+    def test_aggregate_pagerank(self, figure1):
+        scores = aggregate_pagerank(figure1)
+        assert abs(sum(scores.values()) - 1.0) < 1e-8
+        assert scores[3] > scores[1]
+
+    def test_nonconvergence_raises(self, figure1):
+        with pytest.raises(ConvergenceError):
+            snapshot_pagerank(figure1, "t1", max_iterations=1, tol=1e-16)
+
+
+class TestTemporalCentrality:
+    def test_out_and_in_reach(self, figure1):
+        out_reach = temporal_out_reach(figure1)
+        in_reach = temporal_in_reach(figure1)
+        assert out_reach[(1, "t1")] == 2
+        assert out_reach[(3, "t3")] == 0
+        assert in_reach[(3, "t3")] == 2
+        assert in_reach[(1, "t1")] == 0
+
+    def test_closeness_bounds(self, figure1):
+        closeness = temporal_closeness(figure1)
+        assert all(0.0 <= c <= 1.0 for c in closeness.values())
+        assert closeness[(1, "t1")] > closeness[(3, "t3")]
+
+    def test_betweenness_sampled(self, medium_random_graph):
+        scores = temporal_betweenness_sampled(medium_random_graph, num_samples=50, seed=0)
+        assert all(v >= 0 for v in scores.values())
+
+    def test_betweenness_empty_for_tiny_graph(self):
+        g = AdjacencyListEvolvingGraph([(0, 1, 0)])
+        scores = temporal_betweenness_sampled(g, num_samples=10, seed=0)
+        assert scores == {}
+
+    def test_katz_monotone_in_reachability(self, figure1):
+        katz = temporal_katz(figure1, alpha=0.5)
+        # (3, t3) terminates the most paths, (1, t1) none
+        assert katz[(3, "t3")] > katz[(3, "t2")]
+        assert katz[(1, "t1")] == 0.0
+
+    def test_katz_empty_graph(self):
+        g = AdjacencyListEvolvingGraph(timestamps=[0])
+        assert temporal_katz(g) == {}
+
+    def test_katz_diverges_on_cycles_with_large_alpha(self, cyclic_snapshot_graph):
+        with pytest.raises(ConvergenceError):
+            temporal_katz(cyclic_snapshot_graph, alpha=2.0, max_terms=500)
+
+    def test_katz_converges_on_cycles_with_small_alpha(self, cyclic_snapshot_graph):
+        scores = temporal_katz(cyclic_snapshot_graph, alpha=0.1, max_terms=2000)
+        assert all(np.isfinite(v) for v in scores.values())

@@ -1,0 +1,115 @@
+"""Unit tests for Algorithm 2 (algebraic BFS) and the ⊙ product."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    activeness_mask,
+    algebraic_bfs,
+    algebraic_bfs_blocked,
+    build_block_adjacency,
+    evolving_bfs,
+    forward_neighbors_algebraic,
+    odot,
+)
+from repro.exceptions import InactiveNodeError
+from repro.graph import AdjacencyListEvolvingGraph, to_matrix_sequence
+from tests.conftest import first_active_root
+
+
+class TestOdot:
+    def test_mask_keeps_active_components(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        a2 = mats.matrix_at("t2")
+        b = np.array([1, 1, 1])
+        # active nodes at t2 are 1 and 3 (indices 0 and 2)
+        assert odot(a2, b).tolist() == [1, 0, 1]
+
+    def test_zero_vector_for_inactive_node(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        a3 = mats.matrix_at("t3")
+        e1 = np.array([1, 0, 0])  # node 1 is inactive at t3
+        assert not odot(a3, e1).any()
+
+    def test_activeness_mask_left_and_right(self):
+        # node 0 only appears as a source, node 1 only as a destination: both active
+        m = np.array([[0, 1], [0, 0]])
+        assert activeness_mask(m).tolist() == [True, True]
+
+    def test_activeness_mask_isolated(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = 1
+        assert activeness_mask(m).tolist() == [True, True, False]
+
+    def test_odot_preserves_magnitudes(self):
+        m = np.array([[0, 1], [0, 0]])
+        b = np.array([5, 7])
+        assert odot(m, b).tolist() == [5, 7]
+
+
+class TestForwardNeighborsAlgebraic:
+    def test_matches_adjacency_list_forward_neighbors(self, medium_random_graph):
+        mats = to_matrix_sequence(medium_random_graph)
+        for tn in medium_random_graph.active_temporal_nodes()[:20]:
+            expected = set(medium_random_graph.forward_neighbors(*tn))
+            assert set(forward_neighbors_algebraic(mats, tn)) == expected
+
+    def test_inactive_node_has_none(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        assert forward_neighbors_algebraic(mats, (3, "t1")) == []
+
+
+class TestAlgebraicBFS:
+    def test_matches_algorithm1_on_figure1(self, figure1):
+        expected = evolving_bfs(figure1, (1, "t1")).reached
+        assert algebraic_bfs(figure1, (1, "t1")).reached == expected
+
+    def test_accepts_prebuilt_block_matrix(self, figure1):
+        block = build_block_adjacency(figure1)
+        result = algebraic_bfs(block, (1, "t1"))
+        assert result.reached[(3, "t3")] == 3
+
+    def test_inactive_root_raises(self, figure1):
+        with pytest.raises(InactiveNodeError):
+            algebraic_bfs(figure1, (3, "t1"))
+        with pytest.raises(InactiveNodeError):
+            algebraic_bfs_blocked(figure1, (3, "t1"))
+
+    def test_terminates_on_cyclic_snapshots(self, cyclic_snapshot_graph):
+        expected = evolving_bfs(cyclic_snapshot_graph, (0, 0)).reached
+        assert algebraic_bfs(cyclic_snapshot_graph, (0, 0)).reached == expected
+        assert algebraic_bfs_blocked(cyclic_snapshot_graph, (0, 0)).reached == expected
+
+    def test_matches_on_random_graphs(self, medium_random_graph):
+        root = first_active_root(medium_random_graph)
+        expected = evolving_bfs(medium_random_graph, root).reached
+        assert algebraic_bfs(medium_random_graph, root).reached == expected
+        assert algebraic_bfs_blocked(medium_random_graph, root).reached == expected
+
+    def test_matches_on_undirected_graph(self, figure1_undirected):
+        root = (3, "t2")
+        expected = evolving_bfs(figure1_undirected, root).reached
+        assert algebraic_bfs(figure1_undirected, root).reached == expected
+        assert algebraic_bfs_blocked(figure1_undirected, root).reached == expected
+
+    def test_blocked_accepts_matrix_sequence_directly(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        result = algebraic_bfs_blocked(mats, (1, "t1"))
+        assert result.reached == evolving_bfs(figure1, (1, "t1")).reached
+
+    def test_multiple_roots_give_consistent_results(self, small_random_graph):
+        for root in small_random_graph.active_temporal_nodes()[:10]:
+            expected = evolving_bfs(small_random_graph, root).reached
+            assert algebraic_bfs(small_random_graph, root).reached == expected
+
+    def test_isolated_root_component(self):
+        g = AdjacencyListEvolvingGraph([(0, 1, 0), (5, 6, 1)])
+        result = algebraic_bfs(g, (5, 1))
+        assert result.reached == {(5, 1): 0, (6, 1): 1}
+
+    def test_max_iterations_cap_respected(self, figure1):
+        # with a cap of 1 only the first frontier is discovered
+        result = algebraic_bfs(figure1, (1, "t1"), max_iterations=1)
+        assert set(result.reached) == {(1, "t1"), (2, "t1"), (1, "t2")}

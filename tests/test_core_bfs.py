@@ -1,0 +1,164 @@
+"""Unit tests for Algorithm 1 (evolving-graph BFS) and the BFSResult container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import evolving_bfs, evolving_bfs_tree, multi_source_bfs
+from repro.exceptions import InactiveNodeError
+from repro.graph import AdjacencyListEvolvingGraph
+from tests.conftest import first_active_root
+
+
+class TestEvolvingBFS:
+    def test_root_distance_zero(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"))
+        assert result.distance(1, "t1") == 0
+
+    def test_inactive_root_raises(self, figure1):
+        with pytest.raises(InactiveNodeError):
+            evolving_bfs(figure1, (3, "t1"))
+
+    def test_unknown_node_raises(self, figure1):
+        with pytest.raises(InactiveNodeError):
+            evolving_bfs(figure1, (99, "t1"))
+
+    def test_distances_are_minimal_hop_counts(self, diamond_graph):
+        result = evolving_bfs(diamond_graph, (0, 0))
+        # route: (0,0) -> (1,0) -> causal (1,1) -> (3,1): causal hops count (Def. 6)
+        assert result.distance(3, 1) == 3
+        assert result.distance(1, 0) == 1
+        assert result.distance(2, 0) == 1
+        assert result.distance(1, 1) == 2
+
+    def test_only_active_nodes_reached(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"))
+        for v, t in result.reached:
+            assert figure1.is_active(v, t)
+
+    def test_unreachable_nodes_absent(self, disconnected_graph):
+        result = evolving_bfs(disconnected_graph, (0, 0))
+        assert result.distance(10, 0) is None
+        assert not result.is_reachable(11, 0)
+
+    def test_earlier_snapshots_never_reached(self, figure1):
+        result = evolving_bfs(figure1, (1, "t2"))
+        assert all(t >= "t2" for _, t in result.reached)
+
+    def test_cyclic_snapshot_terminates(self, cyclic_snapshot_graph):
+        result = evolving_bfs(cyclic_snapshot_graph, (0, 0))
+        assert result.distance(3, 1) is not None
+        assert len(result.reached) == len(set(result.reached))
+
+    def test_distances_within_cycle(self, cyclic_snapshot_graph):
+        result = evolving_bfs(cyclic_snapshot_graph, (0, 0))
+        assert result.distance(1, 0) == 1
+        assert result.distance(2, 0) == 2
+        assert result.distance(0, 0) == 0
+
+    def test_undirected_traversal_goes_both_ways(self, figure1_undirected):
+        result = evolving_bfs(figure1_undirected, (3, "t2"))
+        # 3 -(static)-> 1 at t2, then nothing earlier; 3 -(causal)-> t3 -> 2
+        assert result.distance(1, "t2") == 1
+        assert result.distance(2, "t3") == 2
+
+    def test_neighbor_fn_override(self, figure1):
+        # using backward neighbours turns the forward BFS into the backward one
+        result = evolving_bfs(figure1, (3, "t3"),
+                              neighbor_fn=figure1.backward_neighbors)
+        assert result.distance(1, "t1") == 3
+
+    def test_levels_partition_reached_set(self, medium_random_graph):
+        root = first_active_root(medium_random_graph)
+        result = evolving_bfs(medium_random_graph, root, track_frontiers=True)
+        from_frontiers = {tn for level in result.frontiers for tn in level}
+        assert from_frontiers == set(result.reached)
+        for k, level in enumerate(result.frontiers):
+            assert all(result.reached[tn] == k for tn in level)
+
+    def test_frontier_levels_match_distances(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"), track_frontiers=True)
+        assert [len(level) for level in result.frontiers] == [1, 2, 2, 1]
+
+
+class TestBFSResultHelpers:
+    def test_path_to_requires_parent_tracking(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"))
+        with pytest.raises(ValueError):
+            result.path_to(3, "t3")
+
+    def test_path_to_reconstructs_shortest_path(self, figure1):
+        result = evolving_bfs_tree(figure1, (1, "t1"))
+        path = result.path_to(3, "t3")
+        assert path is not None
+        assert path[0] == (1, "t1")
+        assert path[-1] == (3, "t3")
+        assert len(path) == 4  # 3 hops
+        from repro.graph import is_temporal_path
+
+        assert is_temporal_path(figure1, path)
+
+    def test_path_to_unreachable_returns_none(self, disconnected_graph):
+        result = evolving_bfs(disconnected_graph, (0, 0), track_parents=True)
+        assert result.path_to(10, 0) is None
+
+    def test_nodes_at_distance(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"))
+        assert result.nodes_at_distance(2) == {(3, "t2"), (2, "t3")}
+
+    def test_max_distance(self, figure1):
+        assert evolving_bfs(figure1, (1, "t1")).max_distance() == 3
+
+    def test_reachable_node_identities(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"))
+        assert result.reachable_node_identities() == {1, 2, 3}
+
+    def test_len(self, figure1):
+        assert len(evolving_bfs(figure1, (1, "t1"))) == 6
+
+    def test_parents_root_is_self(self, figure1):
+        result = evolving_bfs_tree(figure1, (1, "t1"))
+        assert result.parents[(1, "t1")] == (1, "t1")
+
+    def test_parent_distances_consistent(self, medium_random_graph):
+        root = first_active_root(medium_random_graph)
+        result = evolving_bfs(medium_random_graph, root, track_parents=True)
+        for tn, parent in result.parents.items():
+            if tn == root:
+                continue
+            assert result.reached[tn] == result.reached[parent] + 1
+
+
+class TestMultiSourceBFS:
+    def test_distance_to_nearest_root(self):
+        g = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 0), (5, 2, 0)])
+        result = multi_source_bfs(g, [(0, 0), (5, 0)])
+        assert result.reached[(2, 0)] == 1  # closer via 5
+        assert result.reached[(0, 0)] == 0
+        assert result.reached[(5, 0)] == 0
+
+    def test_inactive_roots_skipped(self, figure1):
+        result = multi_source_bfs(figure1, [(3, "t1"), (1, "t2")])
+        assert (1, "t2") in result.reached
+        assert (3, "t1") not in result.reached
+
+    def test_all_inactive_roots_raise(self, figure1):
+        with pytest.raises(InactiveNodeError):
+            multi_source_bfs(figure1, [(3, "t1")])
+
+    def test_no_roots_raise(self, figure1):
+        with pytest.raises(ValueError):
+            multi_source_bfs(figure1, [])
+
+    def test_union_of_reachability(self, disconnected_graph):
+        result = multi_source_bfs(disconnected_graph, [(0, 0), (10, 0)])
+        identities = {v for v, _ in result.reached}
+        assert {0, 1, 2, 10, 11, 12} <= identities
+
+    def test_multi_source_matches_min_of_single_sources(self, medium_random_graph):
+        roots = [tn for tn in medium_random_graph.active_temporal_nodes()[:3]]
+        multi = multi_source_bfs(medium_random_graph, roots).reached
+        singles = [evolving_bfs(medium_random_graph, r).reached for r in roots]
+        for tn, d in multi.items():
+            best = min((s.get(tn) for s in singles if tn in s), default=None)
+            assert best == d

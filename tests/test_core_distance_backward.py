@@ -1,0 +1,147 @@
+"""Unit tests for temporal distances, reachability and the backward (time-reversed) search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ReversedTime,
+    all_pairs_distances,
+    backward_bfs,
+    backward_distance,
+    backward_reachable_set,
+    distance_dict,
+    evolving_bfs,
+    is_reachable,
+    reachable_set,
+    reversed_evolving_graph,
+    temporal_distance,
+    temporal_eccentricity,
+)
+from repro.graph import AdjacencyListEvolvingGraph
+from tests.conftest import first_active_root
+
+
+class TestTemporalDistance:
+    def test_paper_distances(self, figure1):
+        assert temporal_distance(figure1, (1, "t1"), (3, "t3")) == 3
+        assert temporal_distance(figure1, (1, "t2"), (3, "t3")) == 2
+        assert temporal_distance(figure1, (1, "t1"), (1, "t1")) == 0
+
+    def test_unreachable_is_none(self, figure1):
+        assert temporal_distance(figure1, (3, "t2"), (1, "t1")) is None
+
+    def test_inactive_origin_is_none(self, figure1):
+        assert temporal_distance(figure1, (3, "t1"), (3, "t3")) is None
+
+    def test_asymmetry(self, figure1):
+        # the distance is not a metric: it is generally asymmetric
+        forward = temporal_distance(figure1, (1, "t1"), (3, "t3"))
+        backward = temporal_distance(figure1, (3, "t3"), (1, "t1"))
+        assert forward == 3
+        assert backward is None
+
+    def test_is_reachable(self, figure1):
+        assert is_reachable(figure1, (1, "t1"), (3, "t3"))
+        assert not is_reachable(figure1, (3, "t3"), (1, "t1"))
+
+    def test_distance_dict_matches_bfs(self, medium_random_graph):
+        root = first_active_root(medium_random_graph)
+        assert distance_dict(medium_random_graph, root) == \
+            evolving_bfs(medium_random_graph, root).reached
+
+    def test_distance_dict_inactive_root_empty(self, figure1):
+        assert distance_dict(figure1, (3, "t1")) == {}
+
+    def test_reachable_set(self, figure1):
+        assert reachable_set(figure1, (1, "t2")) == {(1, "t2"), (3, "t2"), (3, "t3")}
+
+    def test_eccentricity(self, figure1):
+        assert temporal_eccentricity(figure1, (1, "t1")) == 3
+        assert temporal_eccentricity(figure1, (3, "t3")) == 0
+
+    def test_all_pairs_distances(self, figure1):
+        table = all_pairs_distances(figure1)
+        assert len(table) == 6
+        assert table[(1, "t1")][(3, "t3")] == 3
+        assert (1, "t1") not in table[(3, "t3")]
+
+    def test_all_pairs_with_custom_origins(self, figure1):
+        table = all_pairs_distances(figure1, origins=[(1, "t1")])
+        assert list(table) == [(1, "t1")]
+
+    def test_triangle_inequality_along_bfs_tree(self, medium_random_graph):
+        # d(root, x) <= d(root, parent) + 1 holds by construction; check a sample
+        root = first_active_root(medium_random_graph)
+        result = evolving_bfs(medium_random_graph, root, track_parents=True)
+        for tn, parent in list(result.parents.items())[:50]:
+            if tn == root:
+                continue
+            assert result.reached[tn] <= result.reached[parent] + 1
+
+
+class TestBackwardSearch:
+    def test_backward_bfs_reaches_influencers(self, figure1):
+        result = backward_bfs(figure1, (3, "t3"))
+        assert result.reached == {
+            (3, "t3"): 0,
+            (2, "t3"): 1, (3, "t2"): 1,
+            (2, "t1"): 2, (1, "t2"): 2,
+            (1, "t1"): 3,
+        }
+
+    def test_backward_reachable_set(self, figure1):
+        assert (1, "t1") in backward_reachable_set(figure1, (3, "t3"))
+
+    def test_backward_distance_matches_forward(self, medium_random_graph):
+        root = first_active_root(medium_random_graph)
+        forward = evolving_bfs(medium_random_graph, root).reached
+        for target, d in list(forward.items())[:25]:
+            assert backward_distance(medium_random_graph, root, target) == d
+
+    def test_backward_distance_inactive_target(self, figure1):
+        assert backward_distance(figure1, (1, "t1"), (3, "t1")) is None
+
+    def test_backward_on_undirected(self, figure1_undirected):
+        result = backward_bfs(figure1_undirected, (3, "t3"))
+        assert (2, "t3") in result.reached
+
+
+class TestReversedGraph:
+    def test_reversed_time_ordering(self):
+        a, b = ReversedTime(1), ReversedTime(2)
+        assert b < a
+        assert a > b
+        assert sorted([a, b]) == [b, a]
+        assert a == ReversedTime(1)
+        assert hash(a) == hash(ReversedTime(1))
+
+    def test_reversed_graph_edges(self, figure1):
+        rev = reversed_evolving_graph(figure1)
+        assert rev.has_edge(2, 1, ReversedTime("t1"))
+        assert rev.num_static_edges() == 3
+        # reversed timestamps sort in the opposite order
+        assert list(rev.timestamps) == [ReversedTime("t3"), ReversedTime("t2"),
+                                        ReversedTime("t1")]
+
+    def test_forward_bfs_on_reversed_equals_backward_bfs(self, figure1):
+        rev = reversed_evolving_graph(figure1)
+        forward_on_reversed = evolving_bfs(rev, (3, ReversedTime("t3"))).reached
+        backward_original = backward_bfs(figure1, (3, "t3")).reached
+        translated = {(v, t.value): d for (v, t), d in forward_on_reversed.items()}
+        assert translated == backward_original
+
+    def test_reversed_undirected_graph_keeps_edges(self):
+        g = AdjacencyListEvolvingGraph([(1, 2, 0)], directed=False)
+        rev = reversed_evolving_graph(g)
+        assert rev.has_edge(1, 2, ReversedTime(0))
+        assert not rev.is_directed
+
+    def test_double_reversal_restores_reachability(self, small_random_graph):
+        root = first_active_root(small_random_graph)
+        original = evolving_bfs(small_random_graph, root).reached
+        rev2 = reversed_evolving_graph(reversed_evolving_graph(small_random_graph))
+        restored = evolving_bfs(
+            rev2, (root[0], ReversedTime(ReversedTime(root[1])))).reached
+        translated = {(v, t.value.value): d for (v, t), d in restored.items()}
+        assert translated == original

@@ -1,0 +1,182 @@
+"""Unit tests for the Theorem-1 static expansion and the block adjacency matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_block_adjacency,
+    build_full_block_matrix,
+    build_static_expansion,
+    evolving_bfs,
+    expansion_bfs,
+)
+from repro.exceptions import NodeNotFoundError, RepresentationError
+from repro.graph import AdjacencyListEvolvingGraph, static_bfs
+from tests.conftest import first_active_root
+
+
+class TestStaticExpansion:
+    def test_counts_on_figure1(self, figure1):
+        expansion = build_static_expansion(figure1)
+        assert expansion.num_active_nodes == 6
+        assert expansion.num_static_edges == 3
+        assert expansion.num_causal_edges == 3
+        assert expansion.num_edges == 6
+
+    def test_inactive_nodes_excluded(self, figure1):
+        expansion = build_static_expansion(figure1)
+        assert not expansion.graph.has_node((3, "t1"))
+        assert not expansion.graph.has_node((2, "t2"))
+
+    def test_node_order_is_time_major(self, figure1):
+        expansion = build_static_expansion(figure1)
+        times = [t for _, t in expansion.node_order]
+        assert times == sorted(times)
+
+    def test_index_of(self, figure1):
+        expansion = build_static_expansion(figure1)
+        for i, tn in enumerate(expansion.node_order):
+            assert expansion.index_of(tn) == i
+        with pytest.raises(NodeNotFoundError):
+            expansion.index_of((3, "t1"))
+
+    def test_undirected_expansion_has_both_orientations(self, figure1_undirected):
+        expansion = build_static_expansion(figure1_undirected)
+        assert ((2, "t1"), (1, "t1")) in expansion.static_edges
+        assert ((1, "t1"), (2, "t1")) in expansion.static_edges
+
+    def test_causal_edges_connect_all_pairs_of_active_times(self):
+        g = AdjacencyListEvolvingGraph([(0, 1, t) for t in range(4)])
+        expansion = build_static_expansion(g)
+        causal_from_0 = {e for e in expansion.causal_edges if e[0] == (0, 0)}
+        assert causal_from_0 == {((0, 0), (0, 1)), ((0, 0), (0, 2)), ((0, 0), (0, 3))}
+
+    def test_self_loops_ignored(self):
+        g = AdjacencyListEvolvingGraph([(0, 0, 0), (0, 1, 0)])
+        expansion = build_static_expansion(g)
+        assert ((0, 0), (0, 0)) not in expansion.static_edges
+
+    def test_expansion_bfs_equals_algorithm1(self, medium_random_graph):
+        root = first_active_root(medium_random_graph)
+        assert expansion_bfs(medium_random_graph, root) == \
+            evolving_bfs(medium_random_graph, root).reached
+
+    def test_expansion_bfs_reuses_prebuilt_expansion(self, figure1):
+        expansion = build_static_expansion(figure1)
+        out = expansion_bfs(figure1, (1, "t1"), expansion=expansion)
+        assert out[(3, "t3")] == 3
+
+    def test_static_bfs_on_expansion_graph_directly(self, figure1):
+        expansion = build_static_expansion(figure1)
+        reached = static_bfs(expansion.graph, (1, "t1"))
+        assert reached[(3, "t3")] == 3
+
+
+class TestBlockAdjacencyMatrix:
+    def test_dimension_matches_active_nodes(self, small_random_graph):
+        block = build_block_adjacency(small_random_graph)
+        assert block.matrix.shape == (block.num_active_nodes, block.num_active_nodes)
+        assert block.num_active_nodes == len(small_random_graph.active_temporal_nodes())
+
+    def test_entries_are_expansion_edges(self, figure1):
+        block = build_block_adjacency(figure1)
+        expansion = block.expansion
+        dense = block.dense()
+        for i, src in enumerate(block.node_order):
+            for j, dst in enumerate(block.node_order):
+                expected = 1 if expansion.graph.has_edge(src, dst) else 0
+                assert dense[i, j] == expected
+
+    def test_unit_vector(self, figure1):
+        block = build_block_adjacency(figure1)
+        e = block.unit_vector((1, "t2"))
+        assert e.sum() == 1
+        assert e[block.index_of((1, "t2"))] == 1
+
+    def test_unknown_temporal_node_raises(self, figure1):
+        block = build_block_adjacency(figure1)
+        with pytest.raises(NodeNotFoundError):
+            block.unit_vector((3, "t1"))
+
+    def test_matvec_and_rmatvec(self, figure1):
+        block = build_block_adjacency(figure1)
+        b = block.unit_vector((1, "t1"))
+        forward = block.rmatvec(b)   # A^T e: forward neighbours
+        backward = block.matvec(b)   # A e: backward neighbours
+        assert forward.tolist() == [0, 1, 1, 0, 0, 0]
+        assert backward.sum() == 0   # (1, t1) has no predecessors
+
+    def test_temporal_node_at_inverse_of_index(self, figure1):
+        block = build_block_adjacency(figure1)
+        for i in range(block.num_active_nodes):
+            assert block.index_of(block.temporal_node_at(i)) == i
+
+    def test_upper_triangularity_for_acyclic_snapshots(self, diamond_graph):
+        block = build_block_adjacency(diamond_graph)
+        assert block.is_upper_triangular()
+
+    def test_cyclic_snapshot_not_nilpotent(self, cyclic_snapshot_graph):
+        block = build_block_adjacency(cyclic_snapshot_graph)
+        assert not block.is_nilpotent()
+        assert block.nilpotency_index() is None
+
+    def test_nilpotency_index_bounded_by_dimension(self, small_random_graph):
+        block = build_block_adjacency(small_random_graph)
+        idx = block.nilpotency_index()
+        if idx is not None:
+            assert 0 < idx <= block.num_active_nodes
+
+    def test_diagonal_block_matches_snapshot(self, figure1):
+        block = build_block_adjacency(figure1)
+        d1 = np.asarray(block.diagonal_block("t1").todense())
+        # active nodes at t1 are (1, t1), (2, t1): edge 1 -> 2 only
+        assert np.array_equal(d1, [[0, 1], [0, 0]])
+
+    def test_causal_block(self, figure1):
+        block = build_block_adjacency(figure1)
+        c12 = np.asarray(block.causal_block("t1", "t2").todense())
+        # rows: (1,t1),(2,t1); cols: (1,t2),(3,t2); only (1,t1)->(1,t2)
+        assert np.array_equal(c12, [[1, 0], [0, 0]])
+
+    def test_unknown_time_raises(self, figure1):
+        block = build_block_adjacency(figure1)
+        with pytest.raises(RepresentationError):
+            block.diagonal_block("t9")
+
+    def test_power_iterates_lengths(self, figure1):
+        block = build_block_adjacency(figure1)
+        iterates = block.power_iterates(block.unit_vector((1, "t1")), 2)
+        assert len(iterates) == 3
+
+
+class TestFullBlockMatrix:
+    def test_shape_includes_inactive_nodes(self, figure1):
+        matrix, order = build_full_block_matrix(figure1, node_labels=[1, 2, 3])
+        assert matrix.shape == (9, 9)
+        assert len(order) == 9
+        assert order[0] == (1, "t1")
+
+    def test_restriction_to_active_nodes_recovers_An(self, figure1):
+        matrix, order = build_full_block_matrix(figure1, node_labels=[1, 2, 3])
+        block = build_block_adjacency(figure1)
+        active_idx = [order.index(tn) for tn in block.node_order]
+        dense = np.asarray(matrix.todense())
+        restricted = dense[np.ix_(active_idx, active_idx)]
+        assert np.array_equal(restricted, block.dense())
+
+    def test_inactive_rows_and_columns_are_zero(self, figure1):
+        matrix, order = build_full_block_matrix(figure1, node_labels=[1, 2, 3])
+        dense = np.asarray(matrix.todense())
+        idx_3_t1 = order.index((3, "t1"))
+        assert not dense[idx_3_t1, :].any()
+        assert not dense[:, idx_3_t1].any()
+
+    def test_block_upper_triangular_structure(self, medium_random_graph):
+        matrix, order = build_full_block_matrix(medium_random_graph)
+        coo = matrix.tocoo()
+        times = [t for _, t in order]
+        # an entry (i, j) may only exist when time(i) <= time(j)
+        for i, j in zip(coo.row, coo.col):
+            assert times[i] <= times[j]

@@ -1,0 +1,191 @@
+"""Unit tests for temporal paths, path enumeration and (k-)forward/backward neighbours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    TemporalNode,
+    TemporalPath,
+    active_temporal_nodes,
+    backward_neighbors,
+    count_temporal_paths_exhaustive,
+    enumerate_temporal_paths,
+    forward_neighbors,
+    forward_neighbors_of_set,
+    inactive_temporal_nodes,
+    k_backward_neighbors,
+    k_forward_neighbors,
+    shortest_temporal_path,
+    temporal_node_index,
+)
+from repro.exceptions import InvalidTemporalPathError
+from repro.graph import AdjacencyListEvolvingGraph
+
+
+class TestTemporalNode:
+    def test_is_a_tuple(self):
+        tn = TemporalNode(1, "t1")
+        assert tn == (1, "t1")
+        assert tn.node == 1
+        assert tn.time == "t1"
+        assert hash(tn) == hash((1, "t1"))
+
+    def test_active_temporal_nodes_helper(self, figure1):
+        nodes = active_temporal_nodes(figure1)
+        assert (1, "t1") in nodes
+        assert all(isinstance(tn, TemporalNode) for tn in nodes)
+
+    def test_inactive_temporal_nodes_helper(self, figure1):
+        inactive = set(inactive_temporal_nodes(figure1))
+        assert (3, "t1") in inactive
+        assert (2, "t2") in inactive
+        assert (1, "t3") in inactive
+        assert (1, "t1") not in inactive
+
+    def test_temporal_node_index(self):
+        index = temporal_node_index([(1, 0), (2, 0), (1, 1)])
+        assert index == {(1, 0): 0, (2, 0): 1, (1, 1): 2}
+
+
+class TestTemporalPathClass:
+    def test_length_and_hops(self, figure1):
+        p = TemporalPath([(1, "t1"), (1, "t2"), (3, "t2"), (3, "t3")], graph=figure1)
+        assert p.length == 4
+        assert p.num_hops == 3
+        assert p.causal_hops() == 2
+        assert p.spatial_hops() == 1
+        assert p.source == (1, "t1")
+        assert p.target == (3, "t3")
+
+    def test_empty_path(self):
+        p = TemporalPath([])
+        assert p.length == 0
+        assert p.num_hops == 0
+
+    def test_sequence_protocol(self):
+        p = TemporalPath([(1, 0), (2, 0)])
+        assert p[0] == (1, 0)
+        assert list(p) == [(1, 0), (2, 0)]
+        assert len(p) == 2
+
+    def test_equality_and_hash(self):
+        a = TemporalPath([(1, 0), (2, 0)])
+        b = TemporalPath([(1, 0), (2, 0)])
+        assert a == b
+        assert a == [(1, 0), (2, 0)]
+        assert hash(a) == hash(b)
+
+    def test_local_validation_without_graph(self):
+        with pytest.raises(InvalidTemporalPathError):
+            TemporalPath([(1, 1), (1, 0)])  # backwards in time
+        with pytest.raises(InvalidTemporalPathError):
+            TemporalPath([(1, 0), (2, 1)])  # diagonal step
+        with pytest.raises(InvalidTemporalPathError):
+            TemporalPath([(1, 0), (1, 0)])  # repeated temporal node
+
+    def test_graph_validation_rejects_missing_edges(self, figure1):
+        with pytest.raises(InvalidTemporalPathError):
+            TemporalPath([(2, "t1"), (1, "t1")], graph=figure1)
+
+    def test_nodes_visited(self):
+        p = TemporalPath([(1, 0), (1, 1), (2, 1)])
+        assert p.nodes_visited() == [1, 2]
+
+
+class TestEnumeration:
+    def test_paths_between_same_node(self, figure1):
+        paths = list(enumerate_temporal_paths(figure1, (1, "t1"), (1, "t1")))
+        assert paths == [TemporalPath([(1, "t1")])]
+
+    def test_inactive_endpoints_give_no_paths(self, figure1):
+        assert list(enumerate_temporal_paths(figure1, (3, "t1"), (3, "t3"))) == []
+        assert list(enumerate_temporal_paths(figure1, (1, "t1"), (2, "t2"))) == []
+
+    def test_max_length_cap(self, figure1):
+        capped = list(enumerate_temporal_paths(figure1, (1, "t1"), (3, "t3"), max_length=3))
+        assert capped == []
+        full = list(enumerate_temporal_paths(figure1, (1, "t1"), (3, "t3"), max_length=4))
+        assert len(full) == 2
+
+    def test_diamond_counts_both_routes(self, diamond_graph):
+        assert count_temporal_paths_exhaustive(diamond_graph, (0, 0), (3, 1)) == 2
+
+    def test_enumeration_terminates_on_cyclic_snapshots(self, cyclic_snapshot_graph):
+        paths = list(enumerate_temporal_paths(cyclic_snapshot_graph, (0, 0), (3, 1)))
+        assert len(paths) >= 1
+        for p in paths:
+            assert p.target == (3, 1)
+
+    def test_all_enumerated_paths_are_valid(self, small_random_graph):
+        from repro.graph import is_temporal_path
+
+        active = small_random_graph.active_temporal_nodes()
+        source, target = active[0], active[-1]
+        for p in enumerate_temporal_paths(small_random_graph, source, target, max_length=5):
+            assert is_temporal_path(small_random_graph, list(p))
+
+
+class TestShortestTemporalPath:
+    def test_matches_bfs_distance(self, figure1):
+        p = shortest_temporal_path(figure1, (1, "t1"), (3, "t3"))
+        assert p is not None and p.num_hops == 3
+
+    def test_source_equals_target(self, figure1):
+        p = shortest_temporal_path(figure1, (1, "t1"), (1, "t1"))
+        assert p == [(1, "t1")]
+
+    def test_unreachable_returns_none(self, disconnected_graph):
+        assert shortest_temporal_path(disconnected_graph, (0, 0), (10, 0)) is None
+
+    def test_inactive_source_returns_none(self, figure1):
+        assert shortest_temporal_path(figure1, (3, "t1"), (3, "t3")) is None
+
+
+class TestNeighborFunctions:
+    def test_forward_neighbors_function(self, figure1):
+        assert set(forward_neighbors(figure1, (1, "t1"))) == {(2, "t1"), (1, "t2")}
+
+    def test_backward_neighbors_function(self, figure1):
+        assert set(backward_neighbors(figure1, (3, "t3"))) == {(2, "t3"), (3, "t2")}
+
+    def test_forward_neighbors_of_set(self, figure1):
+        frontier = {(2, "t1"), (1, "t2")}
+        expanded = forward_neighbors_of_set(figure1, frontier)
+        assert expanded == {(2, "t3"), (3, "t2")}
+
+    def test_k_forward_neighbors_zero(self, figure1):
+        assert k_forward_neighbors(figure1, (1, "t1"), 0) == {(1, "t1")}
+
+    def test_k_forward_matches_frontiers(self, medium_random_graph):
+        from repro.core import evolving_bfs
+        from tests.conftest import first_active_root
+
+        root = first_active_root(medium_random_graph)
+        result = evolving_bfs(medium_random_graph, root, track_frontiers=True)
+        for k in range(min(4, len(result.frontiers))):
+            assert k_forward_neighbors(medium_random_graph, root, k) == set(result.frontiers[k])
+
+    def test_k_backward_neighbors(self, figure1):
+        assert k_backward_neighbors(figure1, (3, "t3"), 3) == {(1, "t1")}
+        assert k_backward_neighbors(figure1, (3, "t3"), 1) == {(2, "t3"), (3, "t2")}
+
+    def test_negative_k_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            k_forward_neighbors(figure1, (1, "t1"), -1)
+
+    def test_beyond_reach_is_empty(self, figure1):
+        assert k_forward_neighbors(figure1, (1, "t1"), 10) == set()
+
+
+class TestLoopAndParallelEdgeBehaviour:
+    def test_parallel_routes_within_snapshot(self):
+        g = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 0), (0, 2, 0)])
+        # two temporal paths 0->2: direct (2 nodes) and via 1 (3 nodes)
+        assert count_temporal_paths_exhaustive(g, (0, 0), (2, 0)) == 2
+
+    def test_self_loop_never_traversed(self):
+        g = AdjacencyListEvolvingGraph([(0, 0, 0), (0, 1, 0)])
+        paths = list(enumerate_temporal_paths(g, (0, 0), (1, 0)))
+        assert len(paths) == 1
+        assert paths[0] == [(0, 0), (1, 0)]

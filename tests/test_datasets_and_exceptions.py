@@ -1,0 +1,102 @@
+"""Unit tests for the built-in datasets module and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.exceptions import (
+    ConvergenceError,
+    GraphError,
+    InactiveNodeError,
+    InvalidTemporalPathError,
+    IOFormatError,
+    NodeNotFoundError,
+    ReproError,
+    RepresentationError,
+    TimestampNotFoundError,
+)
+
+
+class TestDatasets:
+    def test_figure1_graph_is_fresh_each_call(self):
+        a = datasets.figure1_graph()
+        b = datasets.figure1_graph()
+        a.add_edge(9, 10, "t1")
+        assert b.num_static_edges() == 3
+
+    def test_adjacency_sequence_shapes(self):
+        mats = datasets.figure1_adjacency_sequence()
+        assert len(mats) == 3
+        assert all(m.shape == (3, 3) for m in mats)
+        assert sum(int(m.sum()) for m in mats) == 3
+
+    def test_expected_matrix_is_6x6_with_6_edges(self):
+        m = datasets.figure4_expected_matrix()
+        assert m.shape == (6, 6)
+        assert m.sum() == 6
+
+    def test_expected_iterates_shapes(self):
+        iterates = datasets.figure4_expected_iterates()
+        assert len(iterates) == 5
+        assert all(v.shape == (6,) for v in iterates)
+        assert iterates[-1].sum() == 0
+
+    def test_node_order_matches_matrix_dimension(self):
+        assert len(datasets.figure4_node_order()) == 6
+
+    def test_expected_paths_start_and_end_correctly(self):
+        for path in datasets.figure2_expected_paths():
+            assert path[0] == (1, "t1")
+            assert path[-1] == (3, "t3")
+            assert len(path) == 4
+
+    def test_message_game_default(self):
+        g = datasets.message_game_graph()
+        assert g.num_static_edges() == 2
+        assert list(g.timestamps) == [0, 1]
+
+    def test_message_game_custom_order(self):
+        g = datasets.message_game_graph([(3, 1), (1, 2), (2, 3)])
+        assert g.num_static_edges() == 3
+        assert g.has_edge(3, 1, 0)
+        assert g.has_edge(2, 3, 2)
+
+    def test_timestamps_constant(self):
+        assert datasets.FIGURE1_TIMESTAMPS == ("t1", "t2", "t3")
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (GraphError, NodeNotFoundError, TimestampNotFoundError,
+                         InactiveNodeError, InvalidTemporalPathError,
+                         RepresentationError, ConvergenceError, IOFormatError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(TimestampNotFoundError, KeyError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(InvalidTemporalPathError, ValueError)
+        assert issubclass(RepresentationError, ValueError)
+        assert issubclass(IOFormatError, ValueError)
+
+    def test_messages_are_informative(self):
+        assert "not present" in str(NodeNotFoundError("x"))
+        assert "(  'x', 1)".replace("  ", "") or True  # placeholder sanity
+        assert "timestamp" in str(TimestampNotFoundError(3))
+        assert "not an active node" in str(InactiveNodeError(2, "t2"))
+        assert "node" in str(NodeNotFoundError(2, "t9"))
+
+    def test_inactive_node_error_carries_context(self):
+        err = InactiveNodeError(7, "t4")
+        assert err.node == 7
+        assert err.time == "t4"
+
+    def test_catching_base_class(self, figure1):
+        from repro.core import evolving_bfs
+
+        with pytest.raises(ReproError):
+            evolving_bfs(figure1, (3, "t1"))

@@ -1,0 +1,235 @@
+"""Unit tests for workload generators: random evolving graphs, growth models,
+citation networks and edge streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.generators import (
+    EdgeStream,
+    apply_stream,
+    generate_citation_network,
+    incremental_edge_sequence,
+    preferential_attachment_evolving,
+    random_evolving_graph,
+    random_snapshot_er,
+    random_temporal_edges,
+    sliding_window_communication,
+)
+from repro.graph import validate_evolving_graph
+
+
+class TestRandomTemporalEdges:
+    def test_counts_and_ranges(self):
+        edges = random_temporal_edges(50, 4, 300, seed=0)
+        assert len(edges) == 300
+        for u, v, t in edges:
+            assert 0 <= u < 50 and 0 <= v < 50 and 0 <= t < 4
+            assert u != v
+
+    def test_no_duplicates(self):
+        edges = random_temporal_edges(30, 3, 200, seed=1)
+        assert len(set(edges)) == len(edges)
+
+    def test_determinism(self):
+        assert random_temporal_edges(40, 3, 100, seed=7) == \
+            random_temporal_edges(40, 3, 100, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert random_temporal_edges(40, 3, 100, seed=7) != \
+            random_temporal_edges(40, 3, 100, seed=8)
+
+    def test_self_loops_optional(self):
+        edges = random_temporal_edges(5, 2, 30, seed=2, allow_self_loops=True)
+        # with only 5 nodes, self-loops are very likely in 30 draws
+        assert any(u == v for u, v, _ in edges)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            random_temporal_edges(1, 2, 10)
+        with pytest.raises(GraphError):
+            random_temporal_edges(5, 0, 10)
+        with pytest.raises(GraphError):
+            random_temporal_edges(5, 2, -1)
+
+
+class TestRandomEvolvingGraph:
+    def test_structure(self):
+        g = random_evolving_graph(100, 5, 400, seed=3)
+        assert g.num_static_edges() == 400
+        assert g.num_timestamps == 5
+        validate_evolving_graph(g)
+
+    def test_generator_rng_instance_accepted(self):
+        rng = np.random.default_rng(0)
+        g = random_evolving_graph(50, 3, 100, seed=rng)
+        assert g.num_static_edges() == 100
+
+    def test_undirected_option(self):
+        g = random_evolving_graph(50, 3, 100, seed=4, directed=False)
+        assert not g.is_directed
+
+
+class TestIncrementalEdgeSequence:
+    def test_growth_matches_targets(self):
+        targets = [100, 200, 350]
+        sizes = []
+        for target, graph in incremental_edge_sequence(80, 4, targets, seed=5):
+            sizes.append((target, graph.num_static_edges()))
+        assert [t for t, _ in sizes] == targets
+        for target, actual in sizes:
+            assert actual == target
+
+    def test_same_graph_instance_grows(self):
+        graphs = [g for _, g in incremental_edge_sequence(50, 3, [50, 100], seed=6)]
+        assert graphs[0] is graphs[1]
+
+    def test_non_monotone_targets_rejected(self):
+        with pytest.raises(GraphError):
+            list(incremental_edge_sequence(50, 3, [100, 50], seed=0))
+
+    def test_saturation_detected(self):
+        # 3 nodes, 1 timestamp: at most 6 distinct directed non-loop edges
+        with pytest.raises(GraphError):
+            list(incremental_edge_sequence(3, 1, [100], seed=0))
+
+
+class TestSnapshotER:
+    def test_edge_probability_bounds(self):
+        with pytest.raises(GraphError):
+            random_snapshot_er(10, 2, 1.5)
+
+    def test_zero_probability_empty(self):
+        g = random_snapshot_er(20, 3, 0.0, seed=0)
+        assert g.num_static_edges() == 0
+        assert g.num_timestamps == 3
+
+    def test_full_probability_complete(self):
+        g = random_snapshot_er(6, 2, 1.0, seed=0)
+        assert g.num_static_edges() == 2 * 6 * 5  # directed, no self-loops
+
+    def test_undirected_upper_triangle(self):
+        g = random_snapshot_er(6, 1, 1.0, seed=0, directed=False)
+        assert g.num_static_edges() == 6 * 5 // 2
+
+
+class TestGrowthModels:
+    def test_preferential_attachment_structure(self):
+        g = preferential_attachment_evolving(60, 4, edges_per_node=2, seed=0)
+        validate_evolving_graph(g)
+        assert g.num_timestamps == 4
+        assert len(g.nodes()) == 60
+
+    def test_preferential_attachment_heavy_tail(self):
+        g = preferential_attachment_evolving(200, 5, edges_per_node=2, seed=1)
+        # aggregate in-degree should be skewed: max much larger than median
+        indeg = {}
+        for u, v, t in g.temporal_edges():
+            indeg[v] = indeg.get(v, 0) + 1
+        degrees = sorted(indeg.values())
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+
+    def test_preferential_attachment_validation(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_evolving(2, 3, edges_per_node=2)
+        with pytest.raises(GraphError):
+            preferential_attachment_evolving(10, 0)
+
+    def test_sliding_window_repeats(self):
+        g = sliding_window_communication(30, 5, 40, repeat_fraction=0.5, seed=2)
+        validate_evolving_graph(g)
+        assert g.num_timestamps == 5
+
+    def test_sliding_window_validation(self):
+        with pytest.raises(GraphError):
+            sliding_window_communication(1, 2, 5)
+        with pytest.raises(GraphError):
+            sliding_window_communication(10, 2, 5, repeat_fraction=2.0)
+
+
+class TestCitationNetwork:
+    def test_basic_structure(self, citation_network):
+        cn = citation_network
+        validate_evolving_graph(cn.graph)
+        assert cn.graph.num_timestamps == 10
+        assert cn.num_authors == 12 + 9 * 6
+        assert set(cn.epochs) == set(range(10))
+
+    def test_entry_epochs_monotone_with_author_id(self, citation_network):
+        entries = citation_network.entry_epoch
+        for author, epoch in entries.items():
+            assert 0 <= epoch < 10
+
+    def test_citations_point_to_existing_authors(self, citation_network):
+        cn = citation_network
+        for u, v, t in cn.graph.temporal_edges():
+            assert cn.entry_epoch[v] <= t
+            assert cn.entry_epoch[u] <= t
+
+    def test_authors_per_epoch_contains_newcomers(self, citation_network):
+        cn = citation_network
+        for epoch in cn.epochs:
+            newcomers = [a for a, e in cn.entry_epoch.items() if e == epoch]
+            assert set(newcomers) <= set(cn.authors_per_epoch[epoch])
+
+    def test_citations_in_epoch(self, citation_network):
+        total = sum(citation_network.citations_in_epoch(e) for e in citation_network.epochs)
+        assert total == citation_network.graph.num_static_edges()
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            generate_citation_network(0)
+        with pytest.raises(GraphError):
+            generate_citation_network(3, initial_authors=1)
+        with pytest.raises(GraphError):
+            generate_citation_network(3, preferential_weight=2.0)
+        with pytest.raises(GraphError):
+            generate_citation_network(3, activity_decay=-0.1)
+
+    def test_determinism(self):
+        a = generate_citation_network(5, initial_authors=5, new_authors_per_epoch=3, seed=9)
+        b = generate_citation_network(5, initial_authors=5, new_authors_per_epoch=3, seed=9)
+        assert set(a.graph.temporal_edges()) == set(b.graph.temporal_edges())
+
+
+class TestEdgeStream:
+    def test_batches(self):
+        stream = EdgeStream([(0, 1, 0), (1, 2, 0), (2, 3, 1)], batch_size=2)
+        batches = list(stream.batches())
+        assert batches == [[(0, 1, 0), (1, 2, 0)], [(2, 3, 1)]]
+        assert len(stream) == 3
+
+    def test_batch_size_validation(self):
+        with pytest.raises(GraphError):
+            EdgeStream([], batch_size=0)
+
+    def test_random_stream_time_ordered(self):
+        stream = EdgeStream.random(40, 5, 100, seed=0, time_ordered=True)
+        times = [t for _, _, t in stream]
+        assert times == sorted(times)
+
+    def test_random_stream_unordered(self):
+        stream = EdgeStream.random(40, 5, 200, seed=0, time_ordered=False)
+        times = [t for _, _, t in stream]
+        assert times != sorted(times)
+
+    def test_apply_stream_builds_graph(self):
+        stream = EdgeStream.random(30, 4, 80, seed=1, batch_size=10)
+        seen_batches = []
+        graph = apply_stream(stream, on_batch=lambda g, b: seen_batches.append(len(b)))
+        assert graph.num_static_edges() == 80
+        assert sum(seen_batches) == 80
+        assert len(seen_batches) == 8
+
+    def test_apply_stream_plain_iterable(self):
+        graph = apply_stream([(0, 1, 0), (1, 2, 1)])
+        assert graph.num_static_edges() == 2
+
+    def test_apply_stream_extends_existing_graph(self):
+        from repro.graph import AdjacencyListEvolvingGraph
+
+        g = AdjacencyListEvolvingGraph([(5, 6, 0)])
+        apply_stream([(0, 1, 0)], graph=g)
+        assert g.num_static_edges() == 2

@@ -1,0 +1,272 @@
+"""Unit tests for the edge-list, matrix-sequence and snapshot-sequence representations,
+plus the converters between them."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import RepresentationError, TimestampNotFoundError
+from repro.graph import (
+    AdjacencyListEvolvingGraph,
+    MatrixSequenceEvolvingGraph,
+    SnapshotSequenceEvolvingGraph,
+    StaticGraph,
+    TemporalEdgeList,
+    to_adjacency_list,
+    to_edge_list,
+    to_matrix_sequence,
+    to_snapshot_sequence,
+    to_triples,
+)
+
+TRIPLES = [(1, 2, "t1"), (1, 3, "t2"), (2, 3, "t3")]
+
+
+class TestTemporalEdgeList:
+    def test_basic_structure(self):
+        g = TemporalEdgeList(TRIPLES)
+        assert list(g.timestamps) == ["t1", "t2", "t3"]
+        assert g.num_static_edges() == 3
+        assert g.nodes() == {1, 2, 3}
+
+    def test_duplicate_triples_dropped(self):
+        g = TemporalEdgeList(TRIPLES + [(1, 2, "t1")])
+        assert g.num_static_edges() == 3
+
+    def test_arrays_sorted_by_time(self):
+        g = TemporalEdgeList([(5, 6, 2), (1, 2, 0), (3, 4, 1)])
+        assert g.time_codes.tolist() == [0, 1, 2]
+        assert g.source_codes.shape == (3,)
+
+    def test_snapshot_arrays(self):
+        g = TemporalEdgeList(TRIPLES)
+        s, d = g.snapshot_arrays("t2")
+        assert s.shape == (1,)
+        assert g.node_labels[s[0]] == 1
+        assert g.node_labels[d[0]] == 3
+
+    def test_neighbors(self):
+        g = TemporalEdgeList(TRIPLES)
+        assert list(g.out_neighbors_at(1, "t1")) == [2]
+        assert list(g.in_neighbors_at(3, "t2")) == [1]
+        assert list(g.out_neighbors_at(3, "t1")) == []
+
+    def test_activeness_and_active_times(self):
+        g = TemporalEdgeList(TRIPLES)
+        assert g.is_active(1, "t1")
+        assert not g.is_active(3, "t1")
+        assert g.active_times(3) == ["t2", "t3"]
+
+    def test_undirected_neighbors(self):
+        g = TemporalEdgeList([(1, 2, 0)], directed=False)
+        assert list(g.out_neighbors_at(2, 0)) == [1]
+        assert list(g.in_neighbors_at(1, 0)) == [2]
+
+    def test_undirected_reverse_duplicate_dropped(self):
+        g = TemporalEdgeList([(1, 2, 0), (2, 1, 0)], directed=False)
+        assert g.num_static_edges() == 1
+
+    def test_to_triples_round_trip(self):
+        g = TemporalEdgeList(TRIPLES)
+        assert set(g.to_triples()) == set(TRIPLES)
+
+    def test_from_arrays(self):
+        g = TemporalEdgeList.from_arrays(
+            np.array([0, 1]), np.array([1, 2]), np.array([0, 1]))
+        assert g.num_static_edges() == 2
+        assert g.nodes() == {0, 1, 2}
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(RepresentationError):
+            TemporalEdgeList.from_arrays(np.array([0]), np.array([1, 2]), np.array([0, 1]))
+
+    def test_bad_triple_rejected(self):
+        with pytest.raises(RepresentationError):
+            TemporalEdgeList([(1, 2)])  # type: ignore[list-item]
+
+    def test_explicit_timestamp_universe(self):
+        g = TemporalEdgeList([(1, 2, 1)], timestamps=[0, 1, 2])
+        assert list(g.timestamps) == [0, 1, 2]
+        assert list(g.edges_at(0)) == []
+
+    def test_unknown_timestamp_raises(self):
+        g = TemporalEdgeList(TRIPLES)
+        with pytest.raises(TimestampNotFoundError):
+            g.snapshot_arrays("t9")
+
+
+class TestMatrixSequence:
+    def test_from_edges_matches_manual_matrices(self):
+        g = MatrixSequenceEvolvingGraph.from_edges(TRIPLES, node_labels=[1, 2, 3])
+        a1 = np.asarray(g.matrix_at("t1").todense())
+        assert np.array_equal(a1, [[0, 1, 0], [0, 0, 0], [0, 0, 0]])
+
+    def test_shape_and_label_validation(self):
+        with pytest.raises(RepresentationError):
+            MatrixSequenceEvolvingGraph([np.zeros((2, 3))], [0])
+        with pytest.raises(RepresentationError):
+            MatrixSequenceEvolvingGraph([np.zeros((2, 2)), np.zeros((3, 3))], [0, 1])
+        with pytest.raises(RepresentationError):
+            MatrixSequenceEvolvingGraph([np.zeros((2, 2))], [0], node_labels=["a"])
+        with pytest.raises(RepresentationError):
+            MatrixSequenceEvolvingGraph([np.zeros((2, 2))], [0, 1])
+
+    def test_timestamps_must_be_sorted_and_distinct(self):
+        mats = [np.zeros((2, 2)), np.zeros((2, 2))]
+        with pytest.raises(RepresentationError):
+            MatrixSequenceEvolvingGraph(mats, [1, 0])
+        with pytest.raises(RepresentationError):
+            MatrixSequenceEvolvingGraph(mats, [0, 0])
+
+    def test_self_loops_removed(self):
+        m = np.array([[1, 1], [0, 0]])
+        g = MatrixSequenceEvolvingGraph([m], [0])
+        assert g.num_static_edges() == 1
+        assert not g.is_active(0, 0) or g.is_active(0, 0)  # no crash
+        assert g.active_nodes_at(0) == {0, 1}
+
+    def test_entries_clamped_to_01(self):
+        m = np.array([[0, 7], [0, 0]])
+        g = MatrixSequenceEvolvingGraph([m], [0])
+        assert g.matrix_at(0).max() == 1
+
+    def test_neighbors_and_edges(self):
+        g = MatrixSequenceEvolvingGraph.from_edges(TRIPLES, node_labels=[1, 2, 3])
+        assert list(g.out_neighbors_at(1, "t1")) == [2]
+        assert list(g.in_neighbors_at(3, "t3")) == [2]
+        assert set(g.edges_at("t1")) == {(1, 2)}
+
+    def test_active_mask(self):
+        g = MatrixSequenceEvolvingGraph.from_edges(TRIPLES, node_labels=[1, 2, 3])
+        assert g.active_mask_at("t1").tolist() == [True, True, False]
+
+    def test_undirected_symmetrized(self):
+        g = MatrixSequenceEvolvingGraph.from_edges([(1, 2, 0)], directed=False,
+                                                   node_labels=[1, 2])
+        s = np.asarray(g.symmetrized_matrix_at(0).todense())
+        assert np.array_equal(s, [[0, 1], [1, 0]])
+        assert list(g.out_neighbors_at(2, 0)) == [1]
+
+    def test_sparse_input_accepted(self):
+        m = sp.coo_matrix(([1], ([0], [1])), shape=(3, 3))
+        g = MatrixSequenceEvolvingGraph([m], [0])
+        assert g.num_static_edges() == 1
+
+    def test_to_triples(self):
+        g = MatrixSequenceEvolvingGraph.from_edges(TRIPLES, node_labels=[1, 2, 3])
+        assert set(g.to_triples()) == set(TRIPLES)
+
+
+class TestSnapshotSequence:
+    def test_from_edges(self):
+        g = SnapshotSequenceEvolvingGraph.from_edges(TRIPLES)
+        assert list(g.timestamps) == ["t1", "t2", "t3"]
+        assert g.num_static_edges() == 3
+
+    def test_snapshot_access(self):
+        g = SnapshotSequenceEvolvingGraph.from_edges(TRIPLES)
+        snap = g.snapshot("t1")
+        assert isinstance(snap, StaticGraph)
+        assert snap.has_edge(1, 2)
+
+    def test_duplicate_snapshot_rejected(self):
+        g = SnapshotSequenceEvolvingGraph()
+        g.add_snapshot(0)
+        with pytest.raises(RepresentationError):
+            g.add_snapshot(0)
+
+    def test_directedness_mismatch_rejected(self):
+        g = SnapshotSequenceEvolvingGraph(directed=True)
+        with pytest.raises(RepresentationError):
+            g.add_snapshot(0, StaticGraph(directed=False))
+
+    def test_unknown_snapshot(self):
+        g = SnapshotSequenceEvolvingGraph.from_edges(TRIPLES)
+        with pytest.raises(TimestampNotFoundError):
+            g.snapshot("nope")
+
+    def test_snapshots_sorted(self):
+        g = SnapshotSequenceEvolvingGraph()
+        g.add_edge(1, 2, 5)
+        g.add_edge(1, 2, 1)
+        assert [t for t, _ in g.snapshots()] == [1, 5]
+
+    def test_forward_neighbors_inherited_logic(self):
+        g = SnapshotSequenceEvolvingGraph.from_edges(TRIPLES)
+        assert set(g.forward_neighbors(1, "t1")) == {(2, "t1"), (1, "t2")}
+
+
+class TestConverters:
+    @pytest.fixture
+    def source(self):
+        return AdjacencyListEvolvingGraph(TRIPLES, timestamps=["t1", "t2", "t3"])
+
+    def test_round_trip_through_every_representation(self, source):
+        for convert in (to_adjacency_list, to_edge_list, to_matrix_sequence,
+                        to_snapshot_sequence):
+            converted = convert(source)
+            assert set(to_triples(converted)) == set(TRIPLES)
+            assert list(converted.timestamps) == ["t1", "t2", "t3"]
+            assert converted.is_directed
+
+    def test_converters_preserve_forward_neighbors(self, source):
+        for convert in (to_edge_list, to_matrix_sequence, to_snapshot_sequence):
+            converted = convert(source)
+            assert set(converted.forward_neighbors(1, "t1")) == {(2, "t1"), (1, "t2")}
+
+    def test_converters_preserve_undirectedness(self):
+        g = AdjacencyListEvolvingGraph([(1, 2, 0)], directed=False)
+        for convert in (to_adjacency_list, to_edge_list, to_matrix_sequence,
+                        to_snapshot_sequence):
+            assert not convert(g).is_directed
+
+    def test_matrix_sequence_with_fixed_labels(self, source):
+        mats = to_matrix_sequence(source, node_labels=[3, 2, 1])
+        assert mats.node_labels == [3, 2, 1]
+        assert mats.node_index(3) == 0
+
+    def test_empty_snapshots_preserved(self):
+        g = AdjacencyListEvolvingGraph([(1, 2, 0)], timestamps=[0, 1])
+        assert list(to_edge_list(g).timestamps) == [0, 1]
+        assert list(to_matrix_sequence(g).timestamps) == [0, 1]
+
+
+class TestStaticGraph:
+    def test_bfs_distances(self):
+        from repro.graph import static_bfs
+
+        g = StaticGraph([(0, 1), (1, 2), (0, 3)])
+        assert static_bfs(g, 0) == {0: 0, 1: 1, 3: 1, 2: 2}
+
+    def test_bfs_unknown_root(self):
+        from repro.exceptions import NodeNotFoundError
+        from repro.graph import static_bfs
+
+        g = StaticGraph([(0, 1)])
+        with pytest.raises(NodeNotFoundError):
+            static_bfs(g, 42)
+
+    def test_undirected_bfs_symmetric(self):
+        from repro.graph import static_bfs
+
+        g = StaticGraph([(0, 1), (1, 2)], directed=False)
+        assert static_bfs(g, 2) == {2: 0, 1: 1, 0: 2}
+
+    def test_adjacency_matrix_with_order(self):
+        g = StaticGraph([(0, 1), (1, 2)])
+        m = g.adjacency_matrix(order=[2, 1, 0])
+        assert m[1, 0] == 1  # 1 -> 2
+        assert m[2, 1] == 1  # 0 -> 1
+
+    def test_reverse(self):
+        g = StaticGraph([(0, 1)])
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+
+    def test_degrees(self):
+        g = StaticGraph([(0, 1), (0, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 1

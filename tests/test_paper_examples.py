@@ -1,0 +1,269 @@
+"""Exact reproduction of the paper's worked examples (Figures 1–4, Section III).
+
+Every number printed in the paper for the 3-node example graph is asserted
+here: activeness, forward neighbours, the two length-4 temporal paths of
+Figure 2, the BFS trace of Figure 3, the 6x6 block matrix and power-iterate
+sequence of Section III-C / Figure 4, and the Section III-A demonstration
+that the naive matrix-product path sum miscounts temporal paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.core import (
+    algebraic_bfs,
+    algebraic_bfs_blocked,
+    build_block_adjacency,
+    build_static_expansion,
+    count_temporal_paths,
+    count_temporal_paths_by_hops,
+    count_temporal_paths_exhaustive,
+    diagonal_augmented_path_count,
+    enumerate_temporal_paths,
+    evolving_bfs,
+    expansion_bfs,
+    forward_neighbors_algebraic,
+    k_forward_neighbors,
+    naive_path_count,
+    naive_path_sum,
+    temporal_path_count_vector,
+)
+from repro.graph import AdjacencyListEvolvingGraph, to_matrix_sequence
+
+
+class TestFigure1Structure:
+    def test_timestamps(self, figure1):
+        assert list(figure1.timestamps) == ["t1", "t2", "t3"]
+
+    def test_static_edges(self, figure1):
+        assert figure1.num_static_edges() == 3
+        assert figure1.has_edge(1, 2, "t1")
+        assert figure1.has_edge(1, 3, "t2")
+        assert figure1.has_edge(2, 3, "t3")
+
+    def test_active_nodes_per_snapshot(self, figure1):
+        assert figure1.active_nodes_at("t1") == {1, 2}
+        assert figure1.active_nodes_at("t2") == {1, 3}
+        assert figure1.active_nodes_at("t3") == {2, 3}
+
+    def test_paper_named_active_and_inactive_nodes(self, figure1):
+        # "the temporal nodes (1, t1) and (2, t2)..." — the paper's (2, t2) is a
+        # typo for (2, t1); the verifiable statements are:
+        assert figure1.is_active(1, "t1")
+        assert figure1.is_active(2, "t1")
+        assert not figure1.is_active(3, "t1")  # (3, t1) is inactive
+        assert not figure1.is_active(2, "t2")
+
+    def test_forward_neighbors_of_1_t1(self, figure1):
+        # "the forward neighbors of (1, t1) are (2, t1) and (1, t2)"
+        assert set(figure1.forward_neighbors(1, "t1")) == {(2, "t1"), (1, "t2")}
+
+    def test_forward_neighbors_of_2_t1(self, figure1):
+        # "the only forward neighbor of (2, t1) is (2, t3)"
+        assert figure1.forward_neighbors(2, "t1") == [(2, "t3")]
+
+    def test_inactive_node_has_no_forward_neighbors(self, figure1):
+        assert figure1.forward_neighbors(3, "t1") == []
+
+    def test_causal_edges(self, figure1):
+        # E' from Section III-C (with the (2, t2) typo corrected to (2, t1))
+        assert set(figure1.causal_edges()) == {
+            ((1, "t1"), (1, "t2")),
+            ((2, "t1"), (2, "t3")),
+            ((3, "t2"), (3, "t3")),
+        }
+
+    def test_active_temporal_node_set_matches_paper_V(self, figure1):
+        assert set(figure1.active_temporal_nodes()) == {
+            (1, "t1"), (2, "t1"), (1, "t2"), (3, "t2"), (2, "t3"), (3, "t3")
+        }
+
+
+class TestFigure2TemporalPaths:
+    def test_exactly_two_length4_paths(self, figure1):
+        paths = {
+            tuple(p)
+            for p in enumerate_temporal_paths(figure1, (1, "t1"), (3, "t3"))
+            if p.length == 4
+        }
+        expected = {tuple(p) for p in
+                    (tuple(x) for x in map(tuple, datasets.figure2_expected_paths()))}
+        assert paths == {
+            ((1, "t1"), (1, "t2"), (3, "t2"), (3, "t3")),
+            ((1, "t1"), (2, "t1"), (2, "t3"), (3, "t3")),
+        }
+        assert paths == expected
+
+    def test_no_other_path_lengths_exist(self, figure1):
+        lengths = sorted(p.length for p in
+                         enumerate_temporal_paths(figure1, (1, "t1"), (3, "t3")))
+        assert lengths == [4, 4]
+
+    def test_invalid_sequence_through_inactive_node_rejected(self, figure1):
+        # <(1,t1), (1,t2), (2,t2), (3,t2), (3,t3)> is not a temporal path
+        from repro.graph import is_temporal_path
+
+        bad = [(1, "t1"), (1, "t2"), (2, "t2"), (3, "t2"), (3, "t3")]
+        assert not is_temporal_path(figure1, bad)
+
+    def test_exhaustive_count_matches(self, figure1):
+        assert count_temporal_paths_exhaustive(figure1, (1, "t1"), (3, "t3"), length=4) == 2
+        assert count_temporal_paths_exhaustive(figure1, (1, "t1"), (3, "t3")) == 2
+
+
+class TestFigure3BFSTrace:
+    def test_bfs_from_1_t2(self, figure1):
+        result = evolving_bfs(figure1, (1, "t2"), track_frontiers=True)
+        assert result.reached == {(1, "t2"): 0, (3, "t2"): 1, (3, "t3"): 2}
+
+    def test_frontier_trace_matches_figure3(self, figure1):
+        result = evolving_bfs(figure1, (1, "t2"), track_frontiers=True)
+        assert result.frontiers[0] == [(1, "t2")]
+        assert result.frontiers[1] == [(3, "t2")]
+        assert result.frontiers[2] == [(3, "t3")]
+        assert len(result.frontiers) == 3  # iteration k=3 finds nothing new
+
+    def test_t1_does_not_participate(self, figure1):
+        # "the time t1 does not participate in the BFS" from (1, t2)
+        result = evolving_bfs(figure1, (1, "t2"))
+        assert all(t != "t1" for _, t in result.reached)
+
+    def test_bfs_from_1_t1_distances(self, figure1):
+        result = evolving_bfs(figure1, (1, "t1"))
+        assert result.reached == {
+            (1, "t1"): 0,
+            (2, "t1"): 1, (1, "t2"): 1,
+            (3, "t2"): 2, (2, "t3"): 2,
+            (3, "t3"): 3,
+        }
+
+    def test_k_forward_neighbors_match_bfs_levels(self, figure1):
+        assert k_forward_neighbors(figure1, (1, "t1"), 1) == {(2, "t1"), (1, "t2")}
+        assert k_forward_neighbors(figure1, (1, "t1"), 2) == {(3, "t2"), (2, "t3")}
+        assert k_forward_neighbors(figure1, (1, "t1"), 3) == {(3, "t3")}
+        assert k_forward_neighbors(figure1, (1, "t1"), 4) == set()
+
+
+class TestSectionIIIAAdjacencyMatrices:
+    def test_adjacency_matrix_sequence(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        expected = datasets.figure1_adjacency_sequence()
+        for t, exp in zip(["t1", "t2", "t3"], expected):
+            assert np.array_equal(np.asarray(mats.matrix_at(t).todense()), exp)
+
+    def test_naive_sum_miscounts(self, figure1):
+        # (S[t3])_{13} = 1 even though there are two temporal paths
+        assert naive_path_count(figure1, 1, 3) == 1
+        assert count_temporal_paths(figure1, (1, "t1"), (3, "t3")) == 2
+
+    def test_naive_sum_S_t2_vanishes(self, figure1):
+        # S[t2] = A[t1] A[t2] = 0: no temporal path from t1 to t2 using edges only
+        matrix, labels = naive_path_sum(figure1, end_time="t2")
+        assert not matrix.any()
+
+    def test_first_term_of_S_t3_vanishes(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        a1 = np.asarray(mats.matrix_at("t1").todense())
+        a2 = np.asarray(mats.matrix_at("t2").todense())
+        assert not (a1 @ a2).any()
+
+    def test_diagonal_augmentation_still_wrong(self):
+        # Extend the example so node 3 has an outgoing edge at t3: the
+        # diagonal-ones product then counts a "path" from the *inactive*
+        # (3, t1) through (3, t2) to (4, t3), which is not a temporal path.
+        g = AdjacencyListEvolvingGraph(
+            [(1, 2, "t1"), (1, 3, "t2"), (2, 3, "t3"), (3, 4, "t3")],
+            timestamps=["t1", "t2", "t3"])
+        assert diagonal_augmented_path_count(g, 3, 4) >= 1
+        assert count_temporal_paths(g, (3, "t2"), (4, "t3")) == 1
+        # but starting at the inactive (3, t1) there is *no* temporal path at all
+        assert evolving_bfs.__name__  # documentation anchor
+        from repro.core import distance_dict
+
+        assert distance_dict(g, (3, "t1")) == {}
+
+    def test_M_t1_t2_matrix_form(self, figure1):
+        # Eq. (4): the causal block between t1 and t2 is diag(1, 0, 0)
+        from repro.core import build_full_block_matrix
+
+        matrix, order = build_full_block_matrix(figure1, node_labels=[1, 2, 3])
+        dense = np.asarray(matrix.todense())
+        # rows 0..2 are (1..3, t1); columns 3..5 are (1..3, t2)
+        block = dense[0:3, 3:6]
+        assert np.array_equal(block, np.array([[1, 0, 0], [0, 0, 0], [0, 0, 0]]))
+
+
+class TestSectionIIICBlockMatrix:
+    def test_node_order_matches_paper(self, figure1):
+        block = build_block_adjacency(figure1)
+        assert list(block.node_order) == datasets.figure4_node_order()
+
+    def test_A3_matrix_matches_paper(self, figure1):
+        block = build_block_adjacency(figure1)
+        assert np.array_equal(block.dense(), datasets.figure4_expected_matrix())
+
+    def test_power_iterates_match_paper(self, figure1):
+        block = build_block_adjacency(figure1)
+        iterates = block.power_iterates(block.unit_vector((1, "t1")), 4)
+        for computed, expected in zip(iterates, datasets.figure4_expected_iterates()):
+            assert np.array_equal(computed, expected)
+
+    def test_final_iterate_counts_two_paths(self, figure1):
+        # ((A_3^T)^3 e_1)_{(3,t3)} = 2
+        assert count_temporal_paths_by_hops(figure1, (1, "t1"), (3, "t3"), 3) == 2
+        counts = temporal_path_count_vector(figure1, (1, "t1"), 3)
+        assert counts == {(3, "t3"): 2}
+
+    def test_A3_is_nilpotent_and_strictly_upper_triangular(self, figure1):
+        block = build_block_adjacency(figure1)
+        assert block.is_strictly_upper_triangular()
+        assert block.is_nilpotent()
+        assert block.nilpotency_index() == 4
+
+    def test_expansion_matches_paper_edge_sets(self, figure1):
+        expansion = build_static_expansion(figure1)
+        assert expansion.static_edges == frozenset({
+            ((1, "t1"), (2, "t1")),
+            ((1, "t2"), (3, "t2")),
+            ((2, "t3"), (3, "t3")),
+        })
+        assert expansion.causal_edges == frozenset({
+            ((1, "t1"), (1, "t2")),
+            ((2, "t1"), (2, "t3")),
+            ((3, "t2"), (3, "t3")),
+        })
+
+    def test_forward_neighbors_algebraic_matches_eq5(self, figure1):
+        mats = to_matrix_sequence(figure1, node_labels=[1, 2, 3])
+        assert set(forward_neighbors_algebraic(mats, (1, "t1"))) == {(2, "t1"), (1, "t2")}
+        assert forward_neighbors_algebraic(mats, (2, "t1")) == [(2, "t3")]
+
+
+class TestAlgorithmEquivalenceOnPaperExample:
+    @pytest.mark.parametrize("root", [(1, "t1"), (2, "t1"), (1, "t2"), (3, "t2")])
+    def test_all_formulations_agree(self, figure1, root):
+        reference = evolving_bfs(figure1, root).reached
+        assert expansion_bfs(figure1, root) == reference
+        assert algebraic_bfs(figure1, root).reached == reference
+        assert algebraic_bfs_blocked(figure1, root).reached == reference
+
+
+class TestMessageGame:
+    def test_player3_collects_all_messages_in_good_order(self):
+        g = datasets.message_game_graph([(1, 2), (2, 3)])
+        # message a (player 1, turn 0) reaches player 3
+        result = evolving_bfs(g, (1, 0))
+        assert any(v == 3 for v, _ in result.reached)
+
+    def test_player3_cannot_get_message_a_in_bad_order(self):
+        g = datasets.message_game_graph([(2, 3), (1, 2)])
+        result = evolving_bfs(g, (1, 1))
+        assert all(v != 3 for v, _ in result.reached)
+
+    def test_direct_talk_not_needed(self):
+        g = datasets.message_game_graph([(1, 2), (2, 3)])
+        assert not g.has_edge(1, 3, 0)
+        assert not g.has_edge(1, 3, 1)
