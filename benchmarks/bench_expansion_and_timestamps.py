@@ -48,7 +48,7 @@ def test_expansion_vs_native_report(report_dir, benchmark):
     root = _first_root(graph)
 
     start = time.perf_counter()
-    native = evolving_bfs(graph, root).reached
+    native = evolving_bfs(graph, root, backend="python").reached
     native_time = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -83,7 +83,7 @@ def test_timestamp_sweep_report(report_dir, benchmark):
         root = _first_root(graph)
         expansion = build_static_expansion(graph)
         start = time.perf_counter()
-        evolving_bfs(graph, root)
+        evolving_bfs(graph, root, backend="python")
         elapsed = time.perf_counter() - start
         rows.append(
             f"{n_ts:>10} {graph.num_static_edges():>7} {expansion.num_causal_edges:>7} "
@@ -100,7 +100,7 @@ def test_timestamp_sweep_report(report_dir, benchmark):
 def test_native_bfs_cost(benchmark):
     graph = random_evolving_graph(NUM_NODES, 8, NUM_EDGES, seed=7)
     root = _first_root(graph)
-    benchmark(lambda: evolving_bfs(graph, root))
+    benchmark(lambda: evolving_bfs(graph, root, backend="python"))
 
 
 @pytest.mark.benchmark(group="expansion")
@@ -115,4 +115,4 @@ def test_expansion_then_static_bfs_cost(benchmark):
 def test_bfs_cost_vs_timestamps(benchmark, n_timestamps):
     graph = random_evolving_graph(NUM_NODES, n_timestamps, NUM_EDGES, seed=11)
     root = _first_root(graph)
-    benchmark(lambda: evolving_bfs(graph, root))
+    benchmark(lambda: evolving_bfs(graph, root, backend="python"))

@@ -84,5 +84,5 @@ def test_bfs_runtime_at_size(benchmark, num_edges):
             root = (min(active), t)
             break
     assert root is not None
-    result = benchmark(lambda: evolving_bfs(graph, root))
+    result = benchmark(lambda: evolving_bfs(graph, root, backend="python"))
     assert len(result.reached) > 0

@@ -111,5 +111,4 @@ def test_correct_counting_cost(benchmark):
 @pytest.mark.benchmark(group="path-counting")
 def test_naive_counting_cost(benchmark):
     graph = random_evolving_graph(scaled(60), 5, scaled(250), seed=1)
-    labels = sorted(graph.nodes(), key=repr)
     benchmark(lambda: naive_path_sum(graph))

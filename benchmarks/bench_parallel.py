@@ -51,7 +51,7 @@ def test_parallel_ablation_report(report_dir, benchmark):
     timings: dict[str, float] = {}
 
     start = time.perf_counter()
-    serial = evolving_bfs(graph, root).reached
+    serial = evolving_bfs(graph, root, backend="python").reached
     timings["single search, serial"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -91,7 +91,7 @@ def test_parallel_ablation_report(report_dir, benchmark):
 def test_serial_single_search(benchmark):
     graph = _graph()
     root = _first_root(graph)
-    benchmark(lambda: evolving_bfs(graph, root))
+    benchmark(lambda: evolving_bfs(graph, root, backend="python"))
 
 
 @pytest.mark.benchmark(group="parallel-single")

@@ -87,8 +87,8 @@ def test_representation_ablation_report(report_dir, benchmark):
         timings = {}
         reference = None
         for label, fn in (
-            ("adjacency_list", lambda: evolving_bfs(graph, root)),
-            ("blocked_sparse", lambda: algebraic_bfs_blocked(graph, root)),
+            ("adjacency_list", lambda: evolving_bfs(graph, root, backend="python")),
+            ("blocked_sparse", lambda: algebraic_bfs_blocked(graph, root, backend="python")),
             ("dense", lambda: _dense_algebraic_bfs(graph, root)),
         ):
             start = time.perf_counter()
@@ -114,14 +114,14 @@ def test_representation_ablation_report(report_dir, benchmark):
 @pytest.mark.benchmark(group="representations")
 def test_adjacency_list_bfs(benchmark, workload):
     _, graph, root = workload
-    benchmark(lambda: evolving_bfs(graph, root))
+    benchmark(lambda: evolving_bfs(graph, root, backend="python"))
 
 
 @pytest.mark.benchmark(group="representations")
 def test_blocked_sparse_algebraic_bfs(benchmark, workload):
     _, graph, root = workload
     mats = to_matrix_sequence(graph)
-    benchmark(lambda: algebraic_bfs_blocked(mats, root))
+    benchmark(lambda: algebraic_bfs_blocked(mats, root, backend="python"))
 
 
 @pytest.mark.benchmark(group="representations")

@@ -37,12 +37,15 @@ def main() -> None:
     print(f"root: {root}\n")
 
     implementations = [
-        ("Algorithm 1 (adjacency lists)", lambda: evolving_bfs(graph, root)),
+        ("Algorithm 1 (adjacency lists)", lambda: evolving_bfs(graph, root, backend="python")),
         ("Theorem 1 (materialised static expansion)", lambda: expansion_bfs(graph, root)),
         ("Algorithm 2 (explicit block matrix)", lambda: algebraic_bfs(graph, root)),
-        ("Algorithm 2 (blocked, matrix-free)", lambda: algebraic_bfs_blocked(graph, root)),
+        ("Algorithm 2 (blocked, matrix-free)", lambda: algebraic_bfs_blocked(graph, root,
+                                                                             backend="python")),
         ("Algorithm 1, level-synchronous threads", lambda: parallel_evolving_bfs(
             graph, root, num_workers=4)),
+        ("Vectorized frontier engine (backend default)", lambda: evolving_bfs(
+            graph, root, backend="vectorized")),
     ]
 
     reference = None

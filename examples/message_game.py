@@ -19,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from itertools import permutations, product
+from itertools import product
 
 from repro import datasets, evolving_bfs
 
@@ -61,7 +61,7 @@ def main() -> None:
     describe([(2, 3), (1, 2)])
 
     print("=== exhaustive search over 3-turn schedules ===")
-    pairs = [(s, l) for s, l in product(PLAYERS, PLAYERS) if s != l]
+    pairs = [(s, r) for s, r in product(PLAYERS, PLAYERS) if s != r]
     total = winning = 0
     for schedule in product(pairs, repeat=3):
         total += 1

@@ -15,7 +15,7 @@ Quickstart
 3
 """
 
-from repro import algorithms, analysis, datasets, generators, io, linalg, parallel
+from repro import algorithms, analysis, datasets, engine, generators, io, linalg, parallel
 from repro.core import (
     BFSResult,
     BlockAdjacencyMatrix,
@@ -74,6 +74,7 @@ __all__ = [
     "datasets",
     "algorithms",
     "analysis",
+    "engine",
     "generators",
     "io",
     "linalg",

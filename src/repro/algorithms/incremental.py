@@ -25,7 +25,7 @@ from collections import deque
 from typing import Hashable, Iterable
 
 from repro.core.bfs import BFSResult, evolving_bfs
-from repro.exceptions import GraphError, InactiveNodeError
+from repro.exceptions import GraphError
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.base import TemporalEdgeTuple, TemporalNodeTuple
 

@@ -24,8 +24,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.backward import backward_bfs
-from repro.core.bfs import evolving_bfs, multi_source_bfs
+from repro.core.bfs import evolving_bfs
 from repro.exceptions import InactiveNodeError
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
 

@@ -7,6 +7,12 @@ These are the building blocks of the Section V citation-network application:
 * node-level influence — the same sets collapsed onto node identities,
 * reachability matrices over a set of seeds (used by the temporal
   connected-component routines).
+
+Every function accepts ``backend="python" | "vectorized"`` (default
+``"vectorized"``) and forwards it to the underlying search;
+:func:`influence_sizes` additionally uses the engine's batched multi-source
+mode to amortize many single-root traversals into CSR × dense-block
+products instead of looping one BFS per root.
 """
 
 from __future__ import annotations
@@ -28,7 +34,9 @@ __all__ = [
 
 
 def forward_influence_set(graph: BaseEvolvingGraph,
-                          root: TemporalNodeTuple) -> set[TemporalNodeTuple]:
+                          root: TemporalNodeTuple,
+                          *,
+                          backend: str = "vectorized") -> set[TemporalNodeTuple]:
     """``T(root)``: every temporal node reachable from ``root`` (excluding the root itself).
 
     Returns the empty set for inactive roots (their temporal paths are empty).
@@ -36,45 +44,53 @@ def forward_influence_set(graph: BaseEvolvingGraph,
     root = tuple(root)
     if not graph.is_active(*root):
         return set()
-    reached = evolving_bfs(graph, root).reached
+    reached = evolving_bfs(graph, root, backend=backend).reached
     return {tn for tn in reached if tn != root}
 
 
 def backward_influence_set(graph: BaseEvolvingGraph,
-                           root: TemporalNodeTuple) -> set[TemporalNodeTuple]:
+                           root: TemporalNodeTuple,
+                           *,
+                           backend: str = "vectorized") -> set[TemporalNodeTuple]:
     """``T⁻¹(root)``: every temporal node that can reach ``root`` (excluding the root itself)."""
     root = tuple(root)
     if not graph.is_active(*root):
         return set()
-    reached = backward_bfs(graph, root).reached
+    reached = backward_bfs(graph, root, backend=backend).reached
     return {tn for tn in reached if tn != root}
 
 
 def influence_node_identities(graph: BaseEvolvingGraph,
                               root: TemporalNodeTuple,
                               *,
-                              backward: bool = False) -> set[Hashable]:
+                              backward: bool = False,
+                              backend: str = "vectorized") -> set[Hashable]:
     """Node identities influenced by (or influencing, when ``backward``) the root."""
     root = tuple(root)
-    temporal = backward_influence_set(graph, root) if backward \
-        else forward_influence_set(graph, root)
+    temporal = backward_influence_set(graph, root, backend=backend) if backward \
+        else forward_influence_set(graph, root, backend=backend)
     return {v for v, _ in temporal if v != root[0]}
 
 
 def influenced_by(graph: BaseEvolvingGraph,
-                  roots: Iterable[TemporalNodeTuple]) -> set[TemporalNodeTuple]:
+                  roots: Iterable[TemporalNodeTuple],
+                  *,
+                  backend: str = "vectorized") -> set[TemporalNodeTuple]:
     """Union of forward influence over several roots, computed in one multi-source BFS."""
     root_list = [tuple(r) for r in roots]
     active = [r for r in root_list if graph.is_active(*r)]
     if not active:
         return set()
-    reached = multi_source_bfs(graph, active).reached
-    return {tn for tn in reached if tn not in set(active)}
+    reached = multi_source_bfs(graph, active, backend=backend).reached
+    active_set = set(active)
+    return {tn for tn in reached if tn not in active_set}
 
 
 def earliest_influence_time(graph: BaseEvolvingGraph,
                             root: TemporalNodeTuple,
-                            node: Hashable):
+                            node: Hashable,
+                            *,
+                            backend: str = "vectorized"):
     """The earliest timestamp at which ``node`` is influenced by ``root``, or ``None``.
 
     "Influenced" means some temporal path from ``root`` ends at ``(node, t)``;
@@ -83,23 +99,45 @@ def earliest_influence_time(graph: BaseEvolvingGraph,
     root = tuple(root)
     if not graph.is_active(*root):
         return None
-    reached = evolving_bfs(graph, root).reached
+    reached = evolving_bfs(graph, root, backend=backend).reached
     times = [t for v, t in reached if v == node and (v, t) != root]
     return min(times) if times else None
 
 
 def influence_sizes(graph: BaseEvolvingGraph,
-                    roots: Iterable[TemporalNodeTuple] | None = None
+                    roots: Iterable[TemporalNodeTuple] | None = None,
+                    *,
+                    backend: str = "vectorized"
                     ) -> dict[TemporalNodeTuple, int]:
     """Number of *node identities* influenced by each root (a simple influence ranking).
 
     When ``roots`` is omitted, every active temporal node is used.  The
-    returned counts exclude the root's own node identity.
+    returned counts exclude the root's own node identity.  With
+    ``backend="vectorized"`` the roots are packed into the engine's batched
+    mode, so all searches share one traversal per frontier level instead of
+    looping one BFS per root.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     if roots is None:
         roots = graph.active_temporal_nodes()
-    out: dict[TemporalNodeTuple, int] = {}
-    for root in roots:
-        root = tuple(root)
-        out[root] = len(influence_node_identities(graph, root))
+    root_list = [tuple(r) for r in roots]
+
+    if backend == "vectorized" and graph.num_timestamps > 0:
+        results = get_kernel(graph).batch(root_list)
+        out: dict[TemporalNodeTuple, int] = {}
+        for root in root_list:
+            result = results.get(root)
+            if result is None:  # inactive root: empty influence
+                out[root] = 0
+            else:
+                out[root] = len(
+                    {v for v, _ in result.reached if v != root[0]})
+        return out
+
+    out = {}
+    for root in root_list:
+        out[root] = len(
+            influence_node_identities(graph, root, backend=backend))
     return out

@@ -11,6 +11,7 @@ from repro.analysis.scaling import (
     ScalingResult,
     fit_linear,
     format_scaling_report,
+    measure_batch_scaling,
     measure_bfs_scaling,
 )
 from repro.analysis.stats import (
@@ -33,5 +34,6 @@ __all__ = [
     "LinearFit",
     "fit_linear",
     "measure_bfs_scaling",
+    "measure_batch_scaling",
     "format_scaling_report",
 ]

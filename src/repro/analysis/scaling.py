@@ -31,6 +31,7 @@ __all__ = [
     "LinearFit",
     "fit_linear",
     "measure_bfs_scaling",
+    "measure_batch_scaling",
     "format_scaling_report",
 ]
 
@@ -130,6 +131,8 @@ def measure_bfs_scaling(
     repeats: int = 3,
     bfs: Callable[[BaseEvolvingGraph, TemporalNodeTuple], object] | None = None,
     root_picker: Callable[[AdjacencyListEvolvingGraph], TemporalNodeTuple] | None = None,
+    backend: str = "python",
+    warmup: int = 0,
 ) -> ScalingResult:
     """Run the Figure-5 sweep: grow a random evolving graph and time the BFS at each size.
 
@@ -144,17 +147,32 @@ def measure_bfs_scaling(
     repeats:
         The reported time is the median of this many BFS runs.
     bfs:
-        The search to time (default: Algorithm 1 via ``evolving_bfs``).
+        The search to time (default: Algorithm 1 via ``evolving_bfs`` with
+        ``backend``).
     root_picker:
         How to choose the root for each measurement (default: first active
         node at the earliest active timestamp, so the search spans the graph).
+    backend:
+        Which ``evolving_bfs`` backend the default search times.  The default
+        ``"python"`` preserves the original Figure-5 measurement (the paper's
+        Algorithm 1); pass ``"vectorized"`` to sweep the frontier engine.
+        Ignored when an explicit ``bfs`` callable is given.
+    warmup:
+        Untimed searches to run before the timed repeats at each size (lets
+        engine backends compile/cache their kernels outside the timing).
     """
-    search = bfs if bfs is not None else (lambda g, r: evolving_bfs(g, r))
+    if bfs is not None:
+        search = bfs
+    else:
+        def search(g, r):
+            return evolving_bfs(g, r, backend=backend)
     pick_root = root_picker if root_picker is not None else _default_root
     result = ScalingResult()
     for target, graph in incremental_edge_sequence(
             num_nodes, num_timestamps, list(edge_counts), seed=seed):
         root = pick_root(graph)
+        for _ in range(max(0, warmup)):
+            search(graph, root)
         timings = []
         reached_nodes = 0
         for _ in range(max(1, repeats)):
@@ -163,6 +181,52 @@ def measure_bfs_scaling(
             timings.append(time.perf_counter() - start)
             reached = getattr(outcome, "reached", None)
             reached_nodes = len(reached) if reached is not None else reached_nodes
+        result.points.append(
+            ScalingPoint(
+                num_static_edges=graph.num_static_edges(),
+                num_active_temporal_nodes=len(graph.active_temporal_nodes()),
+                num_causal_edges=graph.num_causal_edges(),
+                seconds=float(np.median(timings)),
+                reached_nodes=reached_nodes,
+            ))
+    return result
+
+
+def measure_batch_scaling(
+    num_nodes: int,
+    num_timestamps: int,
+    edge_counts: Sequence[int],
+    *,
+    num_roots: int = 32,
+    seed: int | None = 12345,
+    repeats: int = 3,
+    backend: str = "vectorized",
+    warmup: int = 0,
+) -> ScalingResult:
+    """Time many-root batch searches at each size of the Figure-5 sweep.
+
+    The first ``num_roots`` active temporal nodes (time-major order) seed a
+    :func:`repro.parallel.batch.batch_bfs` call per measurement; ``backend``
+    selects its execution strategy (``"vectorized"`` amortizes all roots
+    into CSR × dense-block products, ``"serial"``/``"thread"``/``"process"``
+    run one Python traversal per root).  ``reached_nodes`` reports the
+    total reached-set size summed over roots.
+    """
+    from repro.parallel.batch import batch_bfs
+
+    result = ScalingResult()
+    for target, graph in incremental_edge_sequence(
+            num_nodes, num_timestamps, list(edge_counts), seed=seed):
+        roots = graph.active_temporal_nodes()[:num_roots]
+        for _ in range(max(0, warmup)):
+            batch_bfs(graph, roots, backend=backend)
+        timings = []
+        reached_nodes = 0
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            outcome = batch_bfs(graph, roots, backend=backend)
+            timings.append(time.perf_counter() - start)
+            reached_nodes = sum(len(res.reached) for res in outcome.values())
         result.points.append(
             ScalingPoint(
                 num_static_edges=graph.num_static_edges(),

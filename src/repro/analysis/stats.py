@@ -10,7 +10,6 @@ per-snapshot edge counts, and degree statistics of the Theorem-1 expansion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
 
 import numpy as np
 

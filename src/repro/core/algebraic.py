@@ -15,6 +15,13 @@ Two equivalent implementations are provided:
 Both return the same ``reached`` dictionary as Algorithm 1 (Theorem 4), and
 both terminate because visited nodes are zeroed out (Theorem 3; for acyclic
 snapshots termination already follows from nilpotence, Lemma 1).
+
+:func:`algebraic_bfs_blocked` accepts ``backend="python" | "vectorized"``
+(default ``"vectorized"``).  The vectorized path *is* the blocked algorithm
+— per-snapshot sparse products plus ``⊙`` masks — executed by the shared
+frontier engine (:mod:`repro.engine`), which batches the ``⊙`` masking of
+all off-diagonal blocks into one cumulative OR along the time axis.  The
+Python path below keeps the original literal transcription as the oracle.
 """
 
 from __future__ import annotations
@@ -174,6 +181,8 @@ def algebraic_bfs(
 def algebraic_bfs_blocked(
     graph: MatrixSequenceEvolvingGraph | BaseEvolvingGraph,
     root: TemporalNodeTuple,
+    *,
+    backend: str = "vectorized",
 ) -> BFSResult:
     """Algorithm 2 without materialising ``A_n`` (blocked / matrix-free variant).
 
@@ -187,7 +196,19 @@ def algebraic_bfs_blocked(
     and the off-diagonal causal blocks act as activeness masks (the ``⊙``
     product), exactly as derived in Section III-C.  Costs follow Theorem 6:
     ``O(k (|E~| + |V|))`` with CSR snapshots.
+
+    ``backend="vectorized"`` (default) executes this computation on the
+    shared frontier engine, which performs the same per-snapshot sparse
+    products but applies all ``⊙`` masks in one cumulative OR;
+    ``backend="python"`` runs the literal per-block loop below.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    if resolve_backend(backend) == "vectorized" and graph.num_timestamps > 0:
+        root = (root[0], root[1])
+        graph.require_active(*root)
+        return get_kernel(graph).bfs(root)
+
     if not isinstance(graph, MatrixSequenceEvolvingGraph):
         from repro.graph.converters import to_matrix_sequence
 

@@ -12,13 +12,16 @@ earlier active appearances of the same node.
 :func:`reversed_evolving_graph` is also provided for callers (and tests) that
 want the literal ``t -> -t`` construction; forward BFS on the reversed graph
 agrees with :func:`backward_bfs` on the original.
+
+Like the forward search, :func:`backward_bfs` accepts
+``backend="python" | "vectorized"`` (default ``"vectorized"``): the sparse
+frontier engine runs the time-reversed search directly by applying the
+non-transposed snapshot matrices and reversing the causal accumulation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
-
-from repro.core.bfs import BFSResult, evolving_bfs, multi_source_bfs
+from repro.core.bfs import BFSResult, evolving_bfs
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
 
@@ -79,19 +82,39 @@ def backward_bfs(
     *,
     track_parents: bool = False,
     track_frontiers: bool = False,
+    backend: str = "vectorized",
 ) -> BFSResult:
     """BFS backwards in time and against edge direction from ``root``.
 
     ``reached[(u, s)] = k`` means there is a temporal path of ``k`` hops from
     ``(u, s)`` to the root, and ``k`` is minimal.  This computes the influence
     *sources* ``T^{-1}(a, t)`` of Section V.
+
+    With ``backend="vectorized"`` (default) the search runs on the sparse
+    frontier engine with ``direction="backward"`` — the same kernel as the
+    forward search, applied to the non-transposed snapshot matrices with the
+    causal accumulation reversed in time.  Tracking options fall back to the
+    Python reference path.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
+    if (
+        backend == "vectorized"
+        and not track_parents
+        and not track_frontiers
+        and graph.num_timestamps > 0
+    ):
+        root = (root[0], root[1])
+        graph.require_active(*root)
+        return get_kernel(graph).bfs(root, direction="backward")
     return evolving_bfs(
         graph,
         root,
         track_parents=track_parents,
         track_frontiers=track_frontiers,
         neighbor_fn=graph.backward_neighbors,
+        backend="python",
     )
 
 

@@ -15,7 +15,7 @@ temporal paths cannot go backward in time.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Iterable
 
 from repro.core.bfs import evolving_bfs
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple

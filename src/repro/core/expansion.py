@@ -19,7 +19,6 @@ whose adjacency matrix is the block matrix ``A_n`` of Section III-C.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple

@@ -9,7 +9,6 @@ temporal nodes at hop-distance exactly ``k``; they coincide with the level-
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable
 
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple

@@ -1,0 +1,28 @@
+"""Unified sparse execution engine for evolving-graph searches.
+
+* :class:`~repro.engine.frontier.FrontierKernel` — frontiers as NumPy
+  boolean/index arrays advanced by CSR SpMV per snapshot, with a batched
+  multi-source mode that packs many roots into one CSR × dense-block
+  product.
+* :func:`~repro.engine.dispatch.get_kernel` — per-graph kernel cache used by
+  the ``backend="vectorized"`` paths of :mod:`repro.core` and
+  :mod:`repro.parallel`.
+* :func:`~repro.engine.dispatch.resolve_backend` — validation of the
+  ``backend`` flag shared by every search entry point.
+"""
+
+from repro.engine.dispatch import (
+    BACKENDS,
+    get_kernel,
+    invalidate_kernel,
+    resolve_backend,
+)
+from repro.engine.frontier import FrontierKernel
+
+__all__ = [
+    "BACKENDS",
+    "FrontierKernel",
+    "get_kernel",
+    "invalidate_kernel",
+    "resolve_backend",
+]

@@ -1,0 +1,71 @@
+"""Backend selection and kernel caching for the frontier engine.
+
+Every search entry point (``evolving_bfs``, ``multi_source_bfs``,
+``backward_bfs``, ``algebraic_bfs_blocked``, ``batch_bfs``) accepts a
+``backend`` flag:
+
+* ``"vectorized"`` (the default) — route through the shared
+  :class:`~repro.engine.frontier.FrontierKernel`;
+* ``"python"`` — the original dictionary-walking reference implementation,
+  kept as the correctness oracle.
+
+Compiling a kernel costs one pass over the edges, so kernels are cached per
+graph object (weakly, so graphs remain garbage-collectable) and invalidated
+when the graph's snapshot count, static-edge count or directedness changes.
+In-place edits that preserve those counts — e.g. removing one edge and
+adding another — are not detected; call :func:`invalidate_kernel` (or build
+a fresh :class:`FrontierKernel` directly) after such mutations.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.engine.frontier import FrontierKernel
+from repro.exceptions import GraphError
+from repro.graph.base import BaseEvolvingGraph
+
+__all__ = ["BACKENDS", "get_kernel", "invalidate_kernel", "resolve_backend"]
+
+#: Recognised values of the ``backend`` flag.
+BACKENDS = ("python", "vectorized")
+
+_KERNEL_CACHE: "weakref.WeakKeyDictionary[BaseEvolvingGraph, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a ``backend`` flag value, returning it unchanged."""
+    if backend not in BACKENDS:
+        raise GraphError(f"unsupported backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+def _fingerprint(graph: BaseEvolvingGraph) -> tuple:
+    return (graph.num_timestamps, graph.num_static_edges(), graph.is_directed)
+
+
+def get_kernel(graph: BaseEvolvingGraph) -> FrontierKernel:
+    """The cached :class:`FrontierKernel` for ``graph``, rebuilt when it grows."""
+    fingerprint = _fingerprint(graph)
+    try:
+        entry = _KERNEL_CACHE.get(graph)
+    except TypeError:  # unhashable graph object
+        entry = None
+    if entry is not None and entry[0] == fingerprint:
+        return entry[1]
+    kernel = FrontierKernel(graph)
+    try:
+        _KERNEL_CACHE[graph] = (fingerprint, kernel)
+    except TypeError:  # unhashable or non-weakrefable graph object
+        pass
+    return kernel
+
+
+def invalidate_kernel(graph: BaseEvolvingGraph) -> None:
+    """Drop the cached kernel for ``graph`` (after in-place mutations)."""
+    try:
+        _KERNEL_CACHE.pop(graph, None)
+    except TypeError:
+        pass

@@ -1,0 +1,324 @@
+"""The vectorized sparse frontier kernel shared by every BFS variant.
+
+The paper's algebraic reading of Algorithm 2 (Section III-C) advances a
+*block frontier vector* — one length-``N`` component per snapshot — by one
+sparse product per snapshot plus the ``⊙`` activeness masks for the causal
+blocks.  :class:`FrontierKernel` is that computation expressed on NumPy/SciPy
+arrays instead of Python dictionaries:
+
+* the frontier is a boolean array of shape ``(T, N, R)`` — ``T`` snapshots,
+  ``N`` nodes in the shared universe, ``R`` independent searches;
+* the **spatial step** applies ``(A[t])^T`` (forward) or ``A[t]`` (backward)
+  to each snapshot's frontier block — one CSR sparse-matrix × dense-block
+  product per snapshot, so ``R`` roots share a single traversal of the
+  matrix (the ``multi_source``/``batch`` amortization);
+* the **causal step** is a cumulative logical OR along the time axis masked
+  by the per-snapshot activeness pattern — exactly the action of all
+  off-diagonal blocks ``M[s, t]^T`` at once, computed without forming them
+  (the ``⊙`` product of :func:`repro.core.algebraic.odot`, vectorized);
+* visited bookkeeping is a ``(T, N, R)`` distance array: a temporal node is
+  newly reached at level ``k`` when a candidate bit lands on a slot whose
+  distance is still ``-1``.
+
+The kernel produces exactly the ``reached`` dictionaries of the pure-Python
+reference implementations (Theorem 4 equivalence); the property-based suite
+``tests/test_engine.py`` asserts this on random evolving graphs.  Searches
+that need discovery-order artefacts (BFS trees, per-level frontier traces)
+stay on the Python reference path — see :func:`repro.core.bfs.evolving_bfs`.
+
+Cost model: with a :class:`~repro.linalg.csr.OperationCounter` attached, the
+kernel accounts ``2 · nnz(A[t]) · R`` multiply-adds per spatial product
+(one gaxpy per column, matching :meth:`CSRMatrix.matmat
+<repro.linalg.csr.CSRMatrix.matmat>`) and ``T · N · R`` column checks per
+causal step, which is the Theorem 5/6 accounting of the blocked algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.bfs import BFSResult
+from repro.exceptions import GraphError, InactiveNodeError
+from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph, Node, TemporalNodeTuple, Time
+from repro.linalg.csr import OperationCounter
+
+__all__ = ["FrontierKernel"]
+
+_DIRECTIONS = ("forward", "backward")
+
+
+class FrontierKernel:
+    """Sparse execution engine for frontier expansion over one evolving graph.
+
+    Parameters
+    ----------
+    graph:
+        Any evolving-graph representation; it is compiled once into
+        per-snapshot CSR adjacency matrices (symmetrized for undirected
+        graphs, self-loops dropped per Definition 3) over the shared node
+        universe, plus a ``(T, N)`` activeness mask.
+    counter:
+        Optional :class:`~repro.linalg.csr.OperationCounter`; when given,
+        every kernel invocation accounts its flops per column (the
+        Theorem 5/6 cost model).
+
+    Notes
+    -----
+    The kernel is a *compiled snapshot* of the graph: mutating the graph
+    afterwards does not update the kernel.  The dispatch-level cache
+    (:func:`repro.engine.dispatch.get_kernel`) rebuilds kernels when the
+    graph's timestamp/edge counts change.
+    """
+
+    def __init__(
+        self,
+        graph: BaseEvolvingGraph,
+        *,
+        counter: OperationCounter | None = None,
+    ) -> None:
+        times = list(graph.timestamps)
+        if not times:
+            raise GraphError("FrontierKernel requires at least one snapshot")
+        self._times: list[Time] = times
+        self._time_index: dict[Time, int] = {t: i for i, t in enumerate(times)}
+        self.counter = counter
+
+        if isinstance(graph, MatrixSequenceEvolvingGraph):
+            self._labels: list[Node] = graph.node_labels
+            mats = [graph.symmetrized_matrix_at(t).astype(np.int32) for t in times]
+        else:
+            self._labels, mats = _compile_snapshots(graph, times, self._time_index)
+        self._node_index: dict[Node, int] = {v: i for i, v in enumerate(self._labels)}
+        self._n = int(mats[0].shape[0])
+
+        self._mats: list[sp.csr_matrix] = mats
+        self._mats_t: list[sp.csr_matrix] = [m.T.tocsr() for m in mats]
+
+        active = np.zeros((len(times), self._n), dtype=bool)
+        for k, m in enumerate(mats):
+            out_deg = np.asarray(m.sum(axis=1)).ravel()
+            in_deg = np.asarray(m.sum(axis=0)).ravel()
+            active[k] = (out_deg + in_deg) > 0
+        self._active = active
+
+    # ------------------------------------------------------------------ #
+    # structure                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def timestamps(self) -> Sequence[Time]:
+        """Snapshot labels, in time order."""
+        return tuple(self._times)
+
+    @property
+    def node_labels(self) -> list[Node]:
+        """Node labels indexing the matrix rows/columns."""
+        return list(self._labels)
+
+    @property
+    def num_nodes(self) -> int:
+        """Size ``N`` of the shared node universe."""
+        return self._n
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of snapshots ``T``."""
+        return len(self._times)
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries summed over all snapshot matrices."""
+        return int(sum(m.nnz for m in self._mats))
+
+    def is_active(self, node: Node, time: Time) -> bool:
+        """Whether ``(node, time)`` is active (Definition 3), per the compiled masks."""
+        ti = self._time_index.get(time)
+        vi = self._node_index.get(node)
+        if ti is None or vi is None:
+            return False
+        return bool(self._active[ti, vi])
+
+    # ------------------------------------------------------------------ #
+    # searches                                                            #
+    # ------------------------------------------------------------------ #
+
+    def bfs(self, root: TemporalNodeTuple, *, direction: str = "forward") -> BFSResult:
+        """Single-source search from ``root``; equals Algorithm 1 on ``reached``.
+
+        ``direction="backward"`` runs the time-reversed search of Section V
+        (spatial in-neighbours, earlier active appearances).
+        """
+        root = (root[0], root[1])
+        seed = self._seed_index(root)
+        dist = self._run([[seed]], direction)
+        return BFSResult(root=root, reached=self._reached_dict(dist, 0))
+
+    def multi_source(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+    ) -> BFSResult:
+        """One search seeded at several roots: distance to the *nearest* root.
+
+        Inactive roots are skipped; when every root is inactive an
+        :class:`InactiveNodeError` is raised (matching
+        :func:`repro.core.bfs.multi_source_bfs`).
+        """
+        root_list = [(r[0], r[1]) for r in roots]
+        active_roots = [r for r in root_list if self.is_active(*r)]
+        if not active_roots:
+            if root_list:
+                raise InactiveNodeError(*root_list[0])
+            raise ValueError("multi_source requires at least one root")
+        seeds = [self._seed_index(r) for r in active_roots]
+        dist = self._run([seeds], direction)
+        return BFSResult(root=tuple(active_roots), reached=self._reached_dict(dist, 0))
+
+    def batch(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        chunk_size: int = 128,
+    ) -> dict[TemporalNodeTuple, BFSResult]:
+        """Many *independent* single-source searches, amortized over one traversal.
+
+        The roots are packed ``chunk_size`` at a time into the columns of a
+        dense block, so every frontier advance is one CSR × dense-block
+        product per snapshot instead of one full traversal per root.
+        Inactive roots are skipped silently (matching
+        :func:`repro.parallel.batch.batch_bfs`).
+        """
+        if chunk_size < 1:
+            raise GraphError("chunk_size must be at least 1")
+        root_list = [(r[0], r[1]) for r in roots]
+        active_roots = [r for r in root_list if self.is_active(*r)]
+        results: dict[TemporalNodeTuple, BFSResult] = {}
+        for start in range(0, len(active_roots), chunk_size):
+            chunk = active_roots[start : start + chunk_size]
+            dist = self._run([[self._seed_index(r)] for r in chunk], direction)
+            for col, root in enumerate(chunk):
+                results[root] = BFSResult(
+                    root=root, reached=self._reached_dict(dist, col)
+                )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # the engine loop                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _seed_index(self, root: TemporalNodeTuple) -> tuple[int, int]:
+        node, time = root
+        ti = self._time_index.get(time)
+        vi = self._node_index.get(node)
+        if ti is None or vi is None or not self._active[ti, vi]:
+            raise InactiveNodeError(node, time)
+        return ti, vi
+
+    def _run(
+        self,
+        seeds_per_column: list[list[tuple[int, int]]],
+        direction: str,
+    ) -> np.ndarray:
+        """Level-synchronous expansion of ``R`` seed sets; ``(T, N, R)`` distances."""
+        if direction not in _DIRECTIONS:
+            raise GraphError(f"unsupported direction {direction!r}")
+        forward = direction == "forward"
+        t_count, n = self._active.shape
+        r = len(seeds_per_column)
+        dist = np.full((t_count, n, r), -1, dtype=np.int32)
+        frontier = np.zeros((t_count, n, r), dtype=bool)
+        for col, seeds in enumerate(seeds_per_column):
+            for ti, vi in seeds:
+                frontier[ti, vi, col] = True
+                dist[ti, vi, col] = 0
+
+        mats = self._mats_t if forward else self._mats
+        active = self._active[:, :, None]
+        counter = self.counter
+        level = 0
+        while frontier.any():
+            level += 1
+            # spatial step: one SpMM per snapshot covers all R searches at once
+            spatial = np.zeros_like(frontier)
+            for ti in range(t_count):
+                block = frontier[ti]
+                if block.any():
+                    product = mats[ti] @ block.astype(np.int32)
+                    spatial[ti] = product > 0
+                    if counter is not None:
+                        counter.multiply_adds += 2 * int(mats[ti].nnz) * r
+            # causal step: cumulative OR along time, masked by activeness (⊙)
+            causal = np.zeros_like(frontier)
+            if t_count > 1:
+                if forward:
+                    carried = np.logical_or.accumulate(frontier, axis=0)
+                    causal[1:] = carried[:-1]
+                else:
+                    carried = np.logical_or.accumulate(frontier[::-1], axis=0)[::-1]
+                    causal[:-1] = carried[1:]
+                causal &= active
+                if counter is not None:
+                    counter.column_checks += t_count * n * r
+            frontier = (spatial | causal) & active & (dist < 0)
+            dist[frontier] = level
+        return dist
+
+    def _reached_dict(
+        self,
+        dist: np.ndarray,
+        col: int,
+    ) -> dict[TemporalNodeTuple, int]:
+        """Decode one column of the distance array back into temporal-node labels."""
+        labels = self._labels
+        times = self._times
+        t_arr, v_arr = np.nonzero(dist[:, :, col] >= 0)
+        d_arr = dist[t_arr, v_arr, col]
+        reached: dict[TemporalNodeTuple, int] = {}
+        for ti, vi, d in zip(t_arr.tolist(), v_arr.tolist(), d_arr.tolist()):
+            reached[(labels[vi], times[ti])] = d
+        return reached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FrontierKernel snapshots={self.num_snapshots} "
+            f"nodes={self.num_nodes} nnz={self.nnz}>"
+        )
+
+
+def _compile_snapshots(
+    graph: BaseEvolvingGraph,
+    times: list[Time],
+    time_index: dict[Time, int],
+) -> tuple[list[Node], list[sp.csr_matrix]]:
+    """Bulk-compile any representation into per-snapshot CSR matrices."""
+    triples = list(graph.temporal_edges_unordered())
+    label_set = {u for u, _, _ in triples} | {v for _, v, _ in triples}
+    labels = sorted(label_set, key=repr)
+    index = {v: i for i, v in enumerate(labels)}
+    n = len(labels)
+    count = len(triples)
+    u_idx = np.fromiter((index[u] for u, _, _ in triples), dtype=np.int64, count=count)
+    v_idx = np.fromiter((index[v] for _, v, _ in triples), dtype=np.int64, count=count)
+    t_gen = (time_index[t] for _, _, t in triples)
+    t_idx = np.fromiter(t_gen, dtype=np.int64, count=count)
+    if not graph.is_directed:
+        u_idx, v_idx = np.concatenate([u_idx, v_idx]), np.concatenate([v_idx, u_idx])
+        t_idx = np.concatenate([t_idx, t_idx])
+    keep = u_idx != v_idx  # self-loops never create activeness (Definition 3)
+    u_idx, v_idx, t_idx = u_idx[keep], v_idx[keep], t_idx[keep]
+    mats: list[sp.csr_matrix] = []
+    for k in range(len(times)):
+        mask = t_idx == k
+        data = np.ones(int(mask.sum()), dtype=np.int32)
+        mat = sp.csr_matrix((data, (u_idx[mask], v_idx[mask])), shape=(n, n))
+        mat.sum_duplicates()
+        if mat.nnz:
+            mat.data[:] = 1
+        mats.append(mat)
+    return labels, mats

@@ -165,6 +165,12 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
     def num_static_edges(self) -> int:
         return sum(len(s) for s in self._edge_sets.values())
 
+    def temporal_edges_unordered(self) -> Iterator[TemporalEdgeTuple]:
+        """Dump every ``(u, v, t)`` edge without the per-snapshot repr-sort."""
+        for t in self._timestamps:
+            for u, v in self._edge_sets[t]:
+                yield (u, v, t)
+
     def num_static_edges_at(self, time: Time) -> int:
         """Number of static edges in the snapshot at ``time``."""
         if time not in self._edge_sets:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 from abc import ABC, abstractmethod
-from typing import Hashable, Iterable, Iterator, Sequence
+from typing import Hashable, Iterator, Sequence
 
 from repro.exceptions import InactiveNodeError, TimestampNotFoundError
 
@@ -152,6 +152,15 @@ class BaseEvolvingGraph(ABC):
         for t in self.timestamps:
             for u, v in self.edges_at(t):
                 yield (u, v, t)
+
+    def temporal_edges_unordered(self) -> Iterator[TemporalEdgeTuple]:
+        """Like :meth:`temporal_edges` but with no ordering guarantee.
+
+        Bulk consumers that do not care about edge order (e.g. the frontier
+        engine compiling snapshot matrices) use this hook; representations
+        whose ordered iteration pays a sort override it with a plain dump.
+        """
+        return self.temporal_edges()
 
     def has_edge(self, u: Node, v: Node, time: Time) -> bool:
         """Whether the snapshot at ``time`` contains the edge ``u -> v``.

@@ -11,11 +11,11 @@ snapshots).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
-from repro.graph.base import BaseEvolvingGraph, Node, TemporalEdgeTuple, Time
+from repro.graph.base import BaseEvolvingGraph, Node, TemporalEdgeTuple
 from repro.graph.edge_list import TemporalEdgeList
 from repro.graph.snapshots import SnapshotSequenceEvolvingGraph
 

@@ -10,7 +10,6 @@ possible and falling back to strings otherwise.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import Iterable, TextIO
 

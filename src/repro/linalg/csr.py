@@ -11,8 +11,9 @@ verify the cost model empirically (``benchmarks/bench_representations.py``)
 while the production code paths keep using SciPy.
 
 Only the operations the paper's analysis needs are implemented: construction
-from COO triplets, transposition, sparse matrix–vector products (both
-orientations), emptiness checks of rows/columns, and conversion to/from
+from COO triplets, transposition, sparse matrix–vector and matrix–block
+products (both orientations, with multi-vector products accounted per
+column), emptiness checks of rows/columns, and conversion to/from
 SciPy/dense.
 """
 
@@ -197,8 +198,14 @@ class CSRMatrix:
     # ------------------------------------------------------------------ #
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """``y = A @ x`` — the CSR gaxpy; costs ``2 nnz`` flops (Theorem 6's model)."""
+        """``y = A @ x`` — the CSR gaxpy; costs ``2 nnz`` flops (Theorem 6's model).
+
+        Two-dimensional inputs are routed to :meth:`matmat` so that batched
+        multi-vector products are accounted per column.
+        """
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            return self.matmat(x)
         if x.shape[0] != self.num_cols:
             raise RepresentationError(
                 f"dimension mismatch: matrix has {self.num_cols} columns, vector has {x.shape[0]}")
@@ -209,14 +216,57 @@ class CSRMatrix:
         return y
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        """``y = A.T @ x`` without forming the transpose; also ``2 nnz`` flops."""
+        """``y = A.T @ x`` without forming the transpose; also ``2 nnz`` flops.
+
+        Two-dimensional inputs are routed to :meth:`rmatmat` so that batched
+        multi-vector products are accounted per column.
+        """
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            return self.rmatmat(x)
         if x.shape[0] != self.num_rows:
             raise RepresentationError(
                 f"dimension mismatch: matrix has {self.num_rows} rows, vector has {x.shape[0]}")
         self.counter.multiply_adds += 2 * self.nnz
         y = np.zeros(self.num_cols, dtype=np.float64)
         weights = np.repeat(x, self.row_nnz()) * self.data
+        np.add.at(y, self.indices, weights)
+        return y
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """``Y = A @ X`` for a dense block ``X`` of ``r`` columns; costs ``2 nnz r`` flops.
+
+        A multi-vector product is one gaxpy *per column* in the Theorem 5/6
+        cost model, so the counter advances by ``2 nnz`` per column — the
+        accounting the batched multi-source frontier engine relies on.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return self.matvec(x)
+        if x.ndim != 2 or x.shape[0] != self.num_cols:
+            raise RepresentationError(
+                f"dimension mismatch: matrix has {self.num_cols} columns, "
+                f"block has shape {x.shape}")
+        num_vectors = x.shape[1]
+        self.counter.multiply_adds += 2 * self.nnz * num_vectors
+        y = np.zeros((self.num_rows, num_vectors), dtype=np.float64)
+        contrib = self.data[:, None] * x[self.indices, :]
+        np.add.at(y, np.repeat(np.arange(self.num_rows), self.row_nnz()), contrib)
+        return y
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        """``Y = A.T @ X`` without forming the transpose; also ``2 nnz r`` flops."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return self.rmatvec(x)
+        if x.ndim != 2 or x.shape[0] != self.num_rows:
+            raise RepresentationError(
+                f"dimension mismatch: matrix has {self.num_rows} rows, "
+                f"block has shape {x.shape}")
+        num_vectors = x.shape[1]
+        self.counter.multiply_adds += 2 * self.nnz * num_vectors
+        y = np.zeros((self.num_cols, num_vectors), dtype=np.float64)
+        weights = np.repeat(x, self.row_nnz(), axis=0) * self.data[:, None]
         np.add.at(y, self.indices, weights)
         return y
 

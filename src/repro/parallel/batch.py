@@ -12,9 +12,15 @@ intra-traversal parallelism:
 * the **process** backend pays a one-time pickling cost per worker (fork
   start method shares pages copy-on-write on Linux) and then scales with
   physical cores, which is the honest way to scale pure-Python traversal;
+* the **vectorized** backend skips task-level parallelism entirely: all
+  roots are packed into the columns of a dense block and advanced by one
+  CSR × dense-block product per snapshot on the shared frontier engine
+  (:mod:`repro.engine`), amortizing the traversal across roots — usually
+  far faster than any pool of Python traversals;
 * the **serial** backend is the reference implementation and the default.
 
-The ablation benchmark ``bench_parallel.py`` measures all three.
+The ablation benchmarks ``bench_parallel.py`` and ``bench_engine.py``
+measure all of them.
 """
 
 from __future__ import annotations
@@ -39,7 +45,9 @@ def _init_worker(graph: BaseEvolvingGraph) -> None:
 
 def _worker_bfs(root: TemporalNodeTuple) -> tuple[TemporalNodeTuple, dict]:
     assert _WORKER_GRAPH is not None, "worker not initialised"
-    result = evolving_bfs(_WORKER_GRAPH, root)
+    # the pool backends are the task-parallel *Python* reference; the engine
+    # path is selected explicitly via backend="vectorized"
+    result = evolving_bfs(_WORKER_GRAPH, root, backend="python")
     return root, result.reached
 
 
@@ -72,26 +80,39 @@ def batch_bfs(
     graph: BaseEvolvingGraph,
     roots: Iterable[TemporalNodeTuple],
     *,
-    backend: Literal["serial", "thread", "process"] = "serial",
+    backend: Literal["serial", "thread", "process", "vectorized"] = "serial",
     num_workers: int | None = None,
+    chunk_size: int = 128,
 ) -> dict[TemporalNodeTuple, BFSResult]:
     """Run one evolving-graph BFS per root and collect the results.
 
     Inactive roots are skipped silently (their searches would be empty).
+    ``backend="vectorized"`` packs ``chunk_size`` roots at a time into the
+    frontier engine's batched multi-source mode (one CSR × dense-block
+    product per snapshot per level); the other backends run one Python
+    traversal per root.
     """
     root_list = [tuple(r) for r in roots]
     active_roots = [r for r in root_list if graph.is_active(*r)]
     workers = num_workers or min(8, os.cpu_count() or 1)
 
+    if backend == "vectorized":
+        if not active_roots:
+            return {}
+        from repro.engine import get_kernel
+
+        return get_kernel(graph).batch(active_roots, chunk_size=chunk_size)
+
     results: dict[TemporalNodeTuple, BFSResult] = {}
     if backend == "serial" or len(active_roots) <= 1:
         for root in active_roots:
-            results[root] = evolving_bfs(graph, root)
+            results[root] = evolving_bfs(graph, root, backend="python")
         return results
 
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {root: pool.submit(evolving_bfs, graph, root) for root in active_roots}
+            futures = {root: pool.submit(evolving_bfs, graph, root, backend="python")
+                       for root in active_roots}
             for root, future in futures.items():
                 results[root] = future.result()
         return results

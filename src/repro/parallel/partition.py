@@ -15,10 +15,10 @@ benchmarks.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, TypeVar
+from typing import Sequence, TypeVar
 
 from repro.exceptions import GraphError
-from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple, Time
+from repro.graph.base import BaseEvolvingGraph, Time
 
 T = TypeVar("T")
 

@@ -1,0 +1,290 @@
+"""Equivalence and unit tests for the vectorized sparse frontier engine.
+
+The engine (``repro.engine``) must be *observationally identical* to the
+pure-Python reference implementations on every search it accelerates:
+single-source forward BFS, backward BFS, combined multi-source BFS, and
+batched independent searches.  The property-based tests here assert exact
+``reached``-dictionary equality on random evolving graphs (directed and
+undirected, including multi-source batches), plus the error-path,
+caching, and operation-counting behaviour of the engine itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import measure_batch_scaling
+from repro.core import (
+    algebraic_bfs_blocked,
+    backward_bfs,
+    evolving_bfs,
+    multi_source_bfs,
+)
+from repro.engine import (
+    BACKENDS,
+    FrontierKernel,
+    get_kernel,
+    invalidate_kernel,
+    resolve_backend,
+)
+from repro.exceptions import GraphError, InactiveNodeError
+from repro.graph import (
+    AdjacencyListEvolvingGraph,
+    to_edge_list,
+    to_matrix_sequence,
+    to_snapshot_sequence,
+)
+from repro.linalg import CSRMatrix, OperationCounter
+from repro.parallel import batch_bfs
+
+node_labels = st.integers(min_value=0, max_value=12)
+time_labels = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def evolving_graphs(draw, *, directed: bool | None = None, min_edges: int = 1,
+                    max_edges: int = 25):
+    """A small random evolving graph as an adjacency-list representation."""
+    if directed is None:
+        directed = draw(st.booleans())
+    n_edges = draw(st.integers(min_value=min_edges, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(node_labels, node_labels, time_labels).filter(lambda e: e[0] != e[1]),
+            min_size=n_edges, max_size=n_edges,
+        )
+    )
+    return AdjacencyListEvolvingGraph(edges, directed=directed)
+
+
+@st.composite
+def graphs_with_roots(draw, **kwargs):
+    graph = draw(evolving_graphs(**kwargs))
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    root = draw(st.sampled_from(active))
+    return graph, root
+
+
+ENGINE_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------- #
+# property-based equivalence: vectorized backend == python backend             #
+# --------------------------------------------------------------------------- #
+
+@ENGINE_SETTINGS
+@given(graphs_with_roots())
+def test_vectorized_forward_bfs_equals_python(graph_root):
+    graph, root = graph_root
+    reference = evolving_bfs(graph, root, backend="python")
+    vectorized = evolving_bfs(graph, root, backend="vectorized")
+    assert vectorized.reached == reference.reached
+    assert vectorized.root == reference.root
+
+
+@ENGINE_SETTINGS
+@given(graphs_with_roots())
+def test_vectorized_backward_bfs_equals_python(graph_root):
+    graph, root = graph_root
+    reference = backward_bfs(graph, root, backend="python")
+    vectorized = backward_bfs(graph, root, backend="vectorized")
+    assert vectorized.reached == reference.reached
+
+
+@ENGINE_SETTINGS
+@given(graphs_with_roots())
+def test_vectorized_blocked_algebraic_equals_python(graph_root):
+    graph, root = graph_root
+    reference = algebraic_bfs_blocked(graph, root, backend="python")
+    vectorized = algebraic_bfs_blocked(graph, root, backend="vectorized")
+    assert vectorized.reached == reference.reached
+
+
+@ENGINE_SETTINGS
+@given(evolving_graphs(), st.data())
+def test_vectorized_multi_source_equals_python(graph, data):
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    roots = data.draw(
+        st.lists(st.sampled_from(active), min_size=1, max_size=5))
+    reference = multi_source_bfs(graph, roots, backend="python")
+    vectorized = multi_source_bfs(graph, roots, backend="vectorized")
+    assert vectorized.reached == reference.reached
+    assert vectorized.root == reference.root
+
+
+@ENGINE_SETTINGS
+@given(evolving_graphs())
+def test_vectorized_batch_equals_serial_per_root(graph):
+    roots = graph.active_temporal_nodes()
+    serial = batch_bfs(graph, roots, backend="serial")
+    vectorized = batch_bfs(graph, roots, backend="vectorized", chunk_size=3)
+    assert set(serial) == set(vectorized)
+    for root in serial:
+        assert vectorized[root].reached == serial[root].reached
+
+
+@ENGINE_SETTINGS
+@given(graphs_with_roots())
+def test_engine_is_representation_independent(graph_root):
+    graph, root = graph_root
+    reference = evolving_bfs(graph, root, backend="python").reached
+    for converted in (to_edge_list(graph), to_matrix_sequence(graph),
+                      to_snapshot_sequence(graph)):
+        assert evolving_bfs(converted, root, backend="vectorized").reached \
+            == reference
+
+
+# --------------------------------------------------------------------------- #
+# kernel unit behaviour                                                        #
+# --------------------------------------------------------------------------- #
+
+class TestFrontierKernel:
+    def test_kernel_structure_on_figure1(self, figure1):
+        kernel = FrontierKernel(figure1)
+        assert kernel.num_snapshots == len(figure1.timestamps)
+        assert set(kernel.node_labels) == figure1.nodes()
+        assert kernel.nnz > 0
+        for v, t in figure1.active_temporal_nodes():
+            assert kernel.is_active(v, t)
+        assert not kernel.is_active("nonexistent", "t1")
+
+    def test_inactive_root_raises(self, figure1):
+        kernel = FrontierKernel(figure1)
+        with pytest.raises(InactiveNodeError):
+            kernel.bfs((4, "t1"))
+
+    def test_multi_source_all_inactive_raises(self, figure1):
+        kernel = FrontierKernel(figure1)
+        with pytest.raises(InactiveNodeError):
+            kernel.multi_source([(4, "t1")])
+        with pytest.raises(ValueError):
+            kernel.multi_source([])
+
+    def test_batch_skips_inactive_roots(self, figure1):
+        kernel = FrontierKernel(figure1)
+        results = kernel.batch([(1, "t1"), (4, "t1")])
+        assert set(results) == {(1, "t1")}
+
+    def test_bad_direction_rejected(self, figure1):
+        kernel = FrontierKernel(figure1)
+        with pytest.raises(GraphError):
+            kernel.bfs((1, "t1"), direction="sideways")
+
+    def test_bad_chunk_size_rejected(self, figure1):
+        kernel = FrontierKernel(figure1)
+        with pytest.raises(GraphError):
+            kernel.batch([(1, "t1")], chunk_size=0)
+
+    def test_empty_graph_rejected(self):
+        graph = AdjacencyListEvolvingGraph()
+        with pytest.raises(GraphError):
+            FrontierKernel(graph)
+
+
+class TestDispatch:
+    def test_backend_values(self):
+        assert set(BACKENDS) == {"python", "vectorized"}
+        assert resolve_backend("python") == "python"
+        with pytest.raises(GraphError):
+            resolve_backend("julia")
+
+    def test_unknown_backend_rejected_even_with_tracking(self, figure1):
+        with pytest.raises(GraphError):
+            evolving_bfs(figure1, (1, "t1"), backend="julia",
+                         track_parents=True)
+
+    def test_kernel_cache_reuses_and_invalidates(self, figure1):
+        invalidate_kernel(figure1)
+        first = get_kernel(figure1)
+        assert get_kernel(figure1) is first
+        invalidate_kernel(figure1)
+        assert get_kernel(figure1) is not first
+
+    def test_kernel_rebuilt_after_growth(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        before = get_kernel(graph)
+        assert evolving_bfs(graph, (0, 0)).reached == {(0, 0): 0, (1, 0): 1}
+        graph.add_edge(1, 2, 1)
+        assert get_kernel(graph) is not before
+        reached = evolving_bfs(graph, (0, 0)).reached
+        assert reached == evolving_bfs(graph, (0, 0), backend="python").reached
+        assert (2, 1) in reached
+
+    def test_tracking_options_fall_back_to_python(self, figure1):
+        traced = evolving_bfs(figure1, (1, "t1"), track_parents=True,
+                              track_frontiers=True)
+        assert traced.parents
+        assert traced.frontiers[0] == [(1, "t1")]
+        assert traced.reached == evolving_bfs(figure1, (1, "t1")).reached
+
+
+# --------------------------------------------------------------------------- #
+# cost-model accounting                                                        #
+# --------------------------------------------------------------------------- #
+
+class TestOperationCounting:
+    def test_matmat_counts_flops_per_column(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.0], [2.0, 3.0]]))
+        block = np.ones((2, 4))
+        result = matrix.matmat(block)
+        assert result.shape == (2, 4)
+        assert matrix.counter.multiply_adds == 2 * matrix.nnz * 4
+        np.testing.assert_allclose(result, matrix.to_dense() @ block)
+
+    def test_rmatmat_counts_flops_per_column(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.0], [2.0, 3.0]]))
+        block = np.ones((2, 3))
+        result = matrix.rmatmat(block)
+        assert result.shape == (2, 3)
+        assert matrix.counter.multiply_adds == 2 * matrix.nnz * 3
+        np.testing.assert_allclose(result, matrix.to_dense().T @ block)
+
+    def test_two_dimensional_matvec_routes_to_matmat(self):
+        matrix = CSRMatrix.from_dense(np.eye(3))
+        matrix.matvec(np.ones((3, 5)))
+        assert matrix.counter.multiply_adds == 2 * matrix.nnz * 5
+        matrix.counter.reset()
+        matrix.rmatvec(np.ones((3, 2)))
+        assert matrix.counter.multiply_adds == 2 * matrix.nnz * 2
+
+    def test_single_vector_accounting_unchanged(self):
+        matrix = CSRMatrix.from_dense(np.eye(3))
+        matrix.matvec(np.ones(3))
+        assert matrix.counter.multiply_adds == 2 * matrix.nnz
+
+    def test_kernel_counter_scales_with_batch_width(self, figure1):
+        single = OperationCounter()
+        FrontierKernel(figure1, counter=single).bfs((1, "t1"))
+        assert single.multiply_adds > 0
+
+        batched = OperationCounter()
+        kernel = FrontierKernel(figure1, counter=batched)
+        kernel.batch([(1, "t1"), (1, "t1"), (1, "t1")], chunk_size=3)
+        # three identical searches share each product, so the per-column
+        # accounting must report exactly three times the single-search flops
+        assert batched.multiply_adds == 3 * single.multiply_adds
+
+
+# --------------------------------------------------------------------------- #
+# batched scaling harness                                                      #
+# --------------------------------------------------------------------------- #
+
+def test_measure_batch_scaling_smoke():
+    result = measure_batch_scaling(
+        30, 3, [60, 90], num_roots=8, seed=7, repeats=1, warmup=1)
+    assert len(result.points) == 2
+    assert all(p.seconds >= 0 for p in result.points)
+    assert all(p.reached_nodes > 0 for p in result.points)

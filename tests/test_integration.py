@@ -22,7 +22,6 @@ from repro.core import (
     temporal_distance,
 )
 from repro.generators import (
-    generate_citation_network,
     preferential_attachment_evolving,
     random_evolving_graph,
     sliding_window_communication,
@@ -148,7 +147,10 @@ class TestCitationWorkflow:
 
 class TestScalingWorkflow:
     def test_small_scaling_sweep_produces_linear_ish_results(self):
-        result = measure_bfs_scaling(400, 6, [2000, 4000, 6000, 8000], seed=0, repeats=2)
+        # warmup soaks up first-touch cache/allocator noise, which at this tiny
+        # scale is big enough to flip the linear fit on a loaded machine
+        result = measure_bfs_scaling(400, 6, [2000, 4000, 6000, 8000], seed=0,
+                                     repeats=3, warmup=1)
         fit = result.linear_fit()
         assert fit.slope > 0
         assert fit.r_squared > 0.5  # noisy at tiny scale; the benchmark uses larger sweeps

@@ -16,7 +16,6 @@ paper's structural claims on every generated instance:
 
 from __future__ import annotations
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
