@@ -9,6 +9,7 @@ root, which EXPERIMENTS.md references.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -38,5 +39,14 @@ def write_report(report_dir: Path, name: str, lines: list[str]) -> Path:
     path = report_dir / name
     text = "\n".join(lines) + "\n"
     path.write_text(text, encoding="utf-8")
+    print(f"\n--- {name} ---\n{text}")
+    return path
+
+
+def write_json_report(report_dir: Path, name: str, payload: dict) -> Path:
+    """Write (and echo) a machine-readable JSON report (CI uploads these)."""
+    path = report_dir / name
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    path.write_text(text + "\n", encoding="utf-8")
     print(f"\n--- {name} ---\n{text}")
     return path

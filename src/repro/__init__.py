@@ -15,7 +15,16 @@ Quickstart
 3
 """
 
-from repro import algorithms, analysis, datasets, engine, generators, io, linalg, parallel
+from repro import (
+    algorithms,
+    analysis,
+    datasets,
+    engine,
+    generators,
+    io,
+    linalg,
+    parallel,
+)
 from repro.core import (
     BFSResult,
     BlockAdjacencyMatrix,

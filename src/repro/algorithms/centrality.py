@@ -14,6 +14,16 @@ distance (hop count over static *and* causal edges):
   block adjacency matrix ``A_n`` (converges for any attenuation factor below
   the reciprocal spectral radius; always converges for acyclic snapshots
   because ``A_n`` is then nilpotent, Lemma 1).
+
+Backends
+--------
+Except for the sampled betweenness (which needs BFS parent pointers and
+therefore stays on the Python path), every measure accepts
+``backend="python" | "vectorized"``.  The default ``"vectorized"`` runs all
+roots through the shared frontier engine as batched CSR × dense-block
+sweeps (:meth:`FrontierKernel.identity_reach_counts
+<repro.engine.frontier.FrontierKernel.identity_reach_counts>` and friends);
+``"python"`` is the original one-dictionary-BFS-per-root oracle.
 """
 
 from __future__ import annotations
@@ -37,35 +47,70 @@ __all__ = [
 ]
 
 
-def temporal_out_reach(graph: BaseEvolvingGraph) -> dict[TemporalNodeTuple, int]:
+def _reach_vectorized(
+    graph: BaseEvolvingGraph, direction: str
+) -> dict[TemporalNodeTuple, int]:
+    from repro.engine import get_kernel
+
+    roots = graph.active_temporal_nodes()
+    if not roots:
+        return {}
+    return get_kernel(graph).identity_reach_counts(roots, direction=direction)
+
+
+def temporal_out_reach(
+    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+) -> dict[TemporalNodeTuple, int]:
     """For every active temporal node, the number of distinct node identities it can reach."""
+    from repro.engine import resolve_backend
+
+    if resolve_backend(backend) == "vectorized":
+        return _reach_vectorized(graph, "forward")
     out: dict[TemporalNodeTuple, int] = {}
     for root in graph.active_temporal_nodes():
-        reached = evolving_bfs(graph, root).reached
+        reached = evolving_bfs(graph, root, backend="python").reached
         out[root] = len({v for v, _ in reached} - {root[0]})
     return out
 
 
-def temporal_in_reach(graph: BaseEvolvingGraph) -> dict[TemporalNodeTuple, int]:
+def temporal_in_reach(
+    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+) -> dict[TemporalNodeTuple, int]:
     """For every active temporal node, the number of distinct node identities that can reach it."""
+    from repro.engine import resolve_backend
+
+    if resolve_backend(backend) == "vectorized":
+        return _reach_vectorized(graph, "backward")
     out: dict[TemporalNodeTuple, int] = {}
     for root in graph.active_temporal_nodes():
-        reached = backward_bfs(graph, root).reached
+        reached = backward_bfs(graph, root, backend="python").reached
         out[root] = len({v for v, _ in reached} - {root[0]})
     return out
 
 
-def temporal_closeness(graph: BaseEvolvingGraph) -> dict[TemporalNodeTuple, float]:
+def temporal_closeness(
+    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+) -> dict[TemporalNodeTuple, float]:
     """Harmonic temporal closeness: mean of ``1/distance`` to every other active temporal node.
 
     Harmonic (rather than classic) closeness is used so unreachable nodes
     contribute zero instead of making the measure undefined.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     active = graph.active_temporal_nodes()
     n = len(active)
+    if not active:
+        return {}
+    if backend == "vectorized":
+        sums = get_kernel(graph).harmonic_closeness_sums(active)
+        if n <= 1:
+            return {root: 0.0 for root in active}
+        return {root: sums[root] / (n - 1) for root in active}
     out: dict[TemporalNodeTuple, float] = {}
     for root in active:
-        reached = evolving_bfs(graph, root).reached
+        reached = evolving_bfs(graph, root, backend="python").reached
         total = sum(1.0 / d for tn, d in reached.items() if d > 0)
         out[root] = total / (n - 1) if n > 1 else 0.0
     return out
@@ -83,6 +128,9 @@ def temporal_betweenness_sampled(
     shortest temporal path per reachable pair (BFS parent pointers), and
     counts how often each node identity appears strictly inside those paths.
     Returns normalised frequencies (they sum to 1 when any path was found).
+
+    Always runs on the Python path: the sampled paths come from BFS parent
+    pointers, whose discovery order is part of the documented behaviour.
     """
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     active = graph.active_temporal_nodes()
@@ -113,6 +161,7 @@ def temporal_katz(
     alpha: float = 0.25,
     max_terms: int | None = None,
     tol: float = 1e-12,
+    backend: str = "vectorized",
 ) -> dict[TemporalNodeTuple, float]:
     """Katz-style centrality from the block adjacency matrix ``A_n``.
 
@@ -122,7 +171,18 @@ def temporal_katz(
     ``alpha``; otherwise the series must converge within ``max_terms`` terms
     (default: number of active temporal nodes) or :class:`ConvergenceError`
     is raised.
+
+    The vectorized backend never materializes ``A_n``: the engine applies
+    its diagonal blocks as per-snapshot CSR products and all causal blocks
+    at once as a masked cumulative sum along the time axis.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
+    if backend == "vectorized":
+        if graph.num_timestamps == 0 or not graph.active_temporal_nodes():
+            return {}
+        return get_kernel(graph).katz_scores(alpha=alpha, max_terms=max_terms, tol=tol)
     block = build_block_adjacency(graph)
     n = block.num_active_nodes
     if n == 0:
@@ -142,5 +202,6 @@ def temporal_katz(
             break
     if not converged and not block.is_nilpotent():
         raise ConvergenceError(
-            f"temporal Katz did not converge within {limit} terms; decrease alpha")
+            f"temporal Katz did not converge within {limit} terms; decrease alpha"
+        )
     return {block.temporal_node_at(i): float(score[i]) for i in range(n)}

@@ -13,12 +13,27 @@ Two natural notions arise from the Theorem-1 expansion ``G = (V, E~ ∪ E')``:
 
 Both are defined on *active temporal nodes* (inactive nodes belong to no
 component, mirroring their exclusion from ``V``).
+
+Backends
+--------
+``backend="vectorized"`` (the default) assembles a single sparse block
+matrix over all ``T · N`` temporal slots straight from the shared
+:class:`~repro.graph.compiled.CompiledTemporalGraph` — the per-snapshot
+operator stacks become the diagonal blocks, and one chain of causal links
+per node (consecutive active appearances) is enough for connectivity — and
+hands it to :func:`scipy.sparse.csgraph.connected_components`.
+``backend="python"`` walks the explicit Theorem-1 expansion node by node,
+kept as the correctness oracle.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Hashable
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
 
 from repro.core.expansion import build_static_expansion
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
@@ -31,11 +46,83 @@ __all__ = [
 ]
 
 
-def weak_temporal_components(graph: BaseEvolvingGraph) -> list[set[TemporalNodeTuple]]:
+def _sort_components(
+    components: list[set[TemporalNodeTuple]],
+) -> list[set[TemporalNodeTuple]]:
+    """Decreasing size, ties broken deterministically (shared with the oracle)."""
+    components.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
+    return components
+
+
+def _components_vectorized(
+    graph: BaseEvolvingGraph, *, strong: bool
+) -> list[set[TemporalNodeTuple]]:
+    """Both component notions via one ``csgraph.connected_components`` call.
+
+    Builds the ``(T · N, T · N)`` block matrix of the expansion: snapshot
+    operators on the diagonal and, for the weak notion, causal links between
+    consecutive active appearances of each node (all-pairs causal edges add
+    nothing to connectivity).  Strong components skip the causal links
+    entirely — they run strictly forward in time, so no cycle crosses a
+    snapshot boundary.
+    """
+    from repro.engine import get_compiled
+
+    if graph.num_timestamps == 0:
+        return []
+    compiled = get_compiled(graph)
+    active = compiled.active_mask
+    t_count, n = active.shape
+    if n == 0 or not active.any():
+        return []
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for k, mat in enumerate(compiled.forward_operators):
+        coo = mat.tocoo()
+        rows.append(coo.row.astype(np.int64) + k * n)
+        cols.append(coo.col.astype(np.int64) + k * n)
+    if not strong and t_count > 1:
+        # one causal chain per node: consecutive active appearances
+        v_arr, t_arr = np.nonzero(active.T)  # node-major, time-ascending per node
+        same_node = v_arr[1:] == v_arr[:-1]
+        rows.append(t_arr[:-1][same_node] * n + v_arr[:-1][same_node])
+        cols.append(t_arr[1:][same_node] * n + v_arr[1:][same_node])
+
+    row_idx = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+    col_idx = np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
+    size = t_count * n
+    block = sp.csr_matrix(
+        (np.ones(row_idx.shape[0], dtype=np.int8), (row_idx, col_idx)),
+        shape=(size, size),
+    )
+    _, labels = csgraph.connected_components(
+        block,
+        directed=True,
+        connection="strong" if strong else "weak",
+    )
+
+    node_labels = compiled.node_labels
+    times = compiled.times
+    t_idx, v_idx = np.nonzero(active)
+    grouped: dict[int, set[TemporalNodeTuple]] = {}
+    slot_labels = labels[t_idx * n + v_idx]
+    for t, v, lab in zip(t_idx.tolist(), v_idx.tolist(), slot_labels.tolist()):
+        grouped.setdefault(lab, set()).add((node_labels[v], times[t]))
+    return _sort_components(list(grouped.values()))
+
+
+def weak_temporal_components(
+    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+) -> list[set[TemporalNodeTuple]]:
     """Connected components of the expansion, ignoring edge direction.
 
     Returned in decreasing order of size (ties broken deterministically).
     """
+    from repro.engine import resolve_backend
+
+    if resolve_backend(backend) == "vectorized":
+        return _components_vectorized(graph, strong=False)
     expansion = build_static_expansion(graph)
     g = expansion.graph
     seen: set[TemporalNodeTuple] = set()
@@ -54,36 +141,48 @@ def weak_temporal_components(graph: BaseEvolvingGraph) -> list[set[TemporalNodeT
                     component.add(w)
                     queue.append(w)
         components.append(component)
-    components.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
-    return components
+    return _sort_components(components)
 
 
-def num_weak_components(graph: BaseEvolvingGraph) -> int:
+def num_weak_components(
+    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+) -> int:
     """Number of weak temporal components."""
-    return len(weak_temporal_components(graph))
+    return len(weak_temporal_components(graph, backend=backend))
 
 
-def component_of(graph: BaseEvolvingGraph,
-                 temporal_node: TemporalNodeTuple) -> set[TemporalNodeTuple]:
+def component_of(
+    graph: BaseEvolvingGraph,
+    temporal_node: TemporalNodeTuple,
+    *,
+    backend: str = "vectorized",
+) -> set[TemporalNodeTuple]:
     """The weak temporal component containing ``temporal_node`` (empty set if inactive)."""
     temporal_node = tuple(temporal_node)
     if not graph.is_active(*temporal_node):
         return set()
-    for component in weak_temporal_components(graph):
+    for component in weak_temporal_components(graph, backend=backend):
         if temporal_node in component:
             return component
     return set()
 
 
-def strong_temporal_components(graph: BaseEvolvingGraph) -> list[set[TemporalNodeTuple]]:
+def strong_temporal_components(
+    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+) -> list[set[TemporalNodeTuple]]:
     """Maximal sets of mutually reachable temporal nodes.
 
     Since causal edges are strictly forward in time, any cycle in the
     expansion must stay within a single timestamp, so the strongly connected
     components of the expansion are exactly the per-snapshot strongly
-    connected components (plus singletons).  Tarjan's algorithm is run on
-    each snapshot independently.
+    connected components (plus singletons).  The vectorized backend runs one
+    strong-connectivity pass over the block-diagonal snapshot matrix; the
+    Python oracle runs Tarjan's algorithm on each snapshot independently.
     """
+    from repro.engine import resolve_backend
+
+    if resolve_backend(backend) == "vectorized":
+        return _components_vectorized(graph, strong=True)
     components: list[set[TemporalNodeTuple]] = []
     for t in graph.timestamps:
         active = graph.active_nodes_at(t)
@@ -138,5 +237,4 @@ def strong_temporal_components(graph: BaseEvolvingGraph) -> list[set[TemporalNod
                 if work:
                     parent, _ = work[-1]
                     lowlink[parent] = min(lowlink[parent], lowlink[v])
-    components.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
-    return components
+    return _sort_components(components)

@@ -18,6 +18,17 @@ All functions operate at the level of node identities (authors), collapsing
 the temporal detail that the underlying BFS provides, because that is how the
 paper phrases the application; the temporal sets are also available for
 callers that need them.
+
+Backends
+--------
+``influence_set``, ``influencer_set`` and ``top_influencers`` accept
+``backend="python" | "vectorized"`` (default ``"vectorized"``): the engine
+runs the citation-flipped expansions natively (``reverse_edges`` swaps the
+spatial operator stack while keeping the time direction), and
+``top_influencers`` batches every author's earliest appearance into one
+CSR × dense-block reach-count sweep.  ``community_of`` and
+``influence_tree_leaves`` need per-node expansion order and stay on the
+Python path (see ROADMAP open items).
 """
 
 from __future__ import annotations
@@ -100,16 +111,27 @@ def influence_set(
     time,
     *,
     follow_citations: bool = False,
+    backend: str = "vectorized",
 ) -> set[Hashable]:
     """``T(author, time)``: authors influenced by ``author``'s work at ``time``.
 
     Raises :class:`InactiveNodeError` when the author did not publish (is not
     active) at ``time``.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     if not graph.is_active(author, time):
         raise InactiveNodeError(author, time)
+    if backend == "vectorized":
+        result = get_kernel(graph).bfs(
+            (author, time), direction="forward", reverse_edges=not follow_citations
+        )
+        return {v for v, _ in result.reached if v != author}
     expand = _forward_expansion(graph, follow_citations)
-    reached = evolving_bfs(graph, (author, time), neighbor_fn=expand).reached
+    reached = evolving_bfs(
+        graph, (author, time), neighbor_fn=expand, backend="python"
+    ).reached
     return {v for v, _ in reached if v != author}
 
 
@@ -119,12 +141,23 @@ def influencer_set(
     time,
     *,
     follow_citations: bool = False,
+    backend: str = "vectorized",
 ) -> set[Hashable]:
     """``T⁻¹(author, time)``: authors whose work influenced ``author`` at ``time``."""
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     if not graph.is_active(author, time):
         raise InactiveNodeError(author, time)
+    if backend == "vectorized":
+        result = get_kernel(graph).bfs(
+            (author, time), direction="backward", reverse_edges=not follow_citations
+        )
+        return {v for v, _ in result.reached if v != author}
     expand = _backward_expansion(graph, follow_citations)
-    reached = evolving_bfs(graph, (author, time), neighbor_fn=expand).reached
+    reached = evolving_bfs(
+        graph, (author, time), neighbor_fn=expand, backend="python"
+    ).reached
     return {v for v, _ in reached if v != author}
 
 
@@ -172,14 +205,18 @@ def community_of(
     then union the forward influence sets of all leaves, i.e.
     ``T(l1, t1) ∪ T(l2, t2) ∪ ... ∪ T(lk, tk)``.
     """
-    leaves = influence_tree_leaves(graph, author, time, follow_citations=follow_citations)
+    leaves = influence_tree_leaves(
+        graph, author, time, follow_citations=follow_citations
+    )
     expand = _forward_expansion(graph, follow_citations)
     # The union T(l1, t1) ∪ ... ∪ T(lk, tk) of the paper: each leaf's influence
     # set excludes that leaf's own identity, but a leaf may of course appear in
     # another leaf's influence set.
     community: set[Hashable] = set()
     for leaf_author, leaf_time in sorted(leaves, key=repr):
-        reached = evolving_bfs(graph, (leaf_author, leaf_time), neighbor_fn=expand).reached
+        reached = evolving_bfs(
+            graph, (leaf_author, leaf_time), neighbor_fn=expand
+        ).reached
         community |= {v for v, _ in reached if v != leaf_author}
     if not include_author:
         community.discard(author)
@@ -191,20 +228,43 @@ def top_influencers(
     *,
     top_k: int = 10,
     follow_citations: bool = False,
+    backend: str = "vectorized",
 ) -> list[tuple[Hashable, int]]:
     """Rank authors by the size of their widest influence set over all their active times.
 
     For each author the influence set is computed from their *earliest*
     active appearance (the earliest appearance always yields the largest
     forward-reachable set, since every later appearance is itself reachable
-    from it via causal edges).
+    from it via causal edges).  The vectorized backend packs every author's
+    earliest appearance into one batched reach-count sweep.
     """
-    scores: dict[Hashable, int] = {}
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
+    roots: list[TemporalNodeTuple] = []
     for author in sorted(graph.nodes(), key=repr):
         times = graph.active_times(author)
-        if not times:
-            continue
-        scores[author] = len(
-            influence_set(graph, author, times[0], follow_citations=follow_citations))
+        if times:
+            roots.append((author, times[0]))
+    if not roots:
+        return []
+    if backend == "vectorized":
+        counts = get_kernel(graph).identity_reach_counts(
+            roots, direction="forward", reverse_edges=not follow_citations
+        )
+        scores = {author: counts[(author, t)] for author, t in roots}
+    else:
+        scores = {
+            author: len(
+                influence_set(
+                    graph,
+                    author,
+                    t,
+                    follow_citations=follow_citations,
+                    backend="python",
+                )
+            )
+            for author, t in roots
+        }
     ranked = sorted(scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
     return ranked[:top_k]

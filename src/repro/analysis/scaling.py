@@ -35,6 +35,9 @@ __all__ = [
     "format_scaling_report",
 ]
 
+#: How a sweep picks the root to search from at each measured size.
+RootPicker = Callable[[AdjacencyListEvolvingGraph], TemporalNodeTuple]
+
 
 @dataclass
 class ScalingPoint:
@@ -82,8 +85,9 @@ class ScalingResult:
         """Per-point runtime divided by edge count (should be roughly constant)."""
         return self.seconds / np.maximum(self.edges, 1.0)
 
-    def is_linear(self, *, min_r_squared: float = 0.9,
-                  max_per_edge_spread: float = 3.0) -> bool:
+    def is_linear(
+        self, *, min_r_squared: float = 0.9, max_per_edge_spread: float = 3.0
+    ) -> bool:
         """Heuristic linearity check used by the benchmark harness.
 
         Requires (a) a good linear fit (R² at least ``min_r_squared``) and
@@ -99,7 +103,9 @@ class ScalingResult:
         return fit.r_squared >= min_r_squared and spread <= max_per_edge_spread
 
 
-def fit_linear(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray) -> LinearFit:
+def fit_linear(
+    x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray
+) -> LinearFit:
     """Ordinary least squares fit of ``y = slope * x + intercept`` with R²."""
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
@@ -110,7 +116,9 @@ def fit_linear(x: Sequence[float] | np.ndarray, y: Sequence[float] | np.ndarray)
     ss_res = float(np.sum((y - predicted) ** 2))
     ss_tot = float(np.sum((y - y.mean()) ** 2))
     r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
-    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+    return LinearFit(
+        slope=float(slope), intercept=float(intercept), r_squared=r_squared
+    )
 
 
 def _default_root(graph: AdjacencyListEvolvingGraph) -> TemporalNodeTuple:
@@ -130,7 +138,7 @@ def measure_bfs_scaling(
     seed: int | None = 12345,
     repeats: int = 3,
     bfs: Callable[[BaseEvolvingGraph, TemporalNodeTuple], object] | None = None,
-    root_picker: Callable[[AdjacencyListEvolvingGraph], TemporalNodeTuple] | None = None,
+    root_picker: RootPicker | None = None,
     backend: str = "python",
     warmup: int = 0,
 ) -> ScalingResult:
@@ -158,8 +166,11 @@ def measure_bfs_scaling(
         Algorithm 1); pass ``"vectorized"`` to sweep the frontier engine.
         Ignored when an explicit ``bfs`` callable is given.
     warmup:
-        Untimed searches to run before the timed repeats at each size (lets
-        engine backends compile/cache their kernels outside the timing).
+        Untimed searches to run before the timed repeats at each size.  For
+        ``backend="vectorized"`` the compiled artifact is additionally built
+        once per sweep point before any timing, so warmup runs and timed
+        repeats all reuse it (steady-state service framing; the one-off
+        compile cost is reported by ``bench_engine.py``).
     """
     if bfs is not None:
         search = bfs
@@ -169,8 +180,15 @@ def measure_bfs_scaling(
     pick_root = root_picker if root_picker is not None else _default_root
     result = ScalingResult()
     for target, graph in incremental_edge_sequence(
-            num_nodes, num_timestamps, list(edge_counts), seed=seed):
+        num_nodes, num_timestamps, list(edge_counts), seed=seed
+    ):
         root = pick_root(graph)
+        if bfs is None and backend == "vectorized":
+            # compile once per sweep point; warmup runs and timed repeats all
+            # share the cached artifact (exact to the mutation version)
+            from repro.engine import get_compiled
+
+            get_compiled(graph)
         for _ in range(max(0, warmup)):
             search(graph, root)
         timings = []
@@ -188,7 +206,8 @@ def measure_bfs_scaling(
                 num_causal_edges=graph.num_causal_edges(),
                 seconds=float(np.median(timings)),
                 reached_nodes=reached_nodes,
-            ))
+            )
+        )
     return result
 
 
@@ -216,8 +235,14 @@ def measure_batch_scaling(
 
     result = ScalingResult()
     for target, graph in incremental_edge_sequence(
-            num_nodes, num_timestamps, list(edge_counts), seed=seed):
+        num_nodes, num_timestamps, list(edge_counts), seed=seed
+    ):
         roots = graph.active_temporal_nodes()[:num_roots]
+        if backend == "vectorized":
+            # one compiled artifact per sweep point, shared by every repeat
+            from repro.engine import get_compiled
+
+            get_compiled(graph)
         for _ in range(max(0, warmup)):
             batch_bfs(graph, roots, backend=backend)
         timings = []
@@ -234,23 +259,32 @@ def measure_batch_scaling(
                 num_causal_edges=graph.num_causal_edges(),
                 seconds=float(np.median(timings)),
                 reached_nodes=reached_nodes,
-            ))
+            )
+        )
     return result
 
 
-def format_scaling_report(result: ScalingResult, *, title: str = "BFS scaling sweep") -> str:
+def format_scaling_report(
+    result: ScalingResult, *, title: str = "BFS scaling sweep"
+) -> str:
     """Render a plain-text table of a scaling sweep plus its linear fit."""
     lines = [title, "=" * len(title)]
     causal_header = "|E'| (causal)"
-    lines.append(f"{'|E~|':>12} {'|V| (active)':>14} {causal_header:>14} "
-                 f"{'time [s]':>12} {'time/edge [µs]':>16}")
+    lines.append(
+        f"{'|E~|':>12} {'|V| (active)':>14} {causal_header:>14} "
+        f"{'time [s]':>12} {'time/edge [µs]':>16}"
+    )
     for p in result.points:
         per_edge_us = 1e6 * p.seconds / max(p.num_static_edges, 1)
-        lines.append(f"{p.num_static_edges:>12d} {p.num_active_temporal_nodes:>14d} "
-                     f"{p.num_causal_edges:>14d} {p.seconds:>12.4f} {per_edge_us:>16.3f}")
+        lines.append(
+            f"{p.num_static_edges:>12d} {p.num_active_temporal_nodes:>14d} "
+            f"{p.num_causal_edges:>14d} {p.seconds:>12.4f} {per_edge_us:>16.3f}"
+        )
     if len(result.points) >= 2:
         fit = result.linear_fit()
         lines.append("")
-        lines.append(f"linear fit: time = {fit.slope:.3e} * |E~| + {fit.intercept:.3e}  "
-                     f"(R² = {fit.r_squared:.4f})")
+        lines.append(
+            f"linear fit: time = {fit.slope:.3e} * |E~| + {fit.intercept:.3e}  "
+            f"(R² = {fit.r_squared:.4f})"
+        )
     return "\n".join(lines)

@@ -3,16 +3,21 @@
 * :class:`~repro.engine.frontier.FrontierKernel` — frontiers as NumPy
   boolean/index arrays advanced by CSR SpMV per snapshot, with a batched
   multi-source mode that packs many roots into one CSR × dense-block
-  product.
-* :func:`~repro.engine.dispatch.get_kernel` — per-graph kernel cache used by
-  the ``backend="vectorized"`` paths of :mod:`repro.core` and
-  :mod:`repro.parallel`.
+  product, plus the batched analytics primitives (identity reach counts,
+  harmonic-closeness sums, Katz series) the ported algorithms layer uses.
+* :func:`~repro.engine.dispatch.get_compiled` — per-graph cache of the
+  shared :class:`~repro.graph.compiled.CompiledTemporalGraph` artifact,
+  keyed on the graph's exact ``mutation_version``.
+* :func:`~repro.engine.dispatch.get_kernel` — the cached kernel over that
+  artifact, used by the ``backend="vectorized"`` paths of
+  :mod:`repro.core`, :mod:`repro.algorithms` and :mod:`repro.parallel`.
 * :func:`~repro.engine.dispatch.resolve_backend` — validation of the
   ``backend`` flag shared by every search entry point.
 """
 
 from repro.engine.dispatch import (
     BACKENDS,
+    get_compiled,
     get_kernel,
     invalidate_kernel,
     resolve_backend,
@@ -22,6 +27,7 @@ from repro.engine.frontier import FrontierKernel
 __all__ = [
     "BACKENDS",
     "FrontierKernel",
+    "get_compiled",
     "get_kernel",
     "invalidate_kernel",
     "resolve_backend",

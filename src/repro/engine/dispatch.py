@@ -1,20 +1,25 @@
-"""Backend selection and kernel caching for the frontier engine.
+"""Backend selection and version-exact artifact caching for the engine.
 
 Every search entry point (``evolving_bfs``, ``multi_source_bfs``,
-``backward_bfs``, ``algebraic_bfs_blocked``, ``batch_bfs``) accepts a
-``backend`` flag:
+``backward_bfs``, ``algebraic_bfs_blocked``, ``batch_bfs``) and every ported
+analytics function (centrality, components, influence) accepts a ``backend``
+flag:
 
 * ``"vectorized"`` (the default) — route through the shared
   :class:`~repro.engine.frontier.FrontierKernel`;
 * ``"python"`` — the original dictionary-walking reference implementation,
   kept as the correctness oracle.
 
-Compiling a kernel costs one pass over the edges, so kernels are cached per
-graph object (weakly, so graphs remain garbage-collectable) and invalidated
-when the graph's snapshot count, static-edge count or directedness changes.
-In-place edits that preserve those counts — e.g. removing one edge and
-adding another — are not detected; call :func:`invalidate_kernel` (or build
-a fresh :class:`FrontierKernel` directly) after such mutations.
+Compiling a graph costs one pass over the edges, so the compiled artifact
+(:class:`~repro.graph.compiled.CompiledTemporalGraph`) and its kernel are
+cached per graph object (weakly, so graphs remain garbage-collectable) and
+keyed on the graph's exact
+:attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version`.  Any in-place
+edit — including count-preserving ones such as removing one edge and adding
+another — bumps the version and therefore rebuilds the kernel; the old
+count-based fingerprint that missed those mutations is gone.
+:func:`invalidate_kernel` remains for callers that want to drop a cached
+artifact eagerly (e.g. to free memory).
 """
 
 from __future__ import annotations
@@ -24,13 +29,20 @@ import weakref
 from repro.engine.frontier import FrontierKernel
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph
+from repro.graph.compiled import CompiledTemporalGraph
 
-__all__ = ["BACKENDS", "get_kernel", "invalidate_kernel", "resolve_backend"]
+__all__ = [
+    "BACKENDS",
+    "get_compiled",
+    "get_kernel",
+    "invalidate_kernel",
+    "resolve_backend",
+]
 
 #: Recognised values of the ``backend`` flag.
 BACKENDS = ("python", "vectorized")
 
-_KERNEL_CACHE: "weakref.WeakKeyDictionary[BaseEvolvingGraph, tuple]" = (
+_CACHE: "weakref.WeakKeyDictionary[BaseEvolvingGraph, tuple]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -42,30 +54,41 @@ def resolve_backend(backend: str) -> str:
     return backend
 
 
-def _fingerprint(graph: BaseEvolvingGraph) -> tuple:
-    return (graph.num_timestamps, graph.num_static_edges(), graph.is_directed)
+def _entry(graph: BaseEvolvingGraph) -> tuple[CompiledTemporalGraph, FrontierKernel]:
+    """The cached ``(compiled, kernel)`` pair, rebuilt on version mismatch."""
+    version = graph.mutation_version
+    try:
+        cached = _CACHE.get(graph)
+    except TypeError:  # unhashable graph object
+        cached = None
+    if cached is not None and cached[0] == version:
+        return cached[1], cached[2]
+    compiled = CompiledTemporalGraph.from_graph(graph)
+    kernel = FrontierKernel(compiled)
+    try:
+        _CACHE[graph] = (version, compiled, kernel)
+    except TypeError:  # unhashable or non-weakrefable graph object
+        pass
+    return compiled, kernel
+
+
+def get_compiled(graph: BaseEvolvingGraph) -> CompiledTemporalGraph:
+    """The cached compiled artifact for ``graph``, exact to its mutation version.
+
+    Shared by the kernel, the vectorized analytics layer and the
+    batch/scaling harnesses, so one compilation serves them all.
+    """
+    return _entry(graph)[0]
 
 
 def get_kernel(graph: BaseEvolvingGraph) -> FrontierKernel:
-    """The cached :class:`FrontierKernel` for ``graph``, rebuilt when it grows."""
-    fingerprint = _fingerprint(graph)
-    try:
-        entry = _KERNEL_CACHE.get(graph)
-    except TypeError:  # unhashable graph object
-        entry = None
-    if entry is not None and entry[0] == fingerprint:
-        return entry[1]
-    kernel = FrontierKernel(graph)
-    try:
-        _KERNEL_CACHE[graph] = (fingerprint, kernel)
-    except TypeError:  # unhashable or non-weakrefable graph object
-        pass
-    return kernel
+    """The cached :class:`FrontierKernel` for ``graph``, exact to its version."""
+    return _entry(graph)[1]
 
 
 def invalidate_kernel(graph: BaseEvolvingGraph) -> None:
-    """Drop the cached kernel for ``graph`` (after in-place mutations)."""
+    """Drop the cached artifact for ``graph`` (to rebuild or free it eagerly)."""
     try:
-        _KERNEL_CACHE.pop(graph, None)
+        _CACHE.pop(graph, None)
     except TypeError:
         pass

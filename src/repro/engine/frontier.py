@@ -8,10 +8,11 @@ arrays instead of Python dictionaries:
 
 * the frontier is a boolean array of shape ``(T, N, R)`` — ``T`` snapshots,
   ``N`` nodes in the shared universe, ``R`` independent searches;
-* the **spatial step** applies ``(A[t])^T`` (forward) or ``A[t]`` (backward)
-  to each snapshot's frontier block — one CSR sparse-matrix × dense-block
-  product per snapshot, so ``R`` roots share a single traversal of the
-  matrix (the ``multi_source``/``batch`` amortization);
+* the **spatial step** applies the compiled forward operator ``F[t]``
+  (out-edge expansion) or its transpose (in-edge expansion) to each
+  snapshot's frontier block — one CSR sparse-matrix × dense-block product
+  per snapshot, so ``R`` roots share a single traversal of the matrix (the
+  ``multi_source``/``batch`` amortization);
 * the **causal step** is a cumulative logical OR along the time axis masked
   by the per-snapshot activeness pattern — exactly the action of all
   off-diagonal blocks ``M[s, t]^T`` at once, computed without forming them
@@ -20,11 +21,19 @@ arrays instead of Python dictionaries:
   newly reached at level ``k`` when a candidate bit lands on a slot whose
   distance is still ``-1``.
 
+Since PR 2 the kernel no longer compiles the graph itself: it executes over
+a shared :class:`~repro.graph.compiled.CompiledTemporalGraph` (pass either
+the artifact or a graph, which is compiled on the spot).  On top of the BFS
+drivers it exposes the batched analytics primitives the ported
+:mod:`repro.algorithms` layer runs on: per-root identity reach counts,
+harmonic-closeness sums, and the Katz series over the temporal block matrix.
+
 The kernel produces exactly the ``reached`` dictionaries of the pure-Python
-reference implementations (Theorem 4 equivalence); the property-based suite
-``tests/test_engine.py`` asserts this on random evolving graphs.  Searches
-that need discovery-order artefacts (BFS trees, per-level frontier traces)
-stay on the Python reference path — see :func:`repro.core.bfs.evolving_bfs`.
+reference implementations (Theorem 4 equivalence); the property-based suites
+``tests/test_engine.py`` and ``tests/test_algorithms_vectorized.py`` assert
+this on random evolving graphs.  Searches that need discovery-order
+artefacts (BFS trees, per-level frontier traces) stay on the Python
+reference path — see :func:`repro.core.bfs.evolving_bfs`.
 
 Cost model: with a :class:`~repro.linalg.csr.OperationCounter` attached, the
 kernel accounts ``2 · nnz(A[t]) · R`` multiply-adds per spatial product
@@ -35,15 +44,14 @@ causal step, which is the Theorem 5/6 accounting of the blocked algorithm.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.bfs import BFSResult
-from repro.exceptions import GraphError, InactiveNodeError
-from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
+from repro.exceptions import ConvergenceError, GraphError, InactiveNodeError
 from repro.graph.base import BaseEvolvingGraph, Node, TemporalNodeTuple, Time
+from repro.graph.compiled import CompiledTemporalGraph
 from repro.linalg.csr import OperationCounter
 
 __all__ = ["FrontierKernel"]
@@ -56,11 +64,11 @@ class FrontierKernel:
 
     Parameters
     ----------
-    graph:
-        Any evolving-graph representation; it is compiled once into
-        per-snapshot CSR adjacency matrices (symmetrized for undirected
-        graphs, self-loops dropped per Definition 3) over the shared node
-        universe, plus a ``(T, N)`` activeness mask.
+    source:
+        Either a pre-built :class:`~repro.graph.compiled.CompiledTemporalGraph`
+        (the shared artifact, preferred — see
+        :func:`repro.engine.get_kernel`) or any evolving-graph
+        representation, which is compiled on construction.
     counter:
         Optional :class:`~repro.linalg.csr.OperationCounter`; when given,
         every kernel invocation accounts its flops per column (the
@@ -68,42 +76,33 @@ class FrontierKernel:
 
     Notes
     -----
-    The kernel is a *compiled snapshot* of the graph: mutating the graph
-    afterwards does not update the kernel.  The dispatch-level cache
-    (:func:`repro.engine.dispatch.get_kernel`) rebuilds kernels when the
-    graph's timestamp/edge counts change.
+    The kernel executes over an immutable compiled snapshot of the graph:
+    mutating the graph afterwards does not update the kernel.  The
+    dispatch-level cache (:func:`repro.engine.dispatch.get_kernel`) rebuilds
+    kernels exactly when the graph's
+    :attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version` changes.
     """
 
     def __init__(
         self,
-        graph: BaseEvolvingGraph,
+        source: CompiledTemporalGraph | BaseEvolvingGraph,
         *,
         counter: OperationCounter | None = None,
     ) -> None:
-        times = list(graph.timestamps)
-        if not times:
-            raise GraphError("FrontierKernel requires at least one snapshot")
-        self._times: list[Time] = times
-        self._time_index: dict[Time, int] = {t: i for i, t in enumerate(times)}
-        self.counter = counter
-
-        if isinstance(graph, MatrixSequenceEvolvingGraph):
-            self._labels: list[Node] = graph.node_labels
-            mats = [graph.symmetrized_matrix_at(t).astype(np.int32) for t in times]
+        if isinstance(source, CompiledTemporalGraph):
+            compiled = source
+        elif isinstance(source, BaseEvolvingGraph):
+            compiled = CompiledTemporalGraph.from_graph(source)
         else:
-            self._labels, mats = _compile_snapshots(graph, times, self._time_index)
-        self._node_index: dict[Node, int] = {v: i for i, v in enumerate(self._labels)}
-        self._n = int(mats[0].shape[0])
-
-        self._mats: list[sp.csr_matrix] = mats
-        self._mats_t: list[sp.csr_matrix] = [m.T.tocsr() for m in mats]
-
-        active = np.zeros((len(times), self._n), dtype=bool)
-        for k, m in enumerate(mats):
-            out_deg = np.asarray(m.sum(axis=1)).ravel()
-            in_deg = np.asarray(m.sum(axis=0)).ravel()
-            active[k] = (out_deg + in_deg) > 0
-        self._active = active
+            raise GraphError(
+                "FrontierKernel requires a CompiledTemporalGraph or an "
+                f"evolving graph, got {type(source).__name__}"
+            )
+        self.compiled = compiled
+        self.counter = counter
+        # decode tables, copied once so per-root result decoding stays cheap
+        self._labels: list[Node] = compiled.node_labels
+        self._times: tuple[Time, ...] = compiled.times
 
     # ------------------------------------------------------------------ #
     # structure                                                           #
@@ -112,49 +111,54 @@ class FrontierKernel:
     @property
     def timestamps(self) -> Sequence[Time]:
         """Snapshot labels, in time order."""
-        return tuple(self._times)
+        return self.compiled.times
 
     @property
     def node_labels(self) -> list[Node]:
         """Node labels indexing the matrix rows/columns."""
-        return list(self._labels)
+        return self.compiled.node_labels
 
     @property
     def num_nodes(self) -> int:
         """Size ``N`` of the shared node universe."""
-        return self._n
+        return self.compiled.num_nodes
 
     @property
     def num_snapshots(self) -> int:
         """Number of snapshots ``T``."""
-        return len(self._times)
+        return self.compiled.num_snapshots
 
     @property
     def nnz(self) -> int:
         """Stored entries summed over all snapshot matrices."""
-        return int(sum(m.nnz for m in self._mats))
+        return self.compiled.nnz
 
     def is_active(self, node: Node, time: Time) -> bool:
         """Whether ``(node, time)`` is active (Definition 3), per the compiled masks."""
-        ti = self._time_index.get(time)
-        vi = self._node_index.get(node)
-        if ti is None or vi is None:
-            return False
-        return bool(self._active[ti, vi])
+        return self.compiled.is_active(node, time)
 
     # ------------------------------------------------------------------ #
     # searches                                                            #
     # ------------------------------------------------------------------ #
 
-    def bfs(self, root: TemporalNodeTuple, *, direction: str = "forward") -> BFSResult:
+    def bfs(
+        self,
+        root: TemporalNodeTuple,
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+    ) -> BFSResult:
         """Single-source search from ``root``; equals Algorithm 1 on ``reached``.
 
         ``direction="backward"`` runs the time-reversed search of Section V
         (spatial in-neighbours, earlier active appearances).
+        ``reverse_edges=True`` flips only the *spatial* orientation while
+        keeping the time direction — the expansion the Section V citation
+        mining uses, where influence flows against the citation edges.
         """
         root = (root[0], root[1])
         seed = self._seed_index(root)
-        dist = self._run([[seed]], direction)
+        dist = self._run([[seed]], direction, reverse_edges=reverse_edges)
         return BFSResult(root=root, reached=self._reached_dict(dist, 0))
 
     def multi_source(
@@ -199,9 +203,9 @@ class FrontierKernel:
         root_list = [(r[0], r[1]) for r in roots]
         active_roots = [r for r in root_list if self.is_active(*r)]
         results: dict[TemporalNodeTuple, BFSResult] = {}
-        for start in range(0, len(active_roots), chunk_size):
-            chunk = active_roots[start : start + chunk_size]
-            dist = self._run([[self._seed_index(r)] for r in chunk], direction)
+        for chunk, dist in self._chunked_distances(
+            active_roots, direction=direction, chunk_size=chunk_size
+        ):
             for col, root in enumerate(chunk):
                 results[root] = BFSResult(
                     root=root, reached=self._reached_dict(dist, col)
@@ -209,27 +213,179 @@ class FrontierKernel:
         return results
 
     # ------------------------------------------------------------------ #
+    # batched analytics primitives (the ported algorithms layer)          #
+    # ------------------------------------------------------------------ #
+
+    def identity_reach_counts(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+        chunk_size: int = 128,
+    ) -> dict[TemporalNodeTuple, int]:
+        """Per root: how many *other* node identities its search reaches.
+
+        Equals ``len({v for (v, t) in reached} - {root_node})`` of the
+        per-root Python BFS, computed without ever materializing the reached
+        dictionaries: the ``(T, N, R)`` distance block is collapsed over the
+        time axis and the per-column identity counts are read off in one
+        reduction.  Powers :func:`repro.algorithms.centrality.temporal_out_reach`,
+        ``temporal_in_reach`` and ``top_influencers``.
+        """
+        out: dict[TemporalNodeTuple, int] = {}
+        for chunk, dist in self._chunked_distances(
+            roots,
+            direction=direction,
+            reverse_edges=reverse_edges,
+            chunk_size=chunk_size,
+        ):
+            identity_reached = (dist >= 0).any(axis=0)  # (N, R)
+            counts = identity_reached.sum(axis=0)
+            for col, root in enumerate(chunk):
+                # the root's own identity is always reached (distance 0)
+                out[root] = int(counts[col]) - 1
+        return out
+
+    def harmonic_closeness_sums(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        chunk_size: int = 128,
+    ) -> dict[TemporalNodeTuple, float]:
+        """Per root: ``sum(1/d)`` over reached temporal nodes at distance > 0.
+
+        The unnormalized harmonic-closeness numerator of
+        :func:`repro.algorithms.centrality.temporal_closeness`, reduced
+        straight off the distance block.
+        """
+        out: dict[TemporalNodeTuple, float] = {}
+        for chunk, dist in self._chunked_distances(
+            roots, direction=direction, chunk_size=chunk_size
+        ):
+            inverse = np.where(dist > 0, 1.0 / np.maximum(dist, 1), 0.0)
+            sums = inverse.sum(axis=(0, 1))
+            for col, root in enumerate(chunk):
+                out[root] = float(sums[col])
+        return out
+
+    def katz_scores(
+        self,
+        *,
+        alpha: float = 0.25,
+        max_terms: int | None = None,
+        tol: float = 1e-12,
+    ) -> dict[TemporalNodeTuple, float]:
+        """Katz centrality over the temporal block matrix, without forming it.
+
+        Accumulates ``Σ_k alpha^k (A_n^T)^k 1`` exactly as
+        :func:`repro.algorithms.centrality.temporal_katz` does, but the block
+        matrix--vector product is executed blockwise on the compiled stacks:
+        the diagonal (spatial) blocks are one forward-operator product per
+        snapshot and the action of *all* causal blocks at once is a shifted
+        cumulative sum along the time axis masked by activeness.
+        """
+        active = self.compiled.active_mask
+        t_count, n = active.shape
+        n_active = int(active.sum())
+        if n_active == 0:
+            return {}
+        limit = max_terms if max_terms is not None else max(n_active, 1)
+        push = self.compiled.forward_operators
+        counter = self.counter
+        term = active.astype(np.float64)  # ones on every active temporal node
+        score = np.zeros_like(term)
+        converged = False
+        for _ in range(limit):
+            spatial = np.zeros_like(term)
+            for k in range(t_count):
+                if push[k].nnz:
+                    spatial[k] = push[k] @ term[k]
+                    if counter is not None:
+                        counter.multiply_adds += 2 * int(push[k].nnz)
+            causal = np.zeros_like(term)
+            if t_count > 1:
+                causal[1:] = np.cumsum(term, axis=0)[:-1]
+                causal *= active
+                if counter is not None:
+                    counter.column_checks += t_count * n
+            term = alpha * (spatial + causal)
+            if not np.isfinite(term).all():
+                raise ConvergenceError("temporal Katz series diverged; decrease alpha")
+            score += term
+            if np.abs(term).max() < tol:
+                converged = True
+                break
+        if not converged and not self._is_nilpotent():
+            raise ConvergenceError(
+                f"temporal Katz did not converge within {limit} terms; decrease alpha"
+            )
+        labels = self.compiled.node_labels
+        times = self.compiled.times
+        t_idx, v_idx = np.nonzero(active)
+        return {
+            (labels[v], times[t]): float(score[t, v])
+            for t, v in zip(t_idx.tolist(), v_idx.tolist())
+        }
+
+    def _is_nilpotent(self) -> bool:
+        """Whether the temporal block matrix is nilpotent (Lemma 1).
+
+        Causal edges run strictly forward in time, so the block matrix is
+        nilpotent exactly when every snapshot is acyclic.
+        """
+        from repro.linalg.nilpotence import is_nilpotent
+
+        return all(is_nilpotent(m) for m in self.compiled.forward_operators)
+
+    # ------------------------------------------------------------------ #
     # the engine loop                                                     #
     # ------------------------------------------------------------------ #
 
     def _seed_index(self, root: TemporalNodeTuple) -> tuple[int, int]:
         node, time = root
-        ti = self._time_index.get(time)
-        vi = self._node_index.get(node)
-        if ti is None or vi is None or not self._active[ti, vi]:
+        slot = self.compiled.slot(node, time)
+        if slot is None or not self.compiled.active_mask[slot]:
             raise InactiveNodeError(node, time)
-        return ti, vi
+        return slot
+
+    def _chunked_distances(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+        chunk_size: int = 128,
+    ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
+        """Run independent searches ``chunk_size`` roots at a time.
+
+        Yields ``(chunk, dist)`` pairs where ``dist`` is the ``(T, N, R)``
+        distance block whose column ``r`` belongs to ``chunk[r]``.
+        """
+        root_list = [(r[0], r[1]) for r in roots]
+        for start in range(0, len(root_list), chunk_size):
+            chunk = root_list[start : start + chunk_size]
+            dist = self._run(
+                [[self._seed_index(r)] for r in chunk],
+                direction,
+                reverse_edges=reverse_edges,
+            )
+            yield chunk, dist
 
     def _run(
         self,
         seeds_per_column: list[list[tuple[int, int]]],
         direction: str,
+        *,
+        reverse_edges: bool = False,
     ) -> np.ndarray:
         """Level-synchronous expansion of ``R`` seed sets; ``(T, N, R)`` distances."""
         if direction not in _DIRECTIONS:
             raise GraphError(f"unsupported direction {direction!r}")
         forward = direction == "forward"
-        t_count, n = self._active.shape
+        active_mask = self.compiled.active_mask
+        t_count, n = active_mask.shape
         r = len(seeds_per_column)
         dist = np.full((t_count, n, r), -1, dtype=np.int32)
         frontier = np.zeros((t_count, n, r), dtype=bool)
@@ -238,8 +394,16 @@ class FrontierKernel:
                 frontier[ti, vi, col] = True
                 dist[ti, vi, col] = 0
 
-        mats = self._mats_t if forward else self._mats
-        active = self._active[:, :, None]
+        # spatial expansion: forward time follows out-edges (the forward
+        # operator), backward time follows in-edges (its transpose);
+        # reverse_edges flips that choice for the citation-mining searches
+        use_forward_ops = forward != reverse_edges
+        mats = (
+            self.compiled.forward_operators
+            if use_forward_ops
+            else self.compiled.backward_operators
+        )
+        active = active_mask[:, :, None]
         counter = self.counter
         level = 0
         while frontier.any():
@@ -289,36 +453,3 @@ class FrontierKernel:
             f"<FrontierKernel snapshots={self.num_snapshots} "
             f"nodes={self.num_nodes} nnz={self.nnz}>"
         )
-
-
-def _compile_snapshots(
-    graph: BaseEvolvingGraph,
-    times: list[Time],
-    time_index: dict[Time, int],
-) -> tuple[list[Node], list[sp.csr_matrix]]:
-    """Bulk-compile any representation into per-snapshot CSR matrices."""
-    triples = list(graph.temporal_edges_unordered())
-    label_set = {u for u, _, _ in triples} | {v for _, v, _ in triples}
-    labels = sorted(label_set, key=repr)
-    index = {v: i for i, v in enumerate(labels)}
-    n = len(labels)
-    count = len(triples)
-    u_idx = np.fromiter((index[u] for u, _, _ in triples), dtype=np.int64, count=count)
-    v_idx = np.fromiter((index[v] for _, v, _ in triples), dtype=np.int64, count=count)
-    t_gen = (time_index[t] for _, _, t in triples)
-    t_idx = np.fromiter(t_gen, dtype=np.int64, count=count)
-    if not graph.is_directed:
-        u_idx, v_idx = np.concatenate([u_idx, v_idx]), np.concatenate([v_idx, u_idx])
-        t_idx = np.concatenate([t_idx, t_idx])
-    keep = u_idx != v_idx  # self-loops never create activeness (Definition 3)
-    u_idx, v_idx, t_idx = u_idx[keep], v_idx[keep], t_idx[keep]
-    mats: list[sp.csr_matrix] = []
-    for k in range(len(times)):
-        mask = t_idx == k
-        data = np.ones(int(mask.sum()), dtype=np.int32)
-        mat = sp.csr_matrix((data, (u_idx[mask], v_idx[mask])), shape=(n, n))
-        mat.sum_duplicates()
-        if mat.nnz:
-            mat.data[:] = 1
-        mats.append(mat)
-    return labels, mats

@@ -14,11 +14,19 @@ graph used by the Theorem-1 expansion:
   list of static snapshots per Definition 1.
 * :class:`~repro.graph.static_graph.StaticGraph` — ordinary static graph with
   a textbook BFS (the oracle of Theorem 1).
+
+Every representation carries a monotonically increasing ``mutation_version``
+and compiles into the shared immutable
+:class:`~repro.graph.compiled.CompiledTemporalGraph` artifact (node index,
+per-snapshot CSR operator stacks, activeness mask) that the engine and the
+vectorized analytics execute over; see :func:`repro.engine.get_compiled` for
+the version-exact cache.
 """
 
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
 from repro.graph.base import BaseEvolvingGraph
+from repro.graph.compiled import CompiledTemporalGraph
 from repro.graph.converters import (
     to_adjacency_list,
     to_edge_list,
@@ -39,6 +47,7 @@ from repro.graph.validation import (
 
 __all__ = [
     "BaseEvolvingGraph",
+    "CompiledTemporalGraph",
     "AdjacencyListEvolvingGraph",
     "TemporalEdgeList",
     "MatrixSequenceEvolvingGraph",

@@ -82,6 +82,7 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
         self._pred[time] = {}
         self._edge_sets[time] = set()
         bisect.insort(self._timestamps, time)
+        self._bump_mutation_version()
 
     def add_edge(self, u: Node, v: Node, time: Time) -> bool:
         """Insert the edge ``u -> v`` into the snapshot at ``time``.
@@ -105,7 +106,54 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
         if u != v:
             self._mark_active(u, time)
             self._mark_active(v, time)
+        self._bump_mutation_version()
         return True
+
+    def remove_edge(self, u: Node, v: Node, time: Time) -> bool:
+        """Remove the edge ``u -> v`` from the snapshot at ``time``.
+
+        Returns ``True`` when an edge was removed, ``False`` when it was not
+        present (orientation is ignored for undirected graphs).  Activeness
+        bookkeeping is updated: an endpoint with no remaining edge to another
+        node at ``time`` stops being active there (Definition 3).  The
+        mutation bumps :attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version`,
+        so cached kernels are rebuilt even though the edge/timestamp counts
+        may be unchanged after a paired ``add_edge``.
+        """
+        edge_set = self._edge_sets.get(time)
+        if edge_set is None:
+            raise TimestampNotFoundError(time)
+        edge = self._canonical_edge(u, v)
+        if edge not in edge_set:
+            return False
+        edge_set.discard(edge)
+        a, b = edge
+        # mirror add_edge exactly (undirected inserts store both directions,
+        # self-loops included)
+        self._succ[time][a].remove(b)
+        self._pred[time][b].remove(a)
+        if not self._directed:
+            self._succ[time][b].remove(a)
+            self._pred[time][a].remove(b)
+        for w in {a, b}:
+            if not self._has_incident_edge(w, time):
+                times = self._active_times.get(w)
+                if times:
+                    idx = bisect.bisect_left(times, time)
+                    if idx < len(times) and times[idx] == time:
+                        times.pop(idx)
+        self._bump_mutation_version()
+        return True
+
+    def _has_incident_edge(self, node: Node, time: Time) -> bool:
+        """Whether ``node`` still touches an edge to *another* node at ``time``."""
+        for w in self._succ[time].get(node, ()):
+            if w != node:
+                return True
+        for w in self._pred[time].get(node, ()):
+            if w != node:
+                return True
+        return False
 
     def add_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
         """Insert many ``(u, v, t)`` edges; return the number actually added."""
@@ -197,7 +245,9 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
     def active_nodes_at(self, time: Time) -> set[Node]:
         if time not in self._succ:
             raise TimestampNotFoundError(time)
-        return {v for v, times in self._active_times.items() if self._has_time(times, time)}
+        return {
+            v for v, times in self._active_times.items() if self._has_time(times, time)
+        }
 
     @staticmethod
     def _has_time(times: list[Time], time: Time) -> bool:
@@ -246,8 +296,9 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
 
     def copy(self) -> "AdjacencyListEvolvingGraph":
         """Deep-enough copy sharing no mutable state with the original."""
-        clone = AdjacencyListEvolvingGraph(directed=self._directed,
-                                           timestamps=self._timestamps)
+        clone = AdjacencyListEvolvingGraph(
+            directed=self._directed, timestamps=self._timestamps
+        )
         for t in self._timestamps:
             for u, v in self._edge_sets[t]:
                 clone.add_edge(u, v, t)

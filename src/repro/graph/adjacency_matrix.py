@@ -10,6 +10,7 @@ matrix ``M_n`` / ``A_n`` construction of Section III-C.
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -47,6 +48,16 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
         When ``False``, each matrix is interpreted as one-sided storage of an
         undirected snapshot (an edge is traversable both ways even when only
         one orientation is stored), mirroring the remark after Lemma 1.
+
+    Notes
+    -----
+    The stored matrices are normalized copies with *read-only* buffers:
+    :meth:`matrix_at` / :meth:`matrices` return them directly, and an
+    in-place edit would bypass
+    :attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version` and leave
+    stale compiled kernels in the engine cache.  Mutating a returned matrix
+    therefore raises ``ValueError``; grow the graph with :meth:`add_snapshot`
+    or rebuild it instead.
     """
 
     def __init__(
@@ -59,7 +70,8 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
     ) -> None:
         if len(matrices) != len(timestamps):
             raise RepresentationError(
-                f"got {len(matrices)} matrices but {len(timestamps)} timestamps")
+                f"got {len(matrices)} matrices but {len(timestamps)} timestamps"
+            )
         if len(timestamps) != len(set(timestamps)):
             raise RepresentationError("timestamps must be distinct")
         if list(timestamps) != sorted(timestamps):
@@ -70,18 +82,9 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
         csr_list: list[sp.csr_matrix] = []
         n = None
         for m in matrices:
-            csr = sp.csr_matrix(m)
-            if csr.shape[0] != csr.shape[1]:
-                raise RepresentationError(f"adjacency matrices must be square, got {csr.shape}")
+            csr = self._normalize_matrix(m, n)
             if n is None:
                 n = csr.shape[0]
-            elif csr.shape[0] != n:
-                raise RepresentationError(
-                    f"all adjacency matrices must share the same shape, got {csr.shape} vs {n}")
-            csr = csr.astype(np.int64)
-            csr.setdiag(0)  # self-loops never create activeness (Definition 3)
-            csr.eliminate_zeros()
-            csr.data[:] = 1  # 0/1 adjacency per Eq. (1)
             csr_list.append(csr)
 
         self._matrices = csr_list
@@ -94,14 +97,62 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
             node_labels = list(range(self._n))
         if len(node_labels) != self._n:
             raise RepresentationError(
-                f"expected {self._n} node labels, got {len(node_labels)}")
+                f"expected {self._n} node labels, got {len(node_labels)}"
+            )
         self._node_labels = list(node_labels)
-        self._node_index: Mapping[Node, int] = {v: i for i, v in enumerate(self._node_labels)}
+        self._node_index: Mapping[Node, int] = {
+            v: i for i, v in enumerate(self._node_labels)
+        }
         if len(self._node_index) != self._n:
             raise RepresentationError("node labels must be distinct")
 
         # cache transposes (CSC views) for in-neighbour queries
         self._matrices_T = [m.T.tocsr() for m in self._matrices]
+
+    @staticmethod
+    def _normalize_matrix(
+        matrix: sp.spmatrix | np.ndarray, n: int | None
+    ) -> sp.csr_matrix:
+        """Validate and normalize one snapshot matrix to 0/1 CSR, no diagonal."""
+        csr = sp.csr_matrix(matrix)
+        if csr.shape[0] != csr.shape[1]:
+            raise RepresentationError(
+                f"adjacency matrices must be square, got {csr.shape}"
+            )
+        if n is not None and csr.shape[0] != n:
+            raise RepresentationError(
+                f"all adjacency matrices must share the same shape, got {csr.shape} vs {n}"
+            )
+        csr = csr.astype(np.int64)
+        csr.setdiag(0)  # self-loops never create activeness (Definition 3)
+        csr.eliminate_zeros()
+        csr.data[:] = 1  # 0/1 adjacency per Eq. (1)
+        # Freeze the buffers: matrix_at()/matrices() hand out these objects,
+        # and a silent in-place edit would bypass mutation_version and serve
+        # stale compiled kernels.  Mutating them now raises; use
+        # add_snapshot() or rebuild the graph instead.
+        csr.data.setflags(write=False)
+        csr.indices.setflags(write=False)
+        csr.indptr.setflags(write=False)
+        return csr
+
+    def add_snapshot(self, time: Time, matrix: sp.spmatrix | np.ndarray) -> None:
+        """Insert a new snapshot matrix labelled ``time`` (kept in time order).
+
+        The matrix must share the node universe (same shape) as the existing
+        snapshots.  Bumps
+        :attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version`, so
+        cached compiled kernels are rebuilt exactly when needed.
+        """
+        if time in self._time_index:
+            raise RepresentationError(f"snapshot for timestamp {time!r} already exists")
+        csr = self._normalize_matrix(matrix, self._n)
+        pos = bisect.bisect_left(self._timestamps, time)
+        self._timestamps.insert(pos, time)
+        self._matrices.insert(pos, csr)
+        self._matrices_T.insert(pos, csr.T.tocsr())
+        self._time_index = {t: k for k, t in enumerate(self._timestamps)}
+        self._bump_mutation_version()
 
     # ------------------------------------------------------------------ #
     # constructors                                                        #
@@ -120,9 +171,13 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
         triples = list(edges)
         times = sorted(set(t for _, _, t in triples) | set(timestamps or ()))
         if not times:
-            raise RepresentationError("cannot build a matrix sequence without timestamps")
+            raise RepresentationError(
+                "cannot build a matrix sequence without timestamps"
+            )
         if node_labels is None:
-            labels = sorted({u for u, _, _ in triples} | {v for _, v, _ in triples}, key=repr)
+            labels = sorted(
+                {u for u, _, _ in triples} | {v for _, v, _ in triples}, key=repr
+            )
         else:
             labels = list(node_labels)
         index = {v: i for i, v in enumerate(labels)}
@@ -194,18 +249,21 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
         for i, j in zip(mat.row, mat.col):
             yield (labels[i], labels[j])
 
+    @staticmethod
+    def _row_indices(mat: sp.csr_matrix, idx: int) -> np.ndarray:
+        """Column indices stored in row ``idx`` of a CSR matrix."""
+        return mat.indices[mat.indptr[idx] : mat.indptr[idx + 1]]
+
     def out_neighbors_at(self, node: Node, time: Time) -> Iterator[Node]:
         idx = self._node_index.get(node)
         if idx is None:
             return iter(())
         k = self._time_code(time)
         labels = self._node_labels
-        row = self._matrices[k].indices[
-            self._matrices[k].indptr[idx]:self._matrices[k].indptr[idx + 1]]
+        row = self._row_indices(self._matrices[k], idx)
         out = [labels[j] for j in row]
         if not self._directed:
-            row_t = self._matrices_T[k].indices[
-                self._matrices_T[k].indptr[idx]:self._matrices_T[k].indptr[idx + 1]]
+            row_t = self._row_indices(self._matrices_T[k], idx)
             out.extend(labels[j] for j in row_t if labels[j] not in out)
         return iter(out)
 
@@ -215,12 +273,10 @@ class MatrixSequenceEvolvingGraph(BaseEvolvingGraph):
             return iter(())
         k = self._time_code(time)
         labels = self._node_labels
-        row_t = self._matrices_T[k].indices[
-            self._matrices_T[k].indptr[idx]:self._matrices_T[k].indptr[idx + 1]]
+        row_t = self._row_indices(self._matrices_T[k], idx)
         out = [labels[j] for j in row_t]
         if not self._directed:
-            row = self._matrices[k].indices[
-                self._matrices[k].indptr[idx]:self._matrices[k].indptr[idx + 1]]
+            row = self._row_indices(self._matrices[k], idx)
             out.extend(labels[j] for j in row if labels[j] not in out)
         return iter(out)
 

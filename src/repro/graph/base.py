@@ -87,6 +87,43 @@ class BaseEvolvingGraph(ABC):
         """Spatial in-neighbours of ``node`` in the snapshot at ``time``."""
 
     # ------------------------------------------------------------------ #
+    # mutation tracking                                                  #
+    # ------------------------------------------------------------------ #
+
+    #: Class-level default; instances shadow it on their first mutation.
+    _mutation_version: int = 0
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotonically increasing counter of structural mutations.
+
+        Every mutating operation (``add_edge``, ``add_timestamp``,
+        ``add_snapshot``, ``remove_edge``) bumps this counter, including
+        count-preserving edits such as removing one edge and adding another.
+        Compiled artifacts (:class:`~repro.graph.compiled.CompiledTemporalGraph`)
+        and the engine's kernel cache key on ``(graph, mutation_version)``,
+        which makes cache invalidation exact instead of heuristic.  Immutable
+        representations report a constant ``0``.
+        """
+        return self._mutation_version
+
+    def _bump_mutation_version(self) -> None:
+        """Record a structural mutation (called by every mutating operation)."""
+        self._mutation_version = self._mutation_version + 1
+
+    def compile(self) -> "CompiledTemporalGraph":
+        """Compile this graph into an immutable sparse execution artifact.
+
+        Convenience wrapper around
+        :meth:`repro.graph.compiled.CompiledTemporalGraph.from_graph`; most
+        callers should prefer :func:`repro.engine.get_compiled`, which caches
+        the artifact per ``(graph, mutation_version)``.
+        """
+        from repro.graph.compiled import CompiledTemporalGraph
+
+        return CompiledTemporalGraph.from_graph(self)
+
+    # ------------------------------------------------------------------ #
     # derived structural queries                                         #
     # ------------------------------------------------------------------ #
 
@@ -202,7 +239,7 @@ class BaseEvolvingGraph(ABC):
         for v in sorted(self.nodes(), key=repr):
             times = self.active_times(v)
             for i, s in enumerate(times):
-                for t in times[i + 1:]:
+                for t in times[i + 1 :]:
                     yield ((v, s), (v, t))
 
     def num_causal_edges(self) -> int:

@@ -1,0 +1,271 @@
+"""Shared compiled form of an evolving graph: the engine's execution artifact.
+
+PR 1 taught the frontier engine to compile any evolving-graph representation
+into per-snapshot CSR matrices, but the compilation lived inside
+``FrontierKernel.__init__`` — every kernel rebuilt its own CSR stack, and the
+dispatch cache guessed staleness from edge/timestamp counts.
+:class:`CompiledTemporalGraph` moves that compilation into the graph layer as
+a first-class, immutable artifact that every consumer shares:
+
+* a **node index** — the sorted node universe and its label ↔ row mapping;
+* the **forward-operator stack** ``F[t]`` — one CSR matrix per snapshot with
+  ``F[t][v, u] = 1`` iff the snapshot at ``t`` has the edge ``u -> v``
+  (symmetrized for undirected graphs, self-loops dropped per Definition 3),
+  so ``F[t] @ x`` advances a frontier block along out-edges;
+* the **backward-operator stack** ``F[t]^T`` — built *lazily* on first use,
+  because forward-only workloads (the overwhelming majority) never apply it;
+* a ``(T, N)`` **activeness mask** (Definition 3);
+* the source graph's ``mutation_version`` stamp, which lets caches decide
+  *exactly* whether the artifact still describes the graph.
+
+The artifact is consumed by :class:`repro.engine.frontier.FrontierKernel`
+(every BFS variant), by the vectorized analytics in :mod:`repro.algorithms`
+(components build a temporal block matrix straight from the operator stack),
+and by the batch/scaling harnesses in :mod:`repro.parallel` and
+:mod:`repro.analysis`, which compile once and fan the artifact out across
+workers and sweep repeats.  Use :func:`repro.engine.get_compiled` for the
+cached path; construct directly only when an uncached snapshot is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
+from repro.graph.base import BaseEvolvingGraph, Node, Time
+
+__all__ = ["CompiledTemporalGraph"]
+
+
+class CompiledTemporalGraph:
+    """Immutable sparse compilation of one evolving graph.
+
+    Build with :meth:`from_graph` (or ``graph.compile()``); prefer the cached
+    :func:`repro.engine.get_compiled` in application code.  The artifact is a
+    *snapshot*: mutating the source graph afterwards does not update it, but
+    :meth:`is_current` (via the stored :attr:`mutation_version`) tells caches
+    exactly when a rebuild is required.
+    """
+
+    def __init__(
+        self,
+        *,
+        node_labels: Sequence[Node],
+        times: Sequence[Time],
+        forward_operators: Sequence[sp.csr_matrix],
+        is_directed: bool,
+        mutation_version: int,
+        backward_operators: Sequence[sp.csr_matrix] | None = None,
+    ) -> None:
+        if not times:
+            raise GraphError("CompiledTemporalGraph requires at least one snapshot")
+        if len(forward_operators) != len(times):
+            raise GraphError(
+                f"got {len(forward_operators)} operators for {len(times)} snapshots"
+            )
+        self._labels: list[Node] = list(node_labels)
+        self._node_index: dict[Node, int] = {v: i for i, v in enumerate(self._labels)}
+        self._times: list[Time] = list(times)
+        self._time_index: dict[Time, int] = {t: i for i, t in enumerate(self._times)}
+        self._forward: list[sp.csr_matrix] = list(forward_operators)
+        self._backward: list[sp.csr_matrix] | None = (
+            list(backward_operators) if backward_operators is not None else None
+        )
+        self._directed = bool(is_directed)
+        self._version = int(mutation_version)
+        self._n = int(self._forward[0].shape[0]) if self._forward else 0
+
+        active = np.zeros((len(self._times), self._n), dtype=bool)
+        for k, m in enumerate(self._forward):
+            in_deg = np.asarray(m.sum(axis=1)).ravel()
+            out_deg = np.asarray(m.sum(axis=0)).ravel()
+            active[k] = (in_deg + out_deg) > 0
+        active.setflags(write=False)
+        self._active = active
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph(cls, graph: BaseEvolvingGraph) -> "CompiledTemporalGraph":
+        """Compile any evolving-graph representation into the shared artifact.
+
+        Matrix-sequence graphs are adopted matrix-by-matrix (both operator
+        stacks come for free); every other representation is bulk-compiled
+        from one pass over ``temporal_edges_unordered()``.  For undirected
+        graphs the forward operators are symmetric, so the backward stack
+        aliases the forward one at zero cost.
+        """
+        times = list(graph.timestamps)
+        if not times:
+            raise GraphError("cannot compile an evolving graph with no snapshots")
+        version = graph.mutation_version
+        if isinstance(graph, MatrixSequenceEvolvingGraph):
+            labels: list[Node] = graph.node_labels
+            pull = [graph.symmetrized_matrix_at(t).astype(np.int32) for t in times]
+            push = [m.T.tocsr() for m in pull]
+            backward: list[sp.csr_matrix] | None = pull
+        else:
+            labels, push = _compile_forward_operators(graph, times)
+            backward = push if not graph.is_directed else None
+        return cls(
+            node_labels=labels,
+            times=times,
+            forward_operators=push,
+            is_directed=graph.is_directed,
+            mutation_version=version,
+            backward_operators=backward,
+        )
+
+    # ------------------------------------------------------------------ #
+    # structure                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_labels(self) -> list[Node]:
+        """Node labels indexing operator rows/columns."""
+        return list(self._labels)
+
+    @property
+    def node_index(self) -> dict[Node, int]:
+        """Mapping from node label to its row/column index."""
+        return dict(self._node_index)
+
+    @property
+    def times(self) -> tuple[Time, ...]:
+        """Snapshot labels, in time order."""
+        return tuple(self._times)
+
+    @property
+    def time_index(self) -> dict[Time, int]:
+        """Mapping from timestamp label to its snapshot position."""
+        return dict(self._time_index)
+
+    @property
+    def num_nodes(self) -> int:
+        """Size ``N`` of the shared node universe."""
+        return self._n
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of snapshots ``T``."""
+        return len(self._times)
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries summed over all snapshot operators."""
+        return int(sum(m.nnz for m in self._forward))
+
+    @property
+    def is_directed(self) -> bool:
+        """Whether the source graph was directed."""
+        return self._directed
+
+    @property
+    def mutation_version(self) -> int:
+        """The source graph's mutation version at compile time."""
+        return self._version
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Read-only ``(T, N)`` boolean activeness mask (Definition 3)."""
+        return self._active
+
+    def is_current(self, graph: BaseEvolvingGraph) -> bool:
+        """Whether this artifact still describes ``graph`` exactly."""
+        return graph.mutation_version == self._version
+
+    # ------------------------------------------------------------------ #
+    # operator stacks                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def forward_operators(self) -> list[sp.csr_matrix]:
+        """Per-snapshot CSR stack ``F[t]`` advancing frontiers along out-edges."""
+        return list(self._forward)
+
+    @property
+    def backward_operators(self) -> list[sp.csr_matrix]:
+        """Per-snapshot transposes ``F[t]^T`` (in-edge expansion), built lazily.
+
+        Forward-only workloads never touch this property, so they never pay
+        for the transpose conversion (see ``tests/test_engine.py``).
+        """
+        if self._backward is None:
+            self._backward = [m.T.tocsr() for m in self._forward]
+        return list(self._backward)
+
+    @property
+    def transposes_built(self) -> bool:
+        """Whether the backward-operator stack has been materialized yet."""
+        return self._backward is not None
+
+    # ------------------------------------------------------------------ #
+    # point queries                                                       #
+    # ------------------------------------------------------------------ #
+
+    def is_active(self, node: Node, time: Time) -> bool:
+        """Whether ``(node, time)`` is active (Definition 3), per the compiled mask."""
+        ti = self._time_index.get(time)
+        vi = self._node_index.get(node)
+        if ti is None or vi is None:
+            return False
+        return bool(self._active[ti, vi])
+
+    def slot(self, node: Node, time: Time) -> tuple[int, int] | None:
+        """The ``(time index, node index)`` of a temporal node, or ``None``."""
+        ti = self._time_index.get(time)
+        vi = self._node_index.get(node)
+        if ti is None or vi is None:
+            return None
+        return ti, vi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CompiledTemporalGraph snapshots={self.num_snapshots} "
+            f"nodes={self.num_nodes} nnz={self.nnz} "
+            f"version={self._version} directed={self._directed}>"
+        )
+
+
+def _compile_forward_operators(
+    graph: BaseEvolvingGraph, times: list[Time]
+) -> tuple[list[Node], list[sp.csr_matrix]]:
+    """Bulk-compile any representation into the per-snapshot forward stack.
+
+    The forward operator is assembled directly in its transposed-adjacency
+    orientation (row = destination, column = source), so no separate
+    transpose pass is ever needed for forward traversal.
+    """
+    time_index = {t: i for i, t in enumerate(times)}
+    triples = list(graph.temporal_edges_unordered())
+    label_set = {u for u, _, _ in triples} | {v for _, v, _ in triples}
+    labels = sorted(label_set, key=repr)
+    index = {v: i for i, v in enumerate(labels)}
+    n = len(labels)
+    count = len(triples)
+    u_idx = np.fromiter((index[u] for u, _, _ in triples), dtype=np.int64, count=count)
+    v_idx = np.fromiter((index[v] for _, v, _ in triples), dtype=np.int64, count=count)
+    t_gen = (time_index[t] for _, _, t in triples)
+    t_idx = np.fromiter(t_gen, dtype=np.int64, count=count)
+    if not graph.is_directed:
+        u_idx, v_idx = np.concatenate([u_idx, v_idx]), np.concatenate([v_idx, u_idx])
+        t_idx = np.concatenate([t_idx, t_idx])
+    keep = u_idx != v_idx  # self-loops never create activeness (Definition 3)
+    u_idx, v_idx, t_idx = u_idx[keep], v_idx[keep], t_idx[keep]
+    mats: list[sp.csr_matrix] = []
+    for k in range(len(times)):
+        mask = t_idx == k
+        data = np.ones(int(mask.sum()), dtype=np.int32)
+        # rows are destinations, columns are sources: F[t] = A[t]^T
+        mat = sp.csr_matrix((data, (v_idx[mask], u_idx[mask])), shape=(n, n))
+        mat.sum_duplicates()
+        if mat.nnz:
+            mat.data[:] = 1
+        mats.append(mat)
+    return labels, mats

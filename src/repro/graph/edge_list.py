@@ -43,6 +43,13 @@ class TemporalEdgeList(BaseEvolvingGraph):
     timestamps:
         Optional explicit timestamp universe; timestamps not appearing in any
         edge become empty snapshots.
+
+    Notes
+    -----
+    Instances are frozen after construction, so
+    :attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version` is a
+    constant ``0`` and compiled kernels for this representation never go
+    stale.
     """
 
     def __init__(
@@ -58,12 +65,14 @@ class TemporalEdgeList(BaseEvolvingGraph):
         for item in triples:
             if len(item) != 3:
                 raise RepresentationError(
-                    f"temporal edges must be (u, v, t) triples, got {item!r}")
+                    f"temporal edges must be (u, v, t) triples, got {item!r}"
+                )
 
         node_labels: list[Node] = []
         node_index: dict[Node, int] = {}
-        time_labels: list[Time] = sorted(set(t for _, _, t in triples)
-                                         | set(timestamps or ()))
+        time_labels: list[Time] = sorted(
+            set(t for _, _, t in triples) | set(timestamps or ())
+        )
         time_index: dict[Time, int] = {t: i for i, t in enumerate(time_labels)}
 
         def _node_code(v: Node) -> int:
@@ -112,8 +121,10 @@ class TemporalEdgeList(BaseEvolvingGraph):
             lo, hi = self._time_starts[k], self._time_starts[k + 1]
             s, d = self._src[lo:hi], self._dst[lo:hi]
             mask = s != d
-            codes = np.unique(np.concatenate([s[mask], d[mask]])) if hi > lo else \
-                np.empty(0, dtype=np.int64)
+            if hi > lo:
+                codes = np.unique(np.concatenate([s[mask], d[mask]]))
+            else:
+                codes = np.empty(0, dtype=np.int64)
             self._active_codes_per_time.append(codes)
 
     # ------------------------------------------------------------------ #
@@ -267,6 +278,8 @@ class TemporalEdgeList(BaseEvolvingGraph):
         destinations = np.asarray(destinations)
         times = np.asarray(times)
         if not (sources.shape == destinations.shape == times.shape):
-            raise RepresentationError("source/destination/time arrays must have equal shape")
+            raise RepresentationError(
+                "source/destination/time arrays must have equal shape"
+            )
         triples = zip(sources.tolist(), destinations.tolist(), times.tolist())
         return cls(triples, directed=directed)

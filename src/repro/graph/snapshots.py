@@ -57,11 +57,27 @@ class SnapshotSequenceEvolvingGraph(BaseEvolvingGraph):
             graph = StaticGraph(directed=self._directed)
         if graph.is_directed != self._directed:
             raise RepresentationError(
-                "snapshot directedness does not match the evolving graph")
+                "snapshot directedness does not match the evolving graph"
+            )
         self._graphs[time] = graph
         self._times.append(time)
         self._times.sort()
+        self._bump_mutation_version()
         return graph
+
+    @property
+    def mutation_version(self) -> int:
+        """Exact mutation counter, including *direct* snapshot mutations.
+
+        The sum of this container's own counter (bumped by
+        :meth:`add_snapshot`) and every stored snapshot's
+        :attr:`~repro.graph.static_graph.StaticGraph.mutation_version`, so
+        edges added either through :meth:`add_edge` or directly on a
+        ``StaticGraph`` obtained from :meth:`snapshot` are both detected.
+        """
+        return self._mutation_version + sum(
+            g.mutation_version for g in self._graphs.values()
+        )
 
     def add_edge(self, u: Node, v: Node, time: Time) -> bool:
         """Insert an edge, creating the snapshot when needed."""
@@ -70,8 +86,9 @@ class SnapshotSequenceEvolvingGraph(BaseEvolvingGraph):
         return self._graphs[time].add_edge(u, v)
 
     @classmethod
-    def from_edges(cls, edges: Iterable[TemporalEdgeTuple], *,
-                   directed: bool = True) -> "SnapshotSequenceEvolvingGraph":
+    def from_edges(
+        cls, edges: Iterable[TemporalEdgeTuple], *, directed: bool = True
+    ) -> "SnapshotSequenceEvolvingGraph":
         g = cls(directed=directed)
         for u, v, t in edges:
             g.add_edge(u, v, t)

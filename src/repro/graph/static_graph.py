@@ -35,8 +35,12 @@ class StaticGraph:
         Whether edges are directed.
     """
 
-    def __init__(self, edges: Iterable[tuple[Hashable, Hashable]] | None = None,
-                 *, directed: bool = True) -> None:
+    def __init__(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable]] | None = None,
+        *,
+        directed: bool = True,
+    ) -> None:
         self._directed = bool(directed)
         self._succ: dict[Hashable, list[Hashable]] = {}
         self._pred: dict[Hashable, list[Hashable]] = {}
@@ -47,14 +51,30 @@ class StaticGraph:
 
     # -- construction ---------------------------------------------------- #
 
+    #: Class-level default; instances shadow it on their first mutation.
+    _mutation_version: int = 0
+
     @property
     def is_directed(self) -> bool:
         return self._directed
 
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic mutation counter (bumped by ``add_node``/``add_edge``).
+
+        :class:`~repro.graph.snapshots.SnapshotSequenceEvolvingGraph` sums
+        these over its snapshots, so even edges inserted directly on a stored
+        snapshot invalidate compiled kernels exactly.
+        """
+        return self._mutation_version
+
     def add_node(self, v: Hashable) -> None:
         """Ensure ``v`` exists even if isolated."""
-        self._succ.setdefault(v, [])
-        self._pred.setdefault(v, [])
+        if v in self._succ:
+            return
+        self._succ[v] = []
+        self._pred[v] = []
+        self._mutation_version = self._mutation_version + 1
 
     def add_edge(self, u: Hashable, v: Hashable) -> bool:
         """Insert edge ``u -> v`` (both directions when undirected); return True if new."""
@@ -62,6 +82,7 @@ class StaticGraph:
         if key in self._edges:
             return False
         self._edges.add(key)
+        self._mutation_version = self._mutation_version + 1
         self.add_node(u)
         self.add_node(v)
         self._succ[u].append(v)
@@ -151,8 +172,10 @@ class StaticGraph:
         return mat
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"<StaticGraph nodes={self.num_nodes()} edges={self.num_edges()} "
-                f"directed={self._directed}>")
+        return (
+            f"<StaticGraph nodes={self.num_nodes()} edges={self.num_edges()} "
+            f"directed={self._directed}>"
+        )
 
 
 def static_bfs(graph: StaticGraph, root: Hashable) -> dict[Hashable, int]:

@@ -12,11 +12,17 @@ intra-traversal parallelism:
 * the **process** backend pays a one-time pickling cost per worker (fork
   start method shares pages copy-on-write on Linux) and then scales with
   physical cores, which is the honest way to scale pure-Python traversal;
-* the **vectorized** backend skips task-level parallelism entirely: all
-  roots are packed into the columns of a dense block and advanced by one
-  CSR × dense-block product per snapshot on the shared frontier engine
-  (:mod:`repro.engine`), amortizing the traversal across roots — usually
-  far faster than any pool of Python traversals;
+* the **vectorized** backend packs all roots into the columns of a dense
+  block and advances them by one CSR × dense-block product per snapshot on
+  the shared frontier engine (:mod:`repro.engine`), amortizing the
+  traversal across roots — usually far faster than any pool of Python
+  traversals.  With ``num_workers > 1`` the root chunks are additionally
+  fanned out over a thread pool: every worker drives the *same* cached
+  kernel over the *same* compiled artifact
+  (:class:`~repro.graph.compiled.CompiledTemporalGraph`), so the graph is
+  compiled exactly once per mutation version no matter how many workers or
+  calls run, and the SpMM inner loops overlap wherever SciPy releases the
+  GIL;
 * the **serial** backend is the reference implementation and the default.
 
 The ablation benchmarks ``bench_parallel.py`` and ``bench_engine.py``
@@ -89,8 +95,9 @@ def batch_bfs(
     Inactive roots are skipped silently (their searches would be empty).
     ``backend="vectorized"`` packs ``chunk_size`` roots at a time into the
     frontier engine's batched multi-source mode (one CSR × dense-block
-    product per snapshot per level); the other backends run one Python
-    traversal per root.
+    product per snapshot per level), optionally spreading the chunks over
+    ``num_workers`` threads that all share the one cached compiled kernel;
+    the other backends run one Python traversal per root.
     """
     root_list = [tuple(r) for r in roots]
     active_roots = [r for r in root_list if graph.is_active(*r)]
@@ -101,7 +108,24 @@ def batch_bfs(
             return {}
         from repro.engine import get_kernel
 
-        return get_kernel(graph).batch(active_roots, chunk_size=chunk_size)
+        kernel = get_kernel(graph)
+        if num_workers is None or num_workers <= 1 or len(active_roots) <= chunk_size:
+            return kernel.batch(active_roots, chunk_size=chunk_size)
+        # fan the chunks out over threads; every worker shares the same
+        # compiled artifact, so nothing is recompiled per worker or per call
+        chunks = [
+            active_roots[start : start + chunk_size]
+            for start in range(0, len(active_roots), chunk_size)
+        ]
+        results = {}
+        with ThreadPoolExecutor(max_workers=num_workers) as pool:
+            futures = [
+                pool.submit(kernel.batch, chunk, chunk_size=chunk_size)
+                for chunk in chunks
+            ]
+            for future in futures:
+                results.update(future.result())
+        return results
 
     results: dict[TemporalNodeTuple, BFSResult] = {}
     if backend == "serial" or len(active_roots) <= 1:
@@ -111,8 +135,10 @@ def batch_bfs(
 
     if backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {root: pool.submit(evolving_bfs, graph, root, backend="python")
-                       for root in active_roots}
+            futures = {
+                root: pool.submit(evolving_bfs, graph, root, backend="python")
+                for root in active_roots
+            }
             for root, future in futures.items():
                 results[root] = future.result()
         return results

@@ -223,6 +223,42 @@ class TestDispatch:
         assert reached == evolving_bfs(graph, (0, 0), backend="python").reached
         assert (2, 1) in reached
 
+    def test_count_preserving_mutation_invalidates_kernel(self):
+        """Regression: remove one edge, add another — counts unchanged, cache not.
+
+        The old fingerprint ``(num_timestamps, num_static_edges, is_directed)``
+        could not see this mutation and served stale results; the exact
+        ``mutation_version`` key must rebuild the kernel.
+        """
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], timestamps=[0, 1])
+        before = get_kernel(graph)
+        stale = evolving_bfs(graph, (0, 0)).reached
+        assert (2, 1) in stale
+
+        assert graph.remove_edge(1, 2, 1)
+        assert graph.add_edge(2, 3, 1)
+        # the mutation preserved every count the old fingerprint looked at
+        assert graph.num_timestamps == 2
+        assert graph.num_static_edges() == 2
+
+        assert get_kernel(graph) is not before
+        fresh = evolving_bfs(graph, (0, 0)).reached
+        assert fresh == evolving_bfs(graph, (0, 0), backend="python").reached
+        assert fresh != stale
+        assert (2, 1) not in fresh
+
+    def test_compiled_artifact_shared_and_version_exact(self):
+        from repro.engine import get_compiled
+
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        compiled = get_compiled(graph)
+        assert get_compiled(graph) is compiled
+        assert get_kernel(graph).compiled is compiled
+        assert compiled.is_current(graph)
+        graph.add_edge(1, 0, 1)
+        assert not compiled.is_current(graph)
+        assert get_compiled(graph) is not compiled
+
     def test_tracking_options_fall_back_to_python(self, figure1):
         traced = evolving_bfs(figure1, (1, "t1"), track_parents=True,
                               track_frontiers=True)
@@ -264,6 +300,34 @@ class TestOperationCounting:
         matrix = CSRMatrix.from_dense(np.eye(3))
         matrix.matvec(np.ones(3))
         assert matrix.counter.multiply_adds == 2 * matrix.nnz
+
+    def test_forward_only_workload_never_builds_transposes(self):
+        """The backward-operator stack is lazy: forward searches never pay for it."""
+        graph = AdjacencyListEvolvingGraph(
+            [(0, 1, 0), (1, 2, 0), (2, 3, 1), (0, 2, 1)], directed=True
+        )
+        lazy = FrontierKernel(graph, counter=OperationCounter())
+        assert not lazy.compiled.transposes_built
+        lazy.bfs((0, 0))
+        lazy.batch([(0, 0), (1, 0)])
+        lazy.identity_reach_counts([(0, 0), (1, 0)])
+        assert not lazy.compiled.transposes_built
+
+        # prebuilding the transposes changes nothing about the forward cost
+        # model: the flop counter accounts the identical multiply-adds, i.e.
+        # forward-only workloads never paid for the transposed stack
+        eager = FrontierKernel(graph, counter=OperationCounter())
+        assert eager.compiled.backward_operators  # force the build
+        assert eager.compiled.transposes_built
+        eager.bfs((0, 0))
+        eager.batch([(0, 0), (1, 0)])
+        eager.identity_reach_counts([(0, 0), (1, 0)])
+        assert eager.counter.multiply_adds == lazy.counter.multiply_adds
+        assert eager.counter.column_checks == lazy.counter.column_checks
+
+        # the first backward query builds the stack on demand
+        lazy.bfs((3, 1), direction="backward")
+        assert lazy.compiled.transposes_built
 
     def test_kernel_counter_scales_with_batch_width(self, figure1):
         single = OperationCounter()
