@@ -34,7 +34,7 @@ from repro.algorithms.components import weak_temporal_components
 from repro.algorithms.influence import influence_set
 from repro.generators import random_evolving_graph
 
-from .conftest import SCALE, scaled, write_json_report, write_report
+from .conftest import SCALE, median_seconds, scaled, write_json_report, write_report
 
 NUM_TIMESTAMPS = 10
 
@@ -48,18 +48,6 @@ SPEEDUP_FLOOR = 3.0 if SCALE >= 1.0 else 1.2
 REACH_SWEEP = (scaled(200), [scaled(2_000), scaled(4_000), scaled(8_000)])
 COMPONENT_SWEEP = (scaled(500), [scaled(5_000), scaled(10_000), scaled(20_000)])
 INFLUENCE_SWEEP = (scaled(2_000), [scaled(50_000), scaled(100_000)])
-
-
-def _median_seconds(fn, *, repeats: int = 3, warmup: int = 1) -> float:
-    for _ in range(warmup):
-        fn()
-    timings = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        timings.append(time.perf_counter() - start)
-    timings.sort()
-    return timings[len(timings) // 2]
 
 
 def _first_active_root(graph):
@@ -81,7 +69,7 @@ def _sweep_workload(num_nodes, edge_targets, python_fn, vectorized_fn):
         start = time.perf_counter()
         python_result = python_fn(graph)
         python_s = time.perf_counter() - start
-        vectorized_s = _median_seconds(lambda: vectorized_fn(graph))
+        vectorized_s = median_seconds(lambda: vectorized_fn(graph))
         assert python_result == vectorized_fn(graph)  # oracle cross-check
         points.append({
             "edges": graph.num_static_edges(),

@@ -32,7 +32,7 @@ from repro.engine import get_kernel
 from repro.generators import random_evolving_graph
 from repro.parallel import batch_bfs
 
-from .conftest import SCALE, scaled, write_report
+from .conftest import SCALE, median_seconds, scaled, write_report
 
 EDGE_TARGETS = [scaled(100_000), scaled(160_000), scaled(250_000)]
 NUM_NODES = scaled(2_000)
@@ -42,18 +42,6 @@ NUM_BATCH_ROOTS = 32
 #: Quick/CI runs (REPRO_BENCH_SCALE < 1) shrink the workload until constant
 #: overheads dominate the Python baseline, so the asserted floor relaxes.
 SPEEDUP_FLOOR = 2.0 if SCALE >= 1.0 else 1.1
-
-
-def _median_seconds(fn, *, repeats: int = 3, warmup: int = 1) -> float:
-    for _ in range(warmup):
-        fn()
-    timings = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        timings.append(time.perf_counter() - start)
-    timings.sort()
-    return timings[len(timings) // 2]
 
 
 def _first_active_root(graph):
@@ -72,9 +60,9 @@ def sweep():
         graph = random_evolving_graph(
             NUM_NODES, NUM_TIMESTAMPS, num_edges, seed=2016)
         root = _first_active_root(graph)
-        python_s = _median_seconds(
+        python_s = median_seconds(
             lambda: evolving_bfs(graph, root, backend="python"))
-        vectorized_s = _median_seconds(
+        vectorized_s = median_seconds(
             lambda: evolving_bfs(graph, root, backend="vectorized"))
         points.append({
             "edges": graph.num_static_edges(),
@@ -157,10 +145,10 @@ def test_batched_multi_source_amortization(sweep, report_dir):
     graph = sweep[0]["graph"]
     roots = graph.active_temporal_nodes()[:NUM_BATCH_ROOTS]
 
-    serial_s = _median_seconds(
+    serial_s = median_seconds(
         lambda: batch_bfs(graph, roots, backend="serial"),
         repeats=1, warmup=0)
-    vectorized_s = _median_seconds(
+    vectorized_s = median_seconds(
         lambda: batch_bfs(graph, roots, backend="vectorized"),
         repeats=3, warmup=1)
     speedup = serial_s / max(vectorized_s, 1e-12)
@@ -195,8 +183,8 @@ def test_kernel_compile_cost_is_amortized(sweep, report_dir):
     kernel = FrontierKernel(graph)
     compile_s = time.perf_counter() - start
 
-    query_s = _median_seconds(lambda: kernel.bfs(root))
-    cached_s = _median_seconds(
+    query_s = median_seconds(lambda: kernel.bfs(root))
+    cached_s = median_seconds(
         lambda: evolving_bfs(graph, root, backend="vectorized"))
     lines = [
         "Kernel compile/query split at the largest sweep size",

@@ -4,8 +4,10 @@ The paper's experiment is single-core; parallelism is an extension of this
 reproduction, and the repro guidance explicitly flags CPython's GIL as the
 fidelity risk.  This benchmark therefore reports the honest numbers: for
 pure-Python hash-map traversal, intra-level threading yields little or no
-speed-up under the GIL, while batching *independent* searches across processes
-does scale.  The report records both so the conclusion is visible in the data.
+speed-up under the GIL.  Since PR 3 the process backend no longer forks
+Python traversals over a pickled graph: it ships the compiled artifact to
+the workers and runs batched engine sweeps there, so its row measures
+engine-sweep throughput plus pool overhead, not Python-traversal scaling.
 
 Run with::
 
@@ -69,7 +71,9 @@ def test_parallel_ablation_report(report_dir, benchmark):
 
     start = time.perf_counter()
     batch_procs = batch_bfs(graph, roots, backend="process", num_workers=4)
-    timings[f"{NUM_ROOTS} searches, 4 processes"] = time.perf_counter() - start
+    timings[f"{NUM_ROOTS} searches, 4 processes (engine sweeps)"] = (
+        time.perf_counter() - start
+    )
 
     for key in batch_serial:
         assert batch_serial[key].reached == batch_threads[key].reached
@@ -81,8 +85,11 @@ def test_parallel_ablation_report(report_dir, benchmark):
         "",
         *(f"{name:<48}: {seconds:.4f} s" for name, seconds in timings.items()),
         "",
-        "Interpretation: under the GIL, intra-level threading does not speed up pure-Python",
-        "traversal; independent searches scale via processes (copy-on-write fork).",
+        "Interpretation: under the GIL, intra-level threading does not speed up",
+        "pure-Python traversal.  The process backend ships the compiled artifact",
+        "to workers and runs batched engine sweeps there (PR 3), so its row is",
+        "engine throughput plus pool overhead — compare it against the serial",
+        "Python rows to see the combined port-plus-parallelism win.",
     ]
     write_report(report_dir, "parallel_ablation.txt", lines)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -25,6 +26,24 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 def scaled(value: int) -> int:
     """Scale a workload size by the REPRO_BENCH_SCALE environment variable."""
     return max(1, int(value * SCALE))
+
+
+def median_seconds(fn, *, repeats: int = 3, warmup: int = 1) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` timed runs.
+
+    The shared timing policy of the ablation harnesses (``bench_engine``,
+    ``bench_analytics``, ``bench_distance_notions``): a change to warmup or
+    repeat counts here changes all of them together.
+    """
+    for _ in range(warmup):
+        fn()
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[len(timings) // 2]
 
 
 @pytest.fixture(scope="session")

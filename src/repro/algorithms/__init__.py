@@ -54,12 +54,16 @@ from repro.algorithms.reachability import (
 from repro.algorithms.tang_distance import (
     average_temporal_distance,
     temporal_distance_tang,
+    temporal_distances_tang_from,
     temporal_efficiency,
 )
 from repro.algorithms.temporal_paths import (
     earliest_arrival_time,
+    earliest_arrival_times,
     fewest_spatial_hops,
+    fewest_spatial_hops_from,
     latest_departure_time,
+    latest_departure_times,
 )
 
 __all__ = [
@@ -77,8 +81,11 @@ __all__ = [
     "component_of",
     # path notions
     "earliest_arrival_time",
+    "earliest_arrival_times",
     "fewest_spatial_hops",
+    "fewest_spatial_hops_from",
     "latest_departure_time",
+    "latest_departure_times",
     # centrality
     "temporal_out_reach",
     "temporal_in_reach",
@@ -91,6 +98,7 @@ __all__ = [
     "receive_centrality",
     "count_dynamic_walks",
     "temporal_distance_tang",
+    "temporal_distances_tang_from",
     "average_temporal_distance",
     "temporal_efficiency",
     "snapshot_pagerank",

@@ -17,13 +17,13 @@ distance (hop count over static *and* causal edges):
 
 Backends
 --------
-Except for the sampled betweenness (which needs BFS parent pointers and
-therefore stays on the Python path), every measure accepts
-``backend="python" | "vectorized"``.  The default ``"vectorized"`` runs all
-roots through the shared frontier engine as batched CSR × dense-block
-sweeps (:meth:`FrontierKernel.identity_reach_counts
+Every measure accepts ``backend="python" | "vectorized"``.  The default
+``"vectorized"`` runs all roots through the shared frontier engine as
+batched CSR × dense-block sweeps (:meth:`FrontierKernel.identity_reach_counts
 <repro.engine.frontier.FrontierKernel.identity_reach_counts>` and friends);
-``"python"`` is the original one-dictionary-BFS-per-root oracle.
+the sampled betweenness reconstructs its shortest paths from the engine's
+parent-slot tracking mode instead of Python BFS trees.  ``"python"`` is the
+original one-dictionary-BFS-per-root oracle.
 """
 
 from __future__ import annotations
@@ -121,6 +121,7 @@ def temporal_betweenness_sampled(
     *,
     num_samples: int = 100,
     seed: int | np.random.Generator | None = None,
+    backend: str = "vectorized",
 ) -> dict[Hashable, float]:
     """Sampled temporal betweenness of node identities.
 
@@ -129,27 +130,49 @@ def temporal_betweenness_sampled(
     counts how often each node identity appears strictly inside those paths.
     Returns normalised frequencies (they sum to 1 when any path was found).
 
-    Always runs on the Python path: the sampled paths come from BFS parent
-    pointers, whose discovery order is part of the documented behaviour.
+    With ``backend="vectorized"`` (the default) the shortest-path trees come
+    from the engine's parent-slot tracking mode
+    (:meth:`FrontierKernel.bfs <repro.engine.frontier.FrontierKernel.bfs>`
+    with ``track_parents=True``), one batched sweep per distinct sampled
+    source.  Both backends draw the same sample pairs for a given ``seed``
+    and find a path for exactly the same pairs (path lengths are backend
+    independent), but the engine may pick a different — equally shortest —
+    path than the Python oracle's discovery order, so the sampled scores
+    can differ between backends on graphs with ties.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     active = graph.active_temporal_nodes()
     if len(active) < 2:
         return {}
-    counts: dict[Hashable, float] = {}
-    total = 0
+    pairs: list[tuple[TemporalNodeTuple, TemporalNodeTuple]] = []
     for _ in range(num_samples):
         i, j = rng.integers(0, len(active), size=2)
         if i == j:
             continue
-        source, target = active[int(i)], active[int(j)]
-        result = evolving_bfs(graph, source, track_parents=True)
-        path = result.path_to(*target)
-        if path is None or len(path) < 3:
-            continue
-        total += 1
-        for v, _ in path[1:-1]:
-            counts[v] = counts.get(v, 0.0) + 1.0
+        pairs.append((active[int(i)], active[int(j)]))
+
+    # group by source so each tree is built once yet only one is held live
+    targets_of: dict[TemporalNodeTuple, list[TemporalNodeTuple]] = {}
+    for source, target in pairs:
+        targets_of.setdefault(source, []).append(target)
+
+    counts: dict[Hashable, float] = {}
+    total = 0
+    for source, targets in targets_of.items():
+        if backend == "vectorized":
+            tree = get_kernel(graph).bfs(source, track_parents=True)
+        else:
+            tree = evolving_bfs(graph, source, track_parents=True, backend="python")
+        for target in targets:
+            path = tree.path_to(*target)
+            if path is None or len(path) < 3:
+                continue
+            total += 1
+            for v, _ in path[1:-1]:
+                counts[v] = counts.get(v, 0.0) + 1.0
     if total:
         counts = {v: c / total for v, c in counts.items()}
     return counts

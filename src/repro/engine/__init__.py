@@ -8,8 +8,14 @@
 * :func:`~repro.engine.dispatch.get_compiled` — per-graph cache of the
   shared :class:`~repro.graph.compiled.CompiledTemporalGraph` artifact,
   keyed on the graph's exact ``mutation_version``.
-* :func:`~repro.engine.dispatch.get_kernel` — the cached kernel over that
-  artifact, used by the ``backend="vectorized"`` paths of
+* :class:`~repro.engine.labels.LabelKernel` — the semiring label-sweep
+  sibling: numeric ``(T, N, R)`` labels (earliest arrival, latest departure,
+  fewest spatial hops under 0/1 edge costs, Tang snapshot counts) propagated
+  over the same compiled artifact with the same cumulative-masked causal
+  step.
+* :func:`~repro.engine.dispatch.get_kernel` /
+  :func:`~repro.engine.dispatch.get_label_kernel` — the cached kernels over
+  that artifact, used by the ``backend="vectorized"`` paths of
   :mod:`repro.core`, :mod:`repro.algorithms` and :mod:`repro.parallel`.
 * :func:`~repro.engine.dispatch.resolve_backend` — validation of the
   ``backend`` flag shared by every search entry point.
@@ -19,16 +25,20 @@ from repro.engine.dispatch import (
     BACKENDS,
     get_compiled,
     get_kernel,
+    get_label_kernel,
     invalidate_kernel,
     resolve_backend,
 )
 from repro.engine.frontier import FrontierKernel
+from repro.engine.labels import LabelKernel
 
 __all__ = [
     "BACKENDS",
     "FrontierKernel",
+    "LabelKernel",
     "get_compiled",
     "get_kernel",
+    "get_label_kernel",
     "invalidate_kernel",
     "resolve_backend",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import weakref
 
 from repro.engine.frontier import FrontierKernel
+from repro.engine.labels import LabelKernel
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph
 from repro.graph.compiled import CompiledTemporalGraph
@@ -35,6 +36,7 @@ __all__ = [
     "BACKENDS",
     "get_compiled",
     "get_kernel",
+    "get_label_kernel",
     "invalidate_kernel",
     "resolve_backend",
 ]
@@ -54,28 +56,31 @@ def resolve_backend(backend: str) -> str:
     return backend
 
 
-def _entry(graph: BaseEvolvingGraph) -> tuple[CompiledTemporalGraph, FrontierKernel]:
-    """The cached ``(compiled, kernel)`` pair, rebuilt on version mismatch."""
+def _entry(
+    graph: BaseEvolvingGraph,
+) -> tuple[CompiledTemporalGraph, FrontierKernel, LabelKernel]:
+    """The cached ``(compiled, kernel, label_kernel)`` triple, rebuilt on version mismatch."""
     version = graph.mutation_version
     try:
         cached = _CACHE.get(graph)
     except TypeError:  # unhashable graph object
         cached = None
     if cached is not None and cached[0] == version:
-        return cached[1], cached[2]
+        return cached[1], cached[2], cached[3]
     compiled = CompiledTemporalGraph.from_graph(graph)
     kernel = FrontierKernel(compiled)
+    label_kernel = LabelKernel(compiled, frontier=kernel)
     try:
-        _CACHE[graph] = (version, compiled, kernel)
+        _CACHE[graph] = (version, compiled, kernel, label_kernel)
     except TypeError:  # unhashable or non-weakrefable graph object
         pass
-    return compiled, kernel
+    return compiled, kernel, label_kernel
 
 
 def get_compiled(graph: BaseEvolvingGraph) -> CompiledTemporalGraph:
     """The cached compiled artifact for ``graph``, exact to its mutation version.
 
-    Shared by the kernel, the vectorized analytics layer and the
+    Shared by the kernels, the vectorized analytics layer and the
     batch/scaling harnesses, so one compilation serves them all.
     """
     return _entry(graph)[0]
@@ -84,6 +89,15 @@ def get_compiled(graph: BaseEvolvingGraph) -> CompiledTemporalGraph:
 def get_kernel(graph: BaseEvolvingGraph) -> FrontierKernel:
     """The cached :class:`FrontierKernel` for ``graph``, exact to its version."""
     return _entry(graph)[1]
+
+
+def get_label_kernel(graph: BaseEvolvingGraph) -> LabelKernel:
+    """The cached :class:`LabelKernel` for ``graph``, sharing the compiled artifact.
+
+    The label kernel rides the same cache entry as the frontier kernel, so
+    boolean sweeps and numeric label sweeps never compile the graph twice.
+    """
+    return _entry(graph)[2]
 
 
 def invalidate_kernel(graph: BaseEvolvingGraph) -> None:

@@ -31,9 +31,14 @@ harmonic-closeness sums, and the Katz series over the temporal block matrix.
 The kernel produces exactly the ``reached`` dictionaries of the pure-Python
 reference implementations (Theorem 4 equivalence); the property-based suites
 ``tests/test_engine.py`` and ``tests/test_algorithms_vectorized.py`` assert
-this on random evolving graphs.  Searches that need discovery-order
-artefacts (BFS trees, per-level frontier traces) stay on the Python
-reference path — see :func:`repro.core.bfs.evolving_bfs`.
+this on random evolving graphs.  Since PR 3 the engine loop can also track
+*parent slots*: ``_run(track_parents=True)`` records the discovering
+``(t, v)`` per level, so :meth:`FrontierKernel.bfs` can hand back a valid
+shortest-path tree (used by the ported sampled betweenness).  The tree may
+differ from the Python implementation's discovery order on ties, so searches
+whose *documented* behaviour is that insertion order (``track_frontiers``,
+``neighbor_fn`` overrides, ``evolving_bfs(track_parents=True)``) still run
+the Python reference path — see :func:`repro.core.bfs.evolving_bfs`.
 
 Cost model: with a :class:`~repro.linalg.csr.OperationCounter` attached, the
 kernel accounts ``2 · nnz(A[t]) · R`` multiply-adds per spatial product
@@ -103,6 +108,9 @@ class FrontierKernel:
         # decode tables, copied once so per-root result decoding stays cheap
         self._labels: list[Node] = compiled.node_labels
         self._times: tuple[Time, ...] = compiled.times
+        # (dst row, src column) coordinate expansions for parent attribution,
+        # built lazily once per operator stack (the artifact is immutable)
+        self._parent_coords: dict[bool, list[tuple[np.ndarray, np.ndarray]]] = {}
 
     # ------------------------------------------------------------------ #
     # structure                                                           #
@@ -147,6 +155,7 @@ class FrontierKernel:
         *,
         direction: str = "forward",
         reverse_edges: bool = False,
+        track_parents: bool = False,
     ) -> BFSResult:
         """Single-source search from ``root``; equals Algorithm 1 on ``reached``.
 
@@ -155,9 +164,23 @@ class FrontierKernel:
         ``reverse_edges=True`` flips only the *spatial* orientation while
         keeping the time direction — the expansion the Section V citation
         mining uses, where influence flows against the citation edges.
+        ``track_parents=True`` additionally records, per reached slot, the
+        discovering ``(t, v)`` slot of one shortest-path tree: distances are
+        identical to the Python reference, but the tree may pick a different
+        (equally shortest) parent than the dict implementation's discovery
+        order.
         """
         root = (root[0], root[1])
         seed = self._seed_index(root)
+        if track_parents:
+            dist, parent_t, parent_v = self._run(
+                [[seed]], direction, reverse_edges=reverse_edges, track_parents=True
+            )
+            return BFSResult(
+                root=root,
+                reached=self._reached_dict(dist, 0),
+                parents=self._parents_dict(dist, parent_t, parent_v, 0),
+            )
         dist = self._run([[seed]], direction, reverse_edges=reverse_edges)
         return BFSResult(root=root, reached=self._reached_dict(dist, 0))
 
@@ -379,8 +402,17 @@ class FrontierKernel:
         direction: str,
         *,
         reverse_edges: bool = False,
-    ) -> np.ndarray:
-        """Level-synchronous expansion of ``R`` seed sets; ``(T, N, R)`` distances."""
+        track_parents: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Level-synchronous expansion of ``R`` seed sets; ``(T, N, R)`` distances.
+
+        With ``track_parents=True`` the return value is the triple
+        ``(dist, parent_t, parent_v)``: for every reached slot, the
+        ``(parent_t, parent_v)`` arrays hold the slot that discovered it (one
+        valid shortest-path-tree parent; seeds point at themselves).  Slots
+        discovered spatially record the in-snapshot source node, slots
+        discovered causally record the same node at the discovering time.
+        """
         if direction not in _DIRECTIONS:
             raise GraphError(f"unsupported direction {direction!r}")
         forward = direction == "forward"
@@ -389,10 +421,17 @@ class FrontierKernel:
         r = len(seeds_per_column)
         dist = np.full((t_count, n, r), -1, dtype=np.int32)
         frontier = np.zeros((t_count, n, r), dtype=bool)
+        parent_t = parent_v = None
+        if track_parents:
+            parent_t = np.full((t_count, n, r), -1, dtype=np.int32)
+            parent_v = np.full((t_count, n, r), -1, dtype=np.int32)
         for col, seeds in enumerate(seeds_per_column):
             for ti, vi in seeds:
                 frontier[ti, vi, col] = True
                 dist[ti, vi, col] = 0
+                if track_parents:
+                    parent_t[ti, vi, col] = ti
+                    parent_v[ti, vi, col] = vi
 
         # spatial expansion: forward time follows out-edges (the forward
         # operator), backward time follows in-edges (its transpose);
@@ -403,13 +442,31 @@ class FrontierKernel:
             if use_forward_ops
             else self.compiled.backward_operators
         )
+        coords = None
+        if track_parents:
+            coords = self._parent_coords.get(use_forward_ops)
+            if coords is None:
+                # (dst row, src column) pairs per snapshot; cached because
+                # the compiled stacks never change under this kernel
+                coords = [
+                    (
+                        np.repeat(np.arange(n, dtype=np.int32), np.diff(m.indptr)),
+                        m.indices.astype(np.int32),
+                    )
+                    for m in mats
+                ]
+                self._parent_coords[use_forward_ops] = coords
         active = active_mask[:, :, None]
         counter = self.counter
+        time_stamp = np.arange(1, t_count + 1, dtype=np.int32)[:, None, None]
         level = 0
         while frontier.any():
             level += 1
             # spatial step: one SpMM per snapshot covers all R searches at once
             spatial = np.zeros_like(frontier)
+            spatial_src = None
+            if track_parents:
+                spatial_src = np.zeros((t_count, n, r), dtype=np.int32)
             for ti in range(t_count):
                 block = frontier[ti]
                 if block.any():
@@ -417,8 +474,15 @@ class FrontierKernel:
                     spatial[ti] = product > 0
                     if counter is not None:
                         counter.multiply_adds += 2 * int(mats[ti].nnz) * r
+                    if track_parents and mats[ti].nnz:
+                        # per (dst, column): any frontier source on the row
+                        # (the max shifted index picks one deterministically)
+                        rows, cols = coords[ti]
+                        candidates = np.where(block[cols], cols[:, None] + 1, 0)
+                        np.maximum.at(spatial_src[ti], rows, candidates)
             # causal step: cumulative OR along time, masked by activeness (⊙)
             causal = np.zeros_like(frontier)
+            causal_src_t = None
             if t_count > 1:
                 if forward:
                     carried = np.logical_or.accumulate(frontier, axis=0)
@@ -429,8 +493,31 @@ class FrontierKernel:
                 causal &= active
                 if counter is not None:
                     counter.column_checks += t_count * n * r
+                if track_parents:
+                    # nearest frontier appearance of the same node in time:
+                    # a running max of shifted time stamps over the frontier
+                    stamps = np.where(frontier, time_stamp, 0)
+                    causal_src_t = np.zeros((t_count, n, r), dtype=np.int32)
+                    if forward:
+                        run = np.maximum.accumulate(stamps, axis=0)
+                        causal_src_t[1:] = run[:-1]
+                    else:
+                        run = np.maximum.accumulate(stamps[::-1], axis=0)[::-1]
+                        causal_src_t[:-1] = run[1:]
             frontier = (spatial | causal) & active & (dist < 0)
             dist[frontier] = level
+            if track_parents:
+                took_spatial = frontier & spatial
+                tt, vv, cc = np.nonzero(took_spatial)
+                parent_t[tt, vv, cc] = tt
+                parent_v[tt, vv, cc] = spatial_src[tt, vv, cc] - 1
+                if causal_src_t is not None:
+                    took_causal = frontier & ~spatial
+                    tt, vv, cc = np.nonzero(took_causal)
+                    parent_t[tt, vv, cc] = causal_src_t[tt, vv, cc] - 1
+                    parent_v[tt, vv, cc] = vv
+        if track_parents:
+            return dist, parent_t, parent_v
         return dist
 
     def _reached_dict(
@@ -447,6 +534,26 @@ class FrontierKernel:
         for ti, vi, d in zip(t_arr.tolist(), v_arr.tolist(), d_arr.tolist()):
             reached[(labels[vi], times[ti])] = d
         return reached
+
+    def _parents_dict(
+        self,
+        dist: np.ndarray,
+        parent_t: np.ndarray,
+        parent_v: np.ndarray,
+        col: int,
+    ) -> dict[TemporalNodeTuple, TemporalNodeTuple]:
+        """Decode one column of the parent-slot arrays into temporal-node labels."""
+        labels = self._labels
+        times = self._times
+        t_arr, v_arr = np.nonzero(dist[:, :, col] >= 0)
+        pt_arr = parent_t[t_arr, v_arr, col]
+        pv_arr = parent_v[t_arr, v_arr, col]
+        parents: dict[TemporalNodeTuple, TemporalNodeTuple] = {}
+        for ti, vi, pt, pv in zip(
+            t_arr.tolist(), v_arr.tolist(), pt_arr.tolist(), pv_arr.tolist()
+        ):
+            parents[(labels[vi], times[ti])] = (labels[pv], times[pt])
+        return parents
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -225,6 +225,26 @@ class CompiledTemporalGraph:
             return None
         return ti, vi
 
+    # ------------------------------------------------------------------ #
+    # serialization                                                       #
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the artifact is the process-pool unit of work.
+
+        :func:`repro.parallel.batch.batch_bfs` with ``backend="process"``
+        ships this object — never the source graph — to worker processes,
+        which rebuild their kernels over it.  Everything inside (CSR stacks,
+        index dicts, the activeness mask) pickles natively.
+        """
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # NumPy pickling does not preserve the WRITEABLE flag; re-freeze the
+        # mask so the immutability contract survives the round trip.
+        self._active.setflags(write=False)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<CompiledTemporalGraph snapshots={self.num_snapshots} "

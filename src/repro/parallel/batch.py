@@ -9,9 +9,14 @@ intra-traversal parallelism:
 * the **thread** backend shares the graph object (zero copies) and benefits
   whenever forward-neighbour expansion releases the GIL (NumPy-backed
   representations) or on GIL-free CPython builds;
-* the **process** backend pays a one-time pickling cost per worker (fork
-  start method shares pages copy-on-write on Linux) and then scales with
-  physical cores, which is the honest way to scale pure-Python traversal;
+* the **process** backend ships the *compiled artifact*
+  (:class:`~repro.graph.compiled.CompiledTemporalGraph` — a picklable bundle
+  of CSR stacks and index tables) to each worker instead of pickling the
+  whole graph object, builds one :class:`~repro.engine.frontier.FrontierKernel`
+  per worker, and runs batched engine sweeps over root chunks there; this
+  scales with physical cores while paying only the artifact's serialization
+  cost (under the default ``fork`` start method on Linux even that is
+  inherited copy-on-write);
 * the **vectorized** backend packs all roots into the columns of a dense
   block and advances them by one CSR × dense-block product per snapshot on
   the shared frontier engine (:mod:`repro.engine`), amortizing the
@@ -31,6 +36,7 @@ measure all of them.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Literal, Sequence
@@ -38,23 +44,28 @@ from typing import Callable, Iterable, Literal, Sequence
 from repro.core.bfs import BFSResult, evolving_bfs
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
+from repro.graph.compiled import CompiledTemporalGraph
 
 __all__ = ["batch_bfs", "map_over_roots"]
 
-_WORKER_GRAPH: BaseEvolvingGraph | None = None
+_WORKER_KERNEL = None
 
 
-def _init_worker(graph: BaseEvolvingGraph) -> None:
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = graph
+def _init_worker(compiled: CompiledTemporalGraph) -> None:
+    """Build one frontier kernel per worker over the shipped compiled artifact."""
+    from repro.engine.frontier import FrontierKernel
+
+    global _WORKER_KERNEL
+    _WORKER_KERNEL = FrontierKernel(compiled)
 
 
-def _worker_bfs(root: TemporalNodeTuple) -> tuple[TemporalNodeTuple, dict]:
-    assert _WORKER_GRAPH is not None, "worker not initialised"
-    # the pool backends are the task-parallel *Python* reference; the engine
-    # path is selected explicitly via backend="vectorized"
-    result = evolving_bfs(_WORKER_GRAPH, root, backend="python")
-    return root, result.reached
+def _worker_batch(
+    chunk: list[TemporalNodeTuple],
+) -> dict[TemporalNodeTuple, dict]:
+    assert _WORKER_KERNEL is not None, "worker not initialised"
+    results = _WORKER_KERNEL.batch(chunk, chunk_size=len(chunk))
+    # ship plain reached dictionaries back; BFSResult is rebuilt in the parent
+    return {root: result.reached for root, result in results.items()}
 
 
 def map_over_roots(
@@ -89,6 +100,7 @@ def batch_bfs(
     backend: Literal["serial", "thread", "process", "vectorized"] = "serial",
     num_workers: int | None = None,
     chunk_size: int = 128,
+    mp_context: str | None = None,
 ) -> dict[TemporalNodeTuple, BFSResult]:
     """Run one evolving-graph BFS per root and collect the results.
 
@@ -96,8 +108,12 @@ def batch_bfs(
     ``backend="vectorized"`` packs ``chunk_size`` roots at a time into the
     frontier engine's batched multi-source mode (one CSR × dense-block
     product per snapshot per level), optionally spreading the chunks over
-    ``num_workers`` threads that all share the one cached compiled kernel;
-    the other backends run one Python traversal per root.
+    ``num_workers`` threads that all share the one cached compiled kernel.
+    ``backend="process"`` ships the picklable compiled artifact — never the
+    graph object itself — to each worker process and runs the same batched
+    engine sweeps there, one root chunk per task (``mp_context`` selects the
+    multiprocessing start method, e.g. ``"spawn"``; default: the platform
+    default).  ``serial`` and ``thread`` run one Python traversal per root.
     """
     root_list = [tuple(r) for r in roots]
     active_roots = [r for r in root_list if graph.is_active(*r)]
@@ -144,11 +160,31 @@ def batch_bfs(
         return results
 
     if backend == "process":
+        if not active_roots:
+            return {}
+        from repro.engine import get_compiled
+
+        compiled = get_compiled(graph)
+        # cap the chunk size so every worker gets at least one task; without
+        # this, root counts below chunk_size would run on a single worker
+        per_worker = -(-len(active_roots) // workers)
+        effective_chunk = max(1, min(chunk_size, per_worker))
+        chunks = [
+            active_roots[start : start + effective_chunk]
+            for start in range(0, len(active_roots), effective_chunk)
+        ]
+        context = (
+            multiprocessing.get_context(mp_context) if mp_context is not None else None
+        )
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(graph,)
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(compiled,),
+            mp_context=context,
         ) as pool:
-            for root, reached in pool.map(_worker_bfs, active_roots):
-                results[root] = BFSResult(root=root, reached=reached)
+            for part in pool.map(_worker_batch, chunks):
+                for root, reached in part.items():
+                    results[root] = BFSResult(root=root, reached=reached)
         return results
 
     raise GraphError(f"unsupported backend {backend!r}")

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import evolving_bfs
 from repro.exceptions import GraphError, InactiveNodeError
+from repro.graph import AdjacencyListEvolvingGraph
 from repro.parallel import (
     batch_bfs,
     chunk_by_weight,
@@ -122,6 +123,42 @@ class TestBatchBFS:
         assert set(serial) == set(procs)
         for root in serial:
             assert serial[root].reached == procs[root].reached
+
+    def test_process_backend_chunks_roots(self, medium_random_graph):
+        roots = medium_random_graph.active_temporal_nodes()[:9]
+        serial = batch_bfs(medium_random_graph, roots, backend="serial")
+        procs = batch_bfs(
+            medium_random_graph, roots, backend="process", num_workers=2, chunk_size=4
+        )
+        assert set(serial) == set(procs)
+        for root in serial:
+            assert serial[root].reached == procs[root].reached
+
+    def test_process_backend_ships_compiled_artifact_not_graph(self):
+        """The workers receive the picklable compiled artifact; the graph
+        object itself must never cross the process boundary.  An unpicklable
+        graph therefore works fine under an explicit spawn context (which
+        pickles everything the workers need)."""
+
+        class UnpicklableGraph(AdjacencyListEvolvingGraph):
+            def __reduce__(self):
+                raise TypeError("the raw graph object must not be pickled")
+
+        graph = UnpicklableGraph(
+            [(0, 1, 0), (1, 2, 0), (0, 2, 1), (2, 3, 1), (1, 3, 2)]
+        )
+        with pytest.raises(TypeError):
+            import pickle
+
+            pickle.dumps(graph)
+        roots = graph.active_temporal_nodes()[:3]
+        serial = batch_bfs(graph, roots, backend="serial")
+        procs = batch_bfs(
+            graph, roots, backend="process", num_workers=2, mp_context="spawn"
+        )
+        assert set(procs) == set(serial)
+        for root in serial:
+            assert procs[root].reached == serial[root].reached
 
     def test_unknown_backend_rejected(self, figure1):
         with pytest.raises(GraphError):
