@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the committed benchmark baselines.
+
+The ablation benchmarks (``bench_analytics``, ``bench_distance_notions``,
+``bench_incremental``) each emit a machine-readable JSON report into
+``benchmark_reports/`` with per-workload speedup sweeps of the vectorized
+engine over the Python oracles.  The commit messages keep claiming those
+speedups; this gate makes the claims machine-checked: for every workload
+recorded in ``benchmarks/baselines.json``, the freshly measured speedup at
+the *largest sweep size* must not drop below ``floor_fraction`` (0.7) of its
+recorded baseline.  Baselines are deliberately conservative (roughly half of
+the locally measured quick-mode speedups), so the gate trips on real
+regressions — an algorithm falling off its engine path, a cache that stopped
+hitting — rather than on CI-runner noise.
+
+CI runs this as the final step of the ``bench-smoke`` job, after the
+benchmarks have regenerated the reports in quick mode.  Run locally with::
+
+    python benchmarks/check_regressions.py
+
+A missing report or workload fails the gate too: a benchmark that silently
+stopped producing numbers is exactly the rot this exists to catch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines.json"
+DEFAULT_REPORTS = REPO_ROOT / "benchmark_reports"
+
+
+def largest_speedup(points: list[dict]) -> float:
+    """The speedup at the largest sweep size (reports keep points size-ordered)."""
+    return float(points[-1]["speedup"])
+
+
+def check(baselines_path: Path, reports_dir: Path) -> int:
+    spec = json.loads(baselines_path.read_text(encoding="utf-8"))
+    floor_fraction = float(spec["floor_fraction"])
+    failures: list[str] = []
+    rows: list[tuple[str, str, float, float, float, str]] = []
+    for report_name, workloads in sorted(spec["reports"].items()):
+        report_path = reports_dir / report_name
+        if not report_path.exists():
+            failures.append(f"{report_name}: report missing (benchmark rot?)")
+            continue
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        measured_workloads = payload.get("workloads", {})
+        for workload, baseline in sorted(workloads.items()):
+            points = measured_workloads.get(workload)
+            if not points:
+                failures.append(f"{report_name}/{workload}: workload missing")
+                continue
+            measured = largest_speedup(points)
+            floor = floor_fraction * float(baseline)
+            status = "ok" if measured >= floor else "REGRESSION"
+            rows.append(
+                (report_name, workload, float(baseline), floor, measured, status)
+            )
+            if measured < floor:
+                failures.append(
+                    f"{report_name}/{workload}: {measured:.2f}x < floor "
+                    f"{floor:.2f}x ({floor_fraction} x baseline {baseline}x)"
+                )
+        extra = sorted(set(measured_workloads) - set(workloads))
+        if extra:
+            print(f"note: {report_name} has unbaselined workloads: {', '.join(extra)}")
+
+    name_width = max((len(f"{r}/{w}") for r, w, *_ in rows), default=20)
+    print(f"{'workload':<{name_width}} {'baseline':>9} {'floor':>7} "
+          f"{'measured':>9} {'status':>11}")
+    for report_name, workload, baseline, floor, measured, status in rows:
+        print(
+            f"{report_name + '/' + workload:<{name_width}} {baseline:>8.1f}x "
+            f"{floor:>6.2f}x {measured:>8.2f}x {status:>11}"
+        )
+    if failures:
+        print("\nperf-regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nperf-regression gate passed ({len(rows)} workloads checked)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines", type=Path, default=DEFAULT_BASELINES,
+        help="committed baseline speedups (benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--reports-dir", type=Path, default=DEFAULT_REPORTS,
+        help="directory with freshly generated benchmark_reports/*.json",
+    )
+    args = parser.parse_args()
+    return check(args.baselines, args.reports_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

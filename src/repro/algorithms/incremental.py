@@ -5,7 +5,7 @@ evolving-graph research (Bahmani et al., "PageRank on an evolving graph"),
 and its Figure-5 experiment is itself built by *consecutively adding* random
 edges and re-searching.  This module closes that loop: instead of recomputing
 Algorithm 1 from scratch after every insertion, :class:`IncrementalBFS`
-maintains the ``reached`` dictionary of a fixed root as static edges arrive.
+maintains the ``reached`` map of a fixed root as static edges arrive.
 
 Edge insertions can only *shorten* distances or make new temporal nodes
 reachable (temporal paths are never invalidated by adding edges), so the
@@ -13,6 +13,25 @@ update is a standard decrease-only relaxation: seed the affected temporal
 nodes — the endpoints of the new edge at its timestamp, plus any later
 appearance of those nodes that gained a causal in-edge — recompute their best
 distance from their backward neighbours, and propagate improvements forward.
+
+Backends
+--------
+Like every ported search, the class accepts ``backend="python" | "vectorized"``:
+
+* ``"vectorized"`` (the default) keeps the distances as a raw ``(T, N)``
+  block aligned with the shared compiled artifact
+  (:class:`~repro.graph.compiled.CompiledTemporalGraph`).  Each insertion
+  batch first *delta-recompiles* the artifact — only the snapshots the batch
+  touched are rebuilt, everything else is shared with the previous artifact —
+  and then runs a masked decrease-only re-sweep on the frontier engine
+  (:meth:`~repro.engine.frontier.FrontierKernel.decrease_only_resweep`)
+  seeded from the dirty temporal slots.  Per batch this costs one snapshot
+  compile plus work proportional to the region whose distances change,
+  instead of a full recompile plus a full search
+  (``benchmarks/bench_incremental.py`` measures the gap).
+* ``"python"`` is the original per-node dictionary relaxation, kept verbatim
+  as the correctness oracle (``tests/test_delta_streaming.py`` asserts the
+  two agree after every stream batch).
 
 The cost of one update is proportional to the part of the BFS tree whose
 distances actually change, which for typical streams is far smaller than the
@@ -24,10 +43,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Hashable, Iterable
 
+import numpy as np
+
 from repro.core.bfs import BFSResult, evolving_bfs
 from repro.exceptions import GraphError
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.base import TemporalEdgeTuple, TemporalNodeTuple
+from repro.graph.compiled import CompiledTemporalGraph
 
 __all__ = ["IncrementalBFS"]
 
@@ -45,26 +67,48 @@ class IncrementalBFS:
     root:
         The temporal node to search from.  It does not need to be active yet;
         the search starts producing results once an inserted edge activates it.
+    backend:
+        ``"vectorized"`` (default) maintains the distances on the frontier
+        engine over the delta-recompiled artifact; ``"python"`` is the
+        dictionary-walking reference implementation.
 
     Examples
     --------
     >>> g = AdjacencyListEvolvingGraph(timestamps=[0, 1])
     >>> inc = IncrementalBFS(g, (0, 0))
     >>> inc.add_edge(0, 1, 0)
+    True
     >>> inc.distances[(1, 0)]
     1
     """
 
-    def __init__(self, graph: AdjacencyListEvolvingGraph, root: TemporalNodeTuple) -> None:
+    def __init__(
+        self,
+        graph: AdjacencyListEvolvingGraph,
+        root: TemporalNodeTuple,
+        *,
+        backend: str = "vectorized",
+    ) -> None:
         if not isinstance(graph, AdjacencyListEvolvingGraph):
             raise GraphError(
-                "IncrementalBFS requires the mutable adjacency-list representation")
+                "IncrementalBFS requires the mutable adjacency-list representation"
+            )
+        from repro.engine import resolve_backend
+
+        self._backend = resolve_backend(backend)
         self._graph = graph
         self._root: TemporalNodeTuple = (root[0], root[1])
-        self._reached: dict[TemporalNodeTuple, int] = {}
         self._updates = 0
+        # python-backend state: the reached dictionary itself
+        self._reached: dict[TemporalNodeTuple, int] = {}
+        # vectorized-backend state: a (T, N) distance block aligned with
+        # ``_axes`` (the compiled artifact it was built against), decoded to
+        # a label dictionary lazily
+        self._dist: np.ndarray | None = None
+        self._axes: CompiledTemporalGraph | None = None
+        self._decoded: dict[TemporalNodeTuple, int] | None = None
         if graph.is_active(*self._root):
-            self._reached = dict(evolving_bfs(graph, self._root).reached)
+            self._initial_search()
 
     # ------------------------------------------------------------------ #
     # read access                                                         #
@@ -81,9 +125,16 @@ class IncrementalBFS:
         return self._graph
 
     @property
+    def backend(self) -> str:
+        """The execution backend this instance maintains its state on."""
+        return self._backend
+
+    @property
     def distances(self) -> dict[TemporalNodeTuple, int]:
         """Current ``{(v, t): distance}`` map (a copy; equal to a fresh BFS result)."""
-        return dict(self._reached)
+        if self._backend == "python":
+            return dict(self._reached)
+        return dict(self._decode())
 
     @property
     def num_updates(self) -> int:
@@ -92,15 +143,23 @@ class IncrementalBFS:
 
     def distance(self, node: Hashable, time) -> int | None:
         """Distance from the root to ``(node, time)``, or ``None`` if unreachable."""
-        return self._reached.get((node, time))
+        if self._backend == "python":
+            return self._reached.get((node, time))
+        if self._dist is None or self._axes is None:
+            return None
+        slot = self._axes.slot(node, time)
+        if slot is None:
+            return None
+        value = int(self._dist[slot])
+        return value if value >= 0 else None
 
     def is_reachable(self, node: Hashable, time) -> bool:
         """Whether ``(node, time)`` is currently reachable from the root."""
-        return (node, time) in self._reached
+        return self.distance(node, time) is not None
 
     def as_result(self) -> BFSResult:
         """Snapshot the current state as a :class:`~repro.core.bfs.BFSResult`."""
-        return BFSResult(root=self._root, reached=dict(self._reached))
+        return BFSResult(root=self._root, reached=self.distances)
 
     # ------------------------------------------------------------------ #
     # updates                                                             #
@@ -116,26 +175,258 @@ class IncrementalBFS:
         if not was_new:
             return False
         self._updates += 1
-        self._apply_insertion(u, v, time)
+        if self._backend == "python":
+            self._apply_insertion(u, v, time)
+        else:
+            self._apply_batch([(u, v, time)])
         return True
 
     def add_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
-        """Insert many edges; returns the number that were new."""
-        added = 0
-        for u, v, t in edges:
-            added += self.add_edge(u, v, t)
-        return added
+        """Insert many edges; returns the number that were new.
+
+        On the vectorized backend the whole batch is folded into *one* delta
+        recompile and *one* masked re-sweep, which is how streaming callers
+        (:func:`repro.generators.stream.apply_stream`) amortize update costs.
+        """
+        if self._backend == "python":
+            added = 0
+            for u, v, t in edges:
+                added += self.add_edge(u, v, t)
+            return added
+        # validate the whole batch before the first insertion: a malformed
+        # item must not leave edges in the graph that the distance block
+        # never folded in
+        items: list[TemporalEdgeTuple] = []
+        for item in edges:
+            try:
+                u, v, t = item
+            except (TypeError, ValueError) as exc:
+                raise GraphError(
+                    f"temporal edges must be (u, v, t) triples, got {item!r}"
+                ) from exc
+            items.append((u, v, t))
+        new_edges: list[TemporalEdgeTuple] = []
+        try:
+            for edge in items:
+                if self._graph.add_edge(*edge):
+                    new_edges.append(edge)
+        finally:
+            # fold whatever was inserted even if a later add_edge raised
+            # (e.g. an unhashable node) — the distance block must never lag
+            # edges that made it into the graph
+            if new_edges:
+                self._updates += len(new_edges)
+                self._apply_batch(new_edges)
+        return len(new_edges)
 
     def recompute(self) -> dict[TemporalNodeTuple, int]:
         """Recompute from scratch (used for verification); also resyncs the state."""
-        if self._graph.is_active(*self._root):
-            self._reached = dict(evolving_bfs(self._graph, self._root).reached)
+        active = self._graph.is_active(*self._root)
+        if self._backend == "python":
+            if active:
+                self._reached = dict(
+                    evolving_bfs(self._graph, self._root, backend="python").reached
+                )
+            else:
+                self._reached = {}
+        elif active:
+            self._initial_search()
         else:
-            self._reached = {}
+            self._dist = None
+            self._axes = None
+            self._decoded = None
         return self.distances
 
     # ------------------------------------------------------------------ #
-    # internals                                                           #
+    # vectorized internals (engine-backed decrease-only maintenance)      #
+    # ------------------------------------------------------------------ #
+
+    def _initial_search(self) -> None:
+        """Full engine (or oracle) search; the root just became active."""
+        if self._backend == "python":
+            self._reached = dict(
+                evolving_bfs(self._graph, self._root, backend="python").reached
+            )
+            return
+        from repro.engine import get_kernel
+
+        kernel = get_kernel(self._graph)
+        self._axes = kernel.compiled
+        self._dist = np.ascontiguousarray(kernel.distance_block(self._root))
+        self._decoded = None
+
+    def _decode(self) -> dict[TemporalNodeTuple, int]:
+        """Label dictionary view of the distance block, cached until the next batch."""
+        if self._decoded is None:
+            if self._dist is None or self._axes is None:
+                self._decoded = {}
+            else:
+                labels = self._axes.node_labels
+                times = self._axes.times
+                t_arr, v_arr = np.nonzero(self._dist >= 0)
+                d_arr = self._dist[t_arr, v_arr]
+                self._decoded = {
+                    (labels[vi], times[ti]): int(d)
+                    for ti, vi, d in zip(
+                        t_arr.tolist(), v_arr.tolist(), d_arr.tolist()
+                    )
+                }
+        return self._decoded
+
+    def _remap(self, compiled: CompiledTemporalGraph) -> None:
+        """Re-align the distance block with a recompiled artifact's axes.
+
+        Delta recompiles keep the axes (insertions into existing snapshots
+        never change the node universe), so the common case is a no-op; a
+        full rebuild that grew the universe scatters the old block into the
+        new shape (new slots start unreached, which is exactly right for the
+        decrease-only relaxation to fill in).
+        """
+        old = self._axes
+        if old is None or self._dist is None:
+            self._axes = compiled
+            return
+        if (
+            old.num_nodes == compiled.num_nodes
+            and old.times == compiled.times
+            and old.node_labels == compiled.node_labels
+        ):
+            self._axes = compiled
+            return
+        new_dist = np.full(
+            (compiled.num_snapshots, compiled.num_nodes), -1, dtype=np.int32
+        )
+        time_index = compiled.time_index
+        node_index = compiled.node_index
+        old_rows, new_rows = [], []
+        for i, t in enumerate(old.times):
+            j = time_index.get(t)
+            if j is not None:
+                old_rows.append(i)
+                new_rows.append(j)
+        old_cols, new_cols = [], []
+        for i, label in enumerate(old.node_labels):
+            j = node_index.get(label)
+            if j is not None:
+                old_cols.append(i)
+                new_cols.append(j)
+        if old_rows and old_cols:
+            new_dist[np.ix_(new_rows, new_cols)] = self._dist[
+                np.ix_(old_rows, old_cols)
+            ]
+        self._dist = new_dist
+        self._axes = compiled
+
+    def _apply_batch(self, batch: list[TemporalEdgeTuple]) -> None:
+        """Fold one batch of new edges into the distance block.
+
+        Mirrors the oracle's per-edge seeding rule, batched: the temporal
+        slots whose in-neighbourhood changed are the edge endpoints at their
+        insertion times plus every *later* active appearance of those
+        endpoints (which may have gained a causal in-edge).  Each seed's
+        candidate distance is read straight off the compiled stacks (spatial
+        in-neighbours are one CSR row slice; causal predecessors are one
+        masked column minimum), then the engine propagates the improvements.
+        """
+        self._decoded = None
+        graph = self._graph
+        if self._dist is None:
+            # the root may only just have become active (or the insertions
+            # may predate it, in which case nothing reachable changes)
+            if graph.is_active(*self._root):
+                self._initial_search()
+            return
+        from repro.engine import get_kernel
+
+        kernel = get_kernel(graph)  # delta-recompiled on version mismatch
+        compiled = kernel.compiled
+        if compiled is not self._axes:
+            self._remap(compiled)
+        dist = self._dist
+        active = compiled.active_mask
+        t_count = compiled.num_snapshots
+        time_index = compiled.time_index
+        node_index = compiled.node_index
+        endpoint_t: list[int] = []
+        endpoint_v: list[int] = []
+        for u, v, t in batch:
+            ti = time_index[t]
+            for endpoint in (u, v):
+                vi = node_index.get(endpoint)
+                if vi is not None:
+                    endpoint_t.append(ti)
+                    endpoint_v.append(vi)
+        if not endpoint_t:
+            return
+        # dirty slots, vectorized: each endpoint at its insertion time (if
+        # active) plus every later active appearance of that endpoint
+        ep_t = np.asarray(endpoint_t, dtype=np.int64)
+        ep_v = np.asarray(endpoint_v, dtype=np.int64)
+        columns = active[:, ep_v]  # (T, E)
+        touched = columns & (np.arange(t_count)[:, None] > ep_t[None, :])
+        touched[ep_t, np.arange(ep_t.size)] = columns[ep_t, np.arange(ep_t.size)]
+        tt, ee = np.nonzero(touched)
+        keys = np.unique(tt * compiled.num_nodes + ep_v[ee])
+        seed_t, seed_v = keys // compiled.num_nodes, keys % compiled.num_nodes
+        root_slot = compiled.slot(*self._root)
+        if root_slot is not None:  # the root's distance is pinned at 0
+            not_root = (seed_t != root_slot[0]) | (seed_v != root_slot[1])
+            seed_t, seed_v = seed_t[not_root], seed_v[not_root]
+        if not seed_t.size:
+            return
+        big = np.int32(2**30)  # matches the engine's unreached sentinel
+        # causal candidates in one masked prefix-min sweep — restricted to
+        # the seed columns, so this stays O(T * |batch|), not O(T * N):
+        # the best reached earlier appearance of each seeded node
+        seed_cols = np.unique(seed_v)
+        col_of = np.searchsorted(seed_cols, seed_v)
+        masked = np.where(
+            active[:, seed_cols] & (dist[:, seed_cols] >= 0), dist[:, seed_cols], big
+        )
+        run = np.minimum.accumulate(masked, axis=0)
+        causal = np.full(seed_t.shape, big, dtype=np.int32)
+        has_earlier = seed_t > 0
+        causal[has_earlier] = run[seed_t[has_earlier] - 1, col_of[has_earlier]]
+        # spatial candidates: one ragged gather over the CSR in-neighbour
+        # rows per touched snapshot (row v of F[t] lists v's in-neighbours)
+        spatial = np.full(seed_t.shape, big, dtype=np.int32)
+        forward = compiled.forward_operators
+        for t in np.unique(seed_t).tolist():
+            sel = np.nonzero(seed_t == t)[0]
+            operator = forward[t]
+            starts = operator.indptr[seed_v[sel]]
+            lens = operator.indptr[seed_v[sel] + 1] - starts
+            total = int(lens.sum())
+            if not total:
+                continue
+            offsets = np.concatenate(([0], np.cumsum(lens)))
+            gather = np.repeat(starts - offsets[:-1], lens) + np.arange(total)
+            vals = dist[t, operator.indices[gather]]
+            vals = np.where(vals >= 0, vals, big).astype(np.int32)
+            # reduceat over the non-empty segments only: empty segments would
+            # otherwise echo a neighbour's element (and, when trailing, clamp
+            # away the last value of the preceding segment)
+            mins = np.full(sel.shape, big, dtype=np.int32)
+            nonempty = lens > 0
+            mins[nonempty] = np.minimum.reduceat(vals, offsets[:-1][nonempty])
+            spatial[sel] = mins
+        candidate = np.minimum(spatial, causal).astype(np.int64) + 1
+        current = dist[seed_t, seed_v]
+        improvable = candidate < np.where(current < 0, int(big), current)
+        if improvable.any():
+            kernel.decrease_only_resweep(
+                dist,
+                list(
+                    zip(
+                        seed_t[improvable].tolist(),
+                        seed_v[improvable].tolist(),
+                        candidate[improvable].tolist(),
+                    )
+                ),
+            )
+
+    # ------------------------------------------------------------------ #
+    # python-oracle internals                                             #
     # ------------------------------------------------------------------ #
 
     def _best_distance(self, tn: TemporalNodeTuple) -> int | None:
@@ -151,10 +442,10 @@ class IncrementalBFS:
 
     def _apply_insertion(self, u: Hashable, v: Hashable, time) -> None:
         root_node, root_time = self._root
-        # The root may only just have become active (or the insertion may predate it,
-        # in which case nothing reachable changes).
+        # The root may only just have become active (or the insertion may
+        # predate it, in which case nothing reachable changes).
         if not self._reached and self._graph.is_active(root_node, root_time):
-            self._reached = dict(evolving_bfs(self._graph, self._root).reached)
+            self._initial_search()
             return
         if not self._reached:
             return

@@ -7,7 +7,16 @@
   harmonic-closeness sums, Katz series) the ported algorithms layer uses.
 * :func:`~repro.engine.dispatch.get_compiled` — per-graph cache of the
   shared :class:`~repro.graph.compiled.CompiledTemporalGraph` artifact,
-  keyed on the graph's exact ``mutation_version``.
+  keyed on the graph's exact ``mutation_version``.  On a version mismatch
+  the stale artifact is *delta-recompiled*
+  (:meth:`~repro.graph.compiled.CompiledTemporalGraph.recompile`): only the
+  snapshots whose per-snapshot stamps moved are rebuilt, the rest are
+  shared, so streaming mutation patterns pay per batch only for what the
+  batch touched.  The frontier kernel's masked decrease-only re-sweep
+  (:meth:`~repro.engine.frontier.FrontierKernel.decrease_only_resweep`)
+  rides the same artifact to keep
+  :class:`~repro.algorithms.incremental.IncrementalBFS` distances current
+  without full re-searches.
 * :class:`~repro.engine.labels.LabelKernel` — the semiring label-sweep
   sibling: numeric ``(T, N, R)`` labels (earliest arrival, latest departure,
   fewest spatial hops under 0/1 edge costs, Tang snapshot counts) propagated

@@ -16,10 +16,20 @@ cached per graph object (weakly, so graphs remain garbage-collectable) and
 keyed on the graph's exact
 :attr:`~repro.graph.base.BaseEvolvingGraph.mutation_version`.  Any in-place
 edit — including count-preserving ones such as removing one edge and adding
-another — bumps the version and therefore rebuilds the kernel; the old
+another — bumps the version and therefore refreshes the entry; the old
 count-based fingerprint that missed those mutations is gone.
-:func:`invalidate_kernel` remains for callers that want to drop a cached
-artifact eagerly (e.g. to free memory).
+
+Since PR 4 a version mismatch no longer discards the cached artifact: the
+stale entry is *patched* via delta compilation
+(:meth:`~repro.graph.compiled.CompiledTemporalGraph.recompile`), which
+rebuilds only the snapshots whose per-snapshot version stamps moved and
+shares every untouched CSR stack, transpose and mask row with the previous
+artifact.  Streaming mutation patterns (one edge batch per step, as in the
+Figure-5 growth experiment) therefore pay per step only for the touched
+snapshots; the kernels are rebuilt over the patched artifact, which costs a
+few object constructions.  :func:`invalidate_kernel` remains for callers
+that want to drop a cached artifact eagerly (e.g. to free memory, or to
+force the next compile from scratch).
 """
 
 from __future__ import annotations
@@ -67,7 +77,10 @@ def _entry(
         cached = None
     if cached is not None and cached[0] == version:
         return cached[1], cached[2], cached[3]
-    compiled = CompiledTemporalGraph.from_graph(graph)
+    # delta-aware refresh: patch the stale artifact in place of a full
+    # rebuild, reusing every snapshot whose version stamp did not move
+    previous = cached[1] if cached is not None else None
+    compiled = CompiledTemporalGraph.recompile(graph, previous)
     kernel = FrontierKernel(compiled)
     label_kernel = LabelKernel(compiled, frontier=kernel)
     try:

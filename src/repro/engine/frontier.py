@@ -63,6 +63,11 @@ __all__ = ["FrontierKernel"]
 
 _DIRECTIONS = ("forward", "backward")
 
+#: Sentinel distance for unreached slots inside the decrease-only re-sweep
+#: (large enough that ``_UNREACHED`` never wins a minimum, small enough that
+#: ``_UNREACHED + 1`` cannot overflow int32).
+_UNREACHED = np.int32(2**30)
+
 
 class FrontierKernel:
     """Sparse execution engine for frontier expansion over one evolving graph.
@@ -234,6 +239,89 @@ class FrontierKernel:
                     root=root, reached=self._reached_dict(dist, col)
                 )
         return results
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance (the streaming layer)                       #
+    # ------------------------------------------------------------------ #
+
+    def distance_block(self, root: TemporalNodeTuple) -> np.ndarray:
+        """Single-source distances as a raw ``(T, N)`` int32 block.
+
+        ``-1`` marks unreachable slots.  This is the array form of
+        :meth:`bfs` that :class:`repro.algorithms.incremental.IncrementalBFS`
+        keeps as its mutable state between stream batches (decoding to label
+        dictionaries only on demand).
+        """
+        seed = self._seed_index((root[0], root[1]))
+        return self._run([[seed]], "forward")[:, :, 0]
+
+    def decrease_only_resweep(
+        self,
+        dist: np.ndarray,
+        seeds: Sequence[tuple[int, int, int]],
+    ) -> int:
+        """Masked decrease-only relaxation from dirty slots, in place.
+
+        ``dist`` is a writable ``(T, N)`` int32 distance block (``-1`` =
+        unreachable); ``seeds`` are ``(t, v, candidate)`` improvements for
+        the temporal slots whose in-neighbourhood a mutation batch changed.
+        Each candidate that beats the recorded distance is applied and its
+        improvement propagated forward — the vectorized form of the
+        decrease-only relaxation in
+        :class:`repro.algorithms.incremental.IncrementalBFS`: improvements
+        are popped in increasing distance order (Dial's bucket discipline on
+        unit edges, so every slot is finalized the round it is popped) and
+        each round expands one masked frontier exactly like :meth:`_run` —
+        one CSR product per *touched* snapshot plus the cumulative-OR causal
+        step.  The sparse products (the dominant term) therefore track the
+        region whose distances actually change; each round also pays
+        ``O(T * N)`` boolean bookkeeping for the frontier masks and the
+        causal accumulate, same as one :meth:`_run` level.  Returns the
+        number of slots whose distance improved.
+        """
+        active = self.compiled.active_mask
+        t_count, n = active.shape
+        if dist.shape != (t_count, n):
+            raise GraphError(
+                f"distance block shape {dist.shape} does not match the "
+                f"compiled artifact's {(t_count, n)}"
+            )
+        work = np.where(dist < 0, _UNREACHED, dist.astype(np.int32))
+        improved = np.zeros((t_count, n), dtype=bool)
+        for ti, vi, candidate in seeds:
+            if candidate < work[ti, vi]:
+                work[ti, vi] = candidate
+                improved[ti, vi] = True
+        if not improved.any():
+            return 0
+        mats = self.compiled.forward_operators
+        counter = self.counter
+        changed = 0
+        while improved.any():
+            level = int(work[improved].min())
+            frontier = improved & (work == level)
+            changed += int(frontier.sum())
+            improved &= ~frontier
+            # spatial step over the touched snapshots only
+            reach = np.zeros((t_count, n), dtype=bool)
+            for ti in range(t_count):
+                row = frontier[ti]
+                if row.any():
+                    reach[ti] = (mats[ti] @ row.astype(np.int32)) > 0
+                    if counter is not None:
+                        counter.multiply_adds += 2 * int(mats[ti].nnz)
+            # causal step: cumulative OR along time, masked by activeness
+            if t_count > 1:
+                carried = np.logical_or.accumulate(frontier, axis=0)
+                reach[1:] |= carried[:-1]
+                if counter is not None:
+                    counter.column_checks += t_count * n
+            better = reach & active & (work > level + 1)
+            if better.any():
+                work[better] = level + 1
+                improved |= better
+        dist[:] = np.where(work >= _UNREACHED, -1, work)
+        return changed
 
     # ------------------------------------------------------------------ #
     # batched analytics primitives (the ported algorithms layer)          #

@@ -135,7 +135,9 @@ def generate_citation_network(
         authors_per_epoch[epoch] = publishing
 
         known_authors = np.array(sorted(entry_epoch.keys()), dtype=np.int64)
-        weights = np.array([1 + citation_counts[a] for a in known_authors], dtype=np.float64)
+        weights = np.array(
+            [1 + citation_counts[a] for a in known_authors], dtype=np.float64
+        )
 
         for author in publishing:
             n_papers = int(rng.poisson(papers_per_author))

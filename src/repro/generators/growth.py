@@ -51,7 +51,8 @@ def preferential_attachment_evolving(
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     graph = AdjacencyListEvolvingGraph(
-        directed=directed, timestamps=list(range(num_timestamps)))
+        directed=directed, timestamps=list(range(num_timestamps))
+    )
     degree = np.zeros(num_nodes, dtype=np.float64)
     # seed clique among the first edges_per_node+1 nodes at time 0
     seed_size = edges_per_node + 1
@@ -104,11 +105,14 @@ def sliding_window_communication(
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
     graph = AdjacencyListEvolvingGraph(
-        directed=directed, timestamps=list(range(num_timestamps)))
+        directed=directed, timestamps=list(range(num_timestamps))
+    )
     previous: list[tuple[int, int]] = []
     for t in range(num_timestamps):
         pairs: list[tuple[int, int]] = []
-        n_repeat = int(round(repeat_fraction * conversations_per_snapshot)) if previous else 0
+        n_repeat = (
+            int(round(repeat_fraction * conversations_per_snapshot)) if previous else 0
+        )
         if n_repeat and previous:
             idx = rng.integers(0, len(previous), size=n_repeat)
             pairs.extend(previous[i] for i in idx.tolist())

@@ -93,7 +93,8 @@ def random_evolving_graph(
     """A random evolving graph with ``num_edges`` static edges spread over the snapshots."""
     edges = random_temporal_edges(num_nodes, num_timestamps, num_edges, seed=seed)
     return AdjacencyListEvolvingGraph(
-        edges, directed=directed, timestamps=list(range(num_timestamps)))
+        edges, directed=directed, timestamps=list(range(num_timestamps))
+    )
 
 
 def incremental_edge_sequence(
@@ -118,21 +119,22 @@ def incremental_edge_sequence(
         raise GraphError("edge_counts must be non-decreasing for incremental growth")
     rng = _rng(seed)
     graph = AdjacencyListEvolvingGraph(
-        directed=directed, timestamps=list(range(num_timestamps)))
+        directed=directed, timestamps=list(range(num_timestamps))
+    )
     current = 0
     for target in counts:
         deficit = target - current
         if deficit < 0:
             raise GraphError("edge_counts must be non-decreasing")
         while deficit > 0:
-            batch = random_temporal_edges(
-                num_nodes, num_timestamps, deficit, seed=rng)
+            batch = random_temporal_edges(num_nodes, num_timestamps, deficit, seed=rng)
             added = graph.add_edges_from(batch)
             if added == 0:
                 # graph saturated: cannot reach the target edge count
                 raise GraphError(
                     f"cannot grow the graph to {target} edges: "
-                    f"only {current} distinct edges exist")
+                    f"only {current} distinct edges exist"
+                )
             deficit -= added
             current += added
         yield target, graph
@@ -160,4 +162,5 @@ def random_snapshot_er(
         rows, cols = np.nonzero(matrix)
         edges.extend(zip(rows.tolist(), cols.tolist(), [t] * rows.shape[0]))
     return AdjacencyListEvolvingGraph(
-        edges, directed=directed, timestamps=list(range(num_timestamps)))
+        edges, directed=directed, timestamps=list(range(num_timestamps))
+    )

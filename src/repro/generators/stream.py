@@ -10,13 +10,19 @@ small streaming layer:
 * :func:`apply_stream` — fold a stream into an
   :class:`~repro.graph.adjacency_list.AdjacencyListEvolvingGraph`, optionally
   invoking a callback after each batch (used by the incremental-BFS example
-  and the ablation benchmarks).
+  and the ablation benchmarks).  With ``compiled=True`` the fold also
+  maintains the shared compiled artifact
+  (:class:`~repro.graph.compiled.CompiledTemporalGraph`) across batches via
+  *delta recompilation* — only the snapshots each batch touched are rebuilt —
+  and hands it to the callback, so streaming workloads (Figure-5 growth,
+  random edge streams, batched event replay) run end-to-end on compiled
+  artifacts instead of recompiling from scratch per batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -24,6 +30,9 @@ from repro.exceptions import GraphError
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.base import TemporalEdgeTuple
 from repro.generators.random_evolving import random_temporal_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiled import CompiledTemporalGraph
 
 __all__ = ["EdgeStream", "apply_stream"]
 
@@ -57,7 +66,7 @@ class EdgeStream:
     def batches(self) -> Iterator[list[TemporalEdgeTuple]]:
         """Yield events in consecutive batches of ``batch_size``."""
         for start in range(0, len(self.events), self.batch_size):
-            yield list(self.events[start:start + self.batch_size])
+            yield list(self.events[start : start + self.batch_size])
 
     @classmethod
     def random(
@@ -81,7 +90,11 @@ class EdgeStream:
         if time_ordered:
             events.sort(key=lambda e: e[2])
         else:
-            rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+            rng = (
+                seed
+                if isinstance(seed, np.random.Generator)
+                else np.random.default_rng(seed)
+            )
             order = rng.permutation(len(events))
             events = [events[i] for i in order.tolist()]
         return cls(events=events, batch_size=batch_size)
@@ -92,7 +105,8 @@ def apply_stream(
     *,
     graph: AdjacencyListEvolvingGraph | None = None,
     directed: bool = True,
-    on_batch: Callable[[AdjacencyListEvolvingGraph, list[TemporalEdgeTuple]], None] | None = None,
+    on_batch: Callable[..., None] | None = None,
+    compiled: bool = False,
 ) -> AdjacencyListEvolvingGraph:
     """Fold an edge stream into an evolving graph.
 
@@ -106,8 +120,19 @@ def apply_stream(
     directed:
         Directedness of the freshly created graph (ignored when ``graph`` is given).
     on_batch:
-        Callback invoked after each batch has been applied, receiving the
-        graph and the batch; useful for measuring incremental re-search cost.
+        Callback invoked after each batch has been applied.  Without
+        ``compiled`` it receives ``(graph, batch)``; with ``compiled=True``
+        it receives ``(graph, batch, artifact)`` where ``artifact`` is the
+        up-to-date :class:`~repro.graph.compiled.CompiledTemporalGraph`.
+        Useful for measuring incremental re-search cost.
+    compiled:
+        Maintain the engine's compiled artifact across the fold.  After each
+        batch the artifact is refreshed through the delta-aware dispatch
+        cache (:func:`repro.engine.get_compiled`): only the snapshots the
+        batch touched are recompiled, so per-batch cost is proportional to
+        the batch, not the graph.  Downstream engine consumers (searches,
+        analytics, :func:`repro.parallel.batch.batch_bfs`) then hit the same
+        cache entry without compiling anything.
     """
     if graph is None:
         graph = AdjacencyListEvolvingGraph(directed=directed)
@@ -115,8 +140,17 @@ def apply_stream(
         batch_iter: Iterable[list[TemporalEdgeTuple]] = stream.batches()
     else:
         batch_iter = ([event] for event in stream)
+    if compiled:
+        from repro.engine import get_compiled
+
+    artifact: "CompiledTemporalGraph | None" = None
     for batch in batch_iter:
         graph.add_edges_from(batch)
+        if compiled:
+            artifact = get_compiled(graph)  # delta recompile of the touched snapshots
         if on_batch is not None:
-            on_batch(graph, list(batch))
+            if compiled:
+                on_batch(graph, list(batch), artifact)
+            else:
+                on_batch(graph, list(batch))
     return graph

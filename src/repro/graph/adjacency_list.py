@@ -25,6 +25,11 @@ from repro.graph.base import (
 
 __all__ = ["AdjacencyListEvolvingGraph"]
 
+#: Insertion-journal size cap; when exceeded, the oldest half is dropped and
+#: the completeness floor advances (delta consumers older than the floor
+#: simply fall back to per-snapshot rebuilds).
+_JOURNAL_LIMIT = 65536
+
 
 class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
     """Evolving graph stored as per-snapshot adjacency lists.
@@ -63,6 +68,16 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
         self._timestamps: list[Time] = []
         # node -> sorted list of timestamps at which the node is *active*
         self._active_times: dict[Node, list[Time]] = {}
+        # time -> mutation_version at the last edit touching that snapshot
+        # (delta compilation diffs these stamps to find dirty snapshots)
+        self._snapshot_versions: dict[Time, int] = {}
+        # insertion journal: parallel (version, edge) logs of recent add_edge
+        # calls, complete for versions > _journal_floor.  Lets delta
+        # compilation patch a snapshot's operator with one sparse addition
+        # (see edge_insertions_since); removals invalidate it wholesale.
+        self._journal_versions: list[int] = []
+        self._journal_edges: list[TemporalEdgeTuple] = []
+        self._journal_floor = 0
 
         if timestamps is not None:
             for t in timestamps:
@@ -83,6 +98,7 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
         self._edge_sets[time] = set()
         bisect.insort(self._timestamps, time)
         self._bump_mutation_version()
+        self._snapshot_versions[time] = self._mutation_version
 
     def add_edge(self, u: Node, v: Node, time: Time) -> bool:
         """Insert the edge ``u -> v`` into the snapshot at ``time``.
@@ -107,6 +123,14 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
             self._mark_active(u, time)
             self._mark_active(v, time)
         self._bump_mutation_version()
+        self._snapshot_versions[time] = self._mutation_version
+        self._journal_versions.append(self._mutation_version)
+        self._journal_edges.append((u, v, time))
+        if len(self._journal_versions) > _JOURNAL_LIMIT:
+            drop = len(self._journal_versions) // 2
+            self._journal_floor = self._journal_versions[drop - 1]
+            del self._journal_versions[:drop]
+            del self._journal_edges[:drop]
         return True
 
     def remove_edge(self, u: Node, v: Node, time: Time) -> bool:
@@ -143,6 +167,12 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
                     if idx < len(times) and times[idx] == time:
                         times.pop(idx)
         self._bump_mutation_version()
+        self._snapshot_versions[time] = self._mutation_version
+        # a removal breaks the "edge sets = old edge sets + insertions"
+        # guarantee, so the journal restarts from here
+        self._journal_versions.clear()
+        self._journal_edges.clear()
+        self._journal_floor = self._mutation_version
         return True
 
     def _has_incident_edge(self, node: Node, time: Time) -> bool:
@@ -209,6 +239,28 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
 
     def has_timestamp(self, time: Time) -> bool:
         return time in self._succ
+
+    def snapshot_versions(self) -> dict[Time, int]:
+        """Per-snapshot last-modified stamps (delta-compilation dirty tracking)."""
+        return dict(self._snapshot_versions)
+
+    def edge_insertions_since(self, version: int) -> list[TemporalEdgeTuple] | None:
+        """Edges inserted since ``version`` (``None`` when the journal can't tell).
+
+        Streaming hot path: with a non-``None`` answer, delta compilation
+        patches each dirty snapshot's CSR operator with one sparse addition
+        of just these edges instead of re-walking the snapshot.
+        """
+        if version < self._journal_floor:
+            return None
+        idx = bisect.bisect_right(self._journal_versions, version)
+        return list(self._journal_edges[idx:])
+
+    def edges_at_unordered(self, time: Time) -> Iterator[EdgeTuple]:
+        """Dump one snapshot's edge set without the repr-sort of edges_at."""
+        if time not in self._edge_sets:
+            raise TimestampNotFoundError(time)
+        return iter(self._edge_sets[time])
 
     def num_static_edges(self) -> int:
         return sum(len(s) for s in self._edge_sets.values())

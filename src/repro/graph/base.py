@@ -111,6 +111,35 @@ class BaseEvolvingGraph(ABC):
         """Record a structural mutation (called by every mutating operation)."""
         self._mutation_version = self._mutation_version + 1
 
+    def snapshot_versions(self) -> dict[Time, int] | None:
+        """Per-snapshot last-modified stamps, or ``None`` when untracked.
+
+        Representations that know *which* snapshot each mutation touched
+        return ``{time: stamp}`` where a snapshot's stamp changes exactly when
+        one of its edges (or its existence) does.  Delta compilation
+        (:meth:`repro.graph.compiled.CompiledTemporalGraph.recompile`) diffs
+        these maps to rebuild only the touched snapshots' operators.  The
+        default ``None`` means "no per-snapshot tracking": consumers must fall
+        back to a full recompile on any :attr:`mutation_version` change.
+        """
+        return None
+
+    def edge_insertions_since(self, version: int) -> list[TemporalEdgeTuple] | None:
+        """Edges inserted since ``version``, or ``None`` when unreconstructible.
+
+        A non-``None`` return value is a *completeness guarantee*: the edge
+        sets at the current :attr:`mutation_version` equal the edge sets at
+        ``version`` plus exactly these ``(u, v, t)`` insertions (snapshot
+        registrations may also have happened; they change no edge set).
+        Delta compilation uses this to patch a snapshot's CSR operator with
+        one sparse addition instead of re-walking the whole snapshot.
+        Representations without an insertion journal — or whose journal was
+        invalidated by a removal or trimmed past ``version`` — return
+        ``None``, and consumers rebuild the dirty snapshots from
+        :meth:`edges_at_unordered` instead.
+        """
+        return None
+
     def compile(self) -> "CompiledTemporalGraph":
         """Compile this graph into an immutable sparse execution artifact.
 
@@ -198,6 +227,16 @@ class BaseEvolvingGraph(ABC):
         whose ordered iteration pays a sort override it with a plain dump.
         """
         return self.temporal_edges()
+
+    def edges_at_unordered(self, time: Time) -> Iterator[EdgeTuple]:
+        """Like :meth:`edges_at` but with no ordering guarantee.
+
+        The per-snapshot twin of :meth:`temporal_edges_unordered`: delta
+        compilation rebuilds dirty snapshots through this hook, so
+        representations whose :meth:`edges_at` pays a sort should override
+        it with a plain dump.
+        """
+        return self.edges_at(time)
 
     def has_edge(self, u: Node, v: Node, time: Time) -> bool:
         """Whether the snapshot at ``time`` contains the edge ``u -> v``.

@@ -79,6 +79,15 @@ class SnapshotSequenceEvolvingGraph(BaseEvolvingGraph):
             g.mutation_version for g in self._graphs.values()
         )
 
+    def snapshot_versions(self) -> dict[Time, int]:
+        """Per-snapshot stamps: each stored static graph's own mutation version.
+
+        Direct mutation of a :class:`StaticGraph` obtained from
+        :meth:`snapshot` bumps only that snapshot's stamp, so delta
+        compilation rebuilds exactly the touched snapshot.
+        """
+        return {t: self._graphs[t].mutation_version for t in self._times}
+
     def add_edge(self, u: Node, v: Node, time: Time) -> bool:
         """Insert an edge, creating the snapshot when needed."""
         if time not in self._graphs:
@@ -123,6 +132,10 @@ class SnapshotSequenceEvolvingGraph(BaseEvolvingGraph):
 
     def edges_at(self, time: Time) -> Iterator[EdgeTuple]:
         return iter(sorted(self.snapshot(time).edges(), key=repr))
+
+    def edges_at_unordered(self, time: Time) -> Iterator[EdgeTuple]:
+        """Dump one snapshot's edges without the repr-sort of edges_at."""
+        return iter(self.snapshot(time).edges())
 
     def out_neighbors_at(self, node: Node, time: Time) -> Iterator[Node]:
         g = self.snapshot(time)

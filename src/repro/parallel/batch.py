@@ -101,6 +101,7 @@ def batch_bfs(
     num_workers: int | None = None,
     chunk_size: int = 128,
     mp_context: str | None = None,
+    compiled: CompiledTemporalGraph | None = None,
 ) -> dict[TemporalNodeTuple, BFSResult]:
     """Run one evolving-graph BFS per root and collect the results.
 
@@ -114,17 +115,40 @@ def batch_bfs(
     engine sweeps there, one root chunk per task (``mp_context`` selects the
     multiprocessing start method, e.g. ``"spawn"``; default: the platform
     default).  ``serial`` and ``thread`` run one Python traversal per root.
+
+    ``compiled`` lets streaming callers hand the engine backends an artifact
+    they already hold — typically the delta-patched one maintained by
+    :func:`repro.generators.stream.apply_stream` — instead of resolving it
+    through the dispatch cache.  It must describe ``graph``'s current
+    contents (``compiled.is_current(graph)``); the python backends ignore it.
     """
     root_list = [tuple(r) for r in roots]
-    active_roots = [r for r in root_list if graph.is_active(*r)]
+    if compiled is not None and backend in ("vectorized", "process"):
+        if not compiled.is_current(graph):
+            raise GraphError(
+                "the supplied compiled artifact is stale for this graph "
+                f"(artifact version {compiled.mutation_version}, graph "
+                f"version {graph.mutation_version}); recompile it first"
+            )
+        active_roots = [r for r in root_list if compiled.is_active(*r)]
+    else:
+        active_roots = [r for r in root_list if graph.is_active(*r)]
     workers = num_workers or min(8, os.cpu_count() or 1)
 
     if backend == "vectorized":
         if not active_roots:
             return {}
-        from repro.engine import get_kernel
+        if compiled is not None:
+            from repro.engine.frontier import FrontierKernel
 
-        kernel = get_kernel(graph)
+            # kernel construction over a pre-built artifact is reference-only
+            # (no compilation), so the supplied artifact is used even when
+            # the per-graph dispatch cache is cold
+            kernel = FrontierKernel(compiled)
+        else:
+            from repro.engine import get_kernel
+
+            kernel = get_kernel(graph)
         if num_workers is None or num_workers <= 1 or len(active_roots) <= chunk_size:
             return kernel.batch(active_roots, chunk_size=chunk_size)
         # fan the chunks out over threads; every worker shares the same
@@ -162,9 +186,10 @@ def batch_bfs(
     if backend == "process":
         if not active_roots:
             return {}
-        from repro.engine import get_compiled
+        if compiled is None:
+            from repro.engine import get_compiled
 
-        compiled = get_compiled(graph)
+            compiled = get_compiled(graph)
         # cap the chunk size so every worker gets at least one task; without
         # this, root counts below chunk_size would run on a single worker
         per_worker = -(-len(active_roots) // workers)

@@ -1,0 +1,367 @@
+"""Property-based suite for delta compilation and the streaming engine (PR 4).
+
+Two equivalence contracts are asserted here:
+
+* **Bit-identity of delta recompilation** — after *arbitrary* mutation
+  sequences (edge insertions, removals, new snapshots, direct snapshot
+  mutation), :meth:`CompiledTemporalGraph.recompile` chained delta-on-delta
+  must produce an artifact structurally identical — labels, times, every CSR
+  operator's buffers, mask, presence, stamps — to a from-scratch
+  :meth:`CompiledTemporalGraph.from_graph` of the mutated graph.
+* **Streaming equivalence of the engine-backed incremental BFS** — after
+  every stream batch, ``IncrementalBFS(backend="vectorized")`` must agree
+  with the Python oracle *and* with a from-scratch ``evolving_bfs``.
+
+Plus the plumbing around them: the dispatch cache patching artifacts in
+place, ``apply_stream(compiled=True)``, and ``batch_bfs`` accepting a
+pre-built artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.incremental import IncrementalBFS
+from repro.core.bfs import evolving_bfs
+from repro.engine import get_compiled, get_kernel, invalidate_kernel
+from repro.exceptions import GraphError
+from repro.generators import EdgeStream, apply_stream, random_temporal_edges
+from repro.graph import (
+    AdjacencyListEvolvingGraph,
+    SnapshotSequenceEvolvingGraph,
+)
+from repro.graph.compiled import CompiledTemporalGraph
+from repro.parallel import batch_bfs
+
+DELTA_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+node_labels = st.integers(min_value=0, max_value=7)
+time_labels = st.integers(min_value=0, max_value=4)
+edge_triples = st.tuples(node_labels, node_labels, time_labels)
+
+#: One mutation step: insert an edge, remove an edge, or register a snapshot.
+mutations = st.one_of(
+    st.tuples(st.just("add"), node_labels, node_labels, time_labels),
+    st.tuples(st.just("remove"), node_labels, node_labels, time_labels),
+    st.tuples(st.just("snapshot"), st.integers(min_value=0, max_value=6)),
+)
+
+
+def assert_bit_identical(a: CompiledTemporalGraph, b: CompiledTemporalGraph) -> None:
+    """Structural equality of two compiled artifacts, buffer by buffer."""
+    assert a.node_labels == b.node_labels
+    assert a.times == b.times
+    assert a.is_directed == b.is_directed
+    assert a.mutation_version == b.mutation_version
+    assert a.snapshot_versions == b.snapshot_versions
+    for ma, mb in zip(a.forward_operators, b.forward_operators):
+        assert ma.shape == mb.shape
+        assert np.array_equal(ma.indptr, mb.indptr)
+        assert np.array_equal(ma.indices, mb.indices)
+        assert np.array_equal(ma.data, mb.data)
+    assert np.array_equal(a.active_mask, b.active_mask)
+    if a.label_presence is None or b.label_presence is None:
+        assert a.label_presence is None and b.label_presence is None
+    else:
+        assert np.array_equal(a.label_presence, b.label_presence)
+    for ma, mb in zip(a.backward_operators, b.backward_operators):
+        assert np.array_equal(ma.indptr, mb.indptr)
+        assert np.array_equal(ma.indices, mb.indices)
+        assert np.array_equal(ma.data, mb.data)
+
+
+def apply_mutation(graph: AdjacencyListEvolvingGraph, op: tuple) -> None:
+    if op[0] == "add":
+        graph.add_edge(op[1], op[2], op[3])
+    elif op[0] == "remove":
+        if graph.has_timestamp(op[3]):
+            graph.remove_edge(op[1], op[2], op[3])
+    else:
+        graph.add_timestamp(op[1])
+
+
+class TestDeltaRecompileBitIdentity:
+    @DELTA_SETTINGS
+    @given(
+        directed=st.booleans(),
+        initial=st.lists(edge_triples, min_size=0, max_size=15),
+        steps=st.lists(mutations, min_size=1, max_size=15),
+    )
+    def test_arbitrary_mutation_sequences(self, directed, initial, steps):
+        """Chained delta recompiles stay bit-identical to from-scratch builds."""
+        graph = AdjacencyListEvolvingGraph(
+            initial, directed=directed, timestamps=[0, 1, 2, 3, 4]
+        )
+        artifact = CompiledTemporalGraph.from_graph(graph)
+        for op in steps:
+            apply_mutation(graph, op)
+            artifact = CompiledTemporalGraph.recompile(graph, artifact)
+            assert_bit_identical(artifact, CompiledTemporalGraph.from_graph(graph))
+
+    def test_current_artifact_returned_unchanged(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        artifact = CompiledTemporalGraph.from_graph(graph)
+        assert CompiledTemporalGraph.recompile(graph, artifact) is artifact
+
+    def test_none_previous_falls_back_to_full(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)])
+        artifact = CompiledTemporalGraph.recompile(graph, None)
+        assert artifact.delta_stats is None
+        assert artifact.is_current(graph)
+
+    def test_untouched_snapshots_share_objects(self):
+        """The delta path reuses the previous CSR stacks, not copies of them."""
+        graph = AdjacencyListEvolvingGraph(
+            [(0, 1, 0), (1, 2, 1), (2, 3, 2)], timestamps=[0, 1, 2]
+        )
+        before = CompiledTemporalGraph.from_graph(graph)
+        before.backward_operators  # materialize so transposes get patched too
+        graph.add_edge(0, 3, 1)
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats == {"rebuilt": 1, "reused": 2}
+        assert after.forward_operators[0] is before.forward_operators[0]
+        assert after.forward_operators[2] is before.forward_operators[2]
+        assert after.forward_operators[1] is not before.forward_operators[1]
+        assert after.transposes_built
+        assert after.backward_operators[0] is before.backward_operators[0]
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+    def test_new_node_label_falls_back_to_full(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        before = CompiledTemporalGraph.from_graph(graph)
+        graph.add_edge(0, 99, 1)  # label 99 grows the node universe
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats is None
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+    def test_vanished_label_falls_back_to_full(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], timestamps=[0, 1])
+        before = CompiledTemporalGraph.from_graph(graph)
+        graph.remove_edge(1, 2, 1)  # label 2 loses its only appearance
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats is None
+        assert 2 not in after.node_index
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+    def test_new_snapshot_inserted_between_existing_ones(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 4)], timestamps=[0, 4])
+        before = CompiledTemporalGraph.from_graph(graph)
+        graph.add_edge(1, 0, 2)  # new snapshot lands between the others
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats == {"rebuilt": 1, "reused": 2}
+        assert after.times == (0, 2, 4)
+        assert after.forward_operators[0] is before.forward_operators[0]
+        assert after.forward_operators[2] is before.forward_operators[1]
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+    def test_snapshot_sequence_direct_child_mutation(self):
+        """Mutating a StaticGraph obtained from snapshot() dirties only it."""
+        graph = SnapshotSequenceEvolvingGraph.from_edges(
+            [(0, 1, 0), (1, 2, 1), (2, 0, 2)]
+        )
+        before = CompiledTemporalGraph.from_graph(graph)
+        graph.snapshot(1).add_edge(0, 2)  # behind the container's back
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats == {"rebuilt": 1, "reused": 2}
+        assert after.forward_operators[0] is before.forward_operators[0]
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+
+class TestDispatchPatchesInPlace:
+    def test_get_compiled_patches_instead_of_discarding(self):
+        graph = AdjacencyListEvolvingGraph(
+            [(0, 1, 0), (1, 2, 1), (2, 3, 2)], timestamps=[0, 1, 2]
+        )
+        before = get_compiled(graph)
+        graph.add_edge(3, 0, 2)
+        after = get_compiled(graph)
+        assert after is not before
+        assert after.delta_stats == {"rebuilt": 1, "reused": 2}
+        assert after.forward_operators[0] is before.forward_operators[0]
+        assert after.is_current(graph)
+        # the kernels ride the patched artifact
+        assert get_kernel(graph).compiled is after
+
+    def test_invalidate_forces_full_rebuild(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)])
+        get_compiled(graph)
+        invalidate_kernel(graph)
+        graph.add_edge(0, 2, 1)
+        assert get_compiled(graph).delta_stats is None
+
+    def test_patched_kernel_results_stay_exact(self):
+        """Stale-cache regression: searches after a patch see the new edge."""
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], timestamps=[0, 1])
+        assert evolving_bfs(graph, (0, 0)).reached == evolving_bfs(
+            graph, (0, 0), backend="python"
+        ).reached
+        graph.add_edge(2, 0, 1)
+        vectorized = evolving_bfs(graph, (0, 0)).reached
+        assert vectorized == evolving_bfs(graph, (0, 0), backend="python").reached
+        assert (0, 1) in vectorized
+
+
+@st.composite
+def streams_with_roots(draw):
+    """A batched random edge stream plus a (possibly initially inactive) root."""
+    num_nodes = draw(st.integers(min_value=4, max_value=20))
+    num_times = draw(st.integers(min_value=2, max_value=5))
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_times - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    batch_size = draw(st.integers(min_value=1, max_value=12))
+    root = (
+        draw(st.integers(0, num_nodes - 1)),
+        draw(st.integers(0, num_times - 1)),
+    )
+    return num_times, EdgeStream(events, batch_size=batch_size), root
+
+
+class TestIncrementalEngineEquivalence:
+    @DELTA_SETTINGS
+    @given(streams_with_roots())
+    def test_matches_oracle_and_scratch_after_every_batch(self, case):
+        num_times, stream, root = case
+        timestamps = list(range(num_times))
+        engine_graph = AdjacencyListEvolvingGraph(timestamps=timestamps)
+        oracle_graph = AdjacencyListEvolvingGraph(timestamps=timestamps)
+        engine = IncrementalBFS(engine_graph, root, backend="vectorized")
+        oracle = IncrementalBFS(oracle_graph, root, backend="python")
+        for batch in stream.batches():
+            engine.add_edges_from(batch)
+            oracle.add_edges_from(batch)
+            if engine_graph.is_active(*root):
+                scratch = evolving_bfs(engine_graph, root, backend="python").reached
+            else:
+                scratch = {}
+            assert engine.distances == scratch
+            assert oracle.distances == scratch
+            assert engine.num_updates == oracle.num_updates
+
+    def test_backend_flag_validated(self):
+        graph = AdjacencyListEvolvingGraph(timestamps=[0])
+        with pytest.raises(GraphError):
+            IncrementalBFS(graph, (0, 0), backend="numba")
+
+    def test_malformed_batch_leaves_state_consistent(self):
+        """A bad item must not insert earlier edges the block never folded in."""
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        inc = IncrementalBFS(graph, (0, 0), backend="vectorized")
+        with pytest.raises(GraphError):
+            inc.add_edges_from([(1, 2, 1), (3, 4)])  # wrong arity fails unpack
+        assert not graph.has_edge(1, 2, 1)
+        assert inc.num_updates == 0
+        assert inc.distances == evolving_bfs(graph, (0, 0), backend="python").reached
+
+    def test_point_queries_on_engine_backend(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], timestamps=[0, 1])
+        inc = IncrementalBFS(graph, (0, 0), backend="vectorized")
+        assert inc.backend == "vectorized"
+        assert inc.distance(2, 1) == 3
+        assert inc.is_reachable(1, 0)
+        assert not inc.is_reachable(5, 0)
+        assert inc.distance(0, 5) is None
+        result = inc.as_result()
+        assert result.root == (0, 0)
+        assert result.reached == evolving_bfs(graph, (0, 0)).reached
+
+    def test_new_node_and_new_snapshot_mid_stream(self):
+        """Universe growth (full-rebuild remap) keeps the engine state exact."""
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        inc = IncrementalBFS(graph, (0, 0), backend="vectorized")
+        inc.add_edge(1, 7, 1)  # new label
+        inc.add_edge(7, 8, 3)  # new label *and* new snapshot
+        assert inc.distances == evolving_bfs(graph, (0, 0)).reached
+        assert inc.distance(8, 3) == 5  # (0,0)->(1,0)->(1,1)->(7,1)->(7,3)->(8,3)
+
+    def test_recompute_resyncs_engine_state(self, figure1):
+        inc = IncrementalBFS(figure1, (1, "t1"), backend="vectorized")
+        figure1.add_edge(1, 3, "t1")  # behind the class's back (unsupported)
+        assert inc.recompute() == evolving_bfs(figure1, (1, "t1")).reached
+
+
+class TestResweepKernel:
+    def test_resweep_shape_mismatch_raises(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        kernel = get_kernel(graph)
+        with pytest.raises(GraphError):
+            kernel.decrease_only_resweep(np.zeros((1, 1), dtype=np.int32), [])
+
+    def test_resweep_reaches_full_bfs_fixed_point(self):
+        graph = AdjacencyListEvolvingGraph(
+            random_temporal_edges(15, 3, 50, seed=7), timestamps=[0, 1, 2]
+        )
+        kernel = get_kernel(graph)
+        root = next(iter(sorted(graph.active_nodes_at(0))))
+        full = kernel.distance_block((root, 0))
+        # degrade: forget everything but the root, then re-relax from it
+        degraded = np.full_like(full, -1)
+        slot = kernel.compiled.slot(root, 0)
+        degraded[slot] = 0
+        # seed with the root's immediate improvements: every full-BFS slot at
+        # distance 1 (their in-neighbourhood "changed" when we forgot them)
+        seeds = [
+            (ti, vi, 1)
+            for ti, vi in zip(*np.nonzero(full == 1))
+        ]
+        changed = kernel.decrease_only_resweep(degraded, seeds)
+        assert changed > 0
+        assert np.array_equal(degraded, full)
+
+
+class TestApplyStreamCompiled:
+    def test_callback_receives_current_artifact(self):
+        stream = EdgeStream.random(12, 3, 40, seed=11, batch_size=8)
+        seen = []
+
+        def on_batch(graph, batch, artifact):
+            assert artifact.is_current(graph)
+            seen.append(artifact)
+
+        graph = apply_stream(stream, compiled=True, on_batch=on_batch)
+        assert len(seen) == len(list(stream.batches()))
+        assert seen[-1] is get_compiled(graph)
+        # later batches patch rather than rebuild whenever the universe allows
+        assert any(a.delta_stats is not None for a in seen[1:])
+
+    def test_uncompiled_callback_signature_unchanged(self):
+        calls = []
+        apply_stream([(0, 1, 0), (1, 2, 0)], on_batch=lambda g, b: calls.append(b))
+        assert calls == [[(0, 1, 0)], [(1, 2, 0)]]
+
+
+class TestBatchBfsCompiledArtifact:
+    def test_supplied_artifact_matches_serial(self):
+        graph = AdjacencyListEvolvingGraph(
+            random_temporal_edges(20, 3, 60, seed=13), timestamps=[0, 1, 2]
+        )
+        roots = graph.active_temporal_nodes()[:10]
+        artifact = get_compiled(graph)
+        expected = {
+            r: res.reached
+            for r, res in batch_bfs(graph, roots, backend="serial").items()
+        }
+        supplied = batch_bfs(graph, roots, backend="vectorized", compiled=artifact)
+        assert {r: res.reached for r, res in supplied.items()} == expected
+
+    def test_stale_artifact_rejected(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0)], timestamps=[0, 1])
+        artifact = get_compiled(graph)
+        graph.add_edge(1, 0, 1)
+        with pytest.raises(GraphError):
+            batch_bfs(graph, [(0, 0)], backend="vectorized", compiled=artifact)
