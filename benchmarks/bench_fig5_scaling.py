@@ -11,6 +11,13 @@ checks the *shape* claim: runtime grows linearly in the static edge count
 Run with::
 
     pytest benchmarks/bench_fig5_scaling.py --benchmark-only -s
+
+Co-running with the engine benchmarks in one pytest process is safe: the
+autouse ``isolated_engine_state`` fixture in ``benchmarks/conftest.py``
+drops the dispatch cache and collects garbage at module boundaries, so the
+pure-Python timing sweep here is not perturbed by compiled artifacts other
+modules left on the heap (the quick-mode linearity assert used to be flaky
+under exactly that co-run).
 """
 
 from __future__ import annotations

@@ -5,7 +5,8 @@
 * :mod:`~repro.algorithms.temporal_paths` — earliest-arrival, fewest-spatial-hops,
   latest-departure path notions.
 * :mod:`~repro.algorithms.centrality` — reach, closeness, betweenness, Katz.
-* :mod:`~repro.algorithms.dynamic_walks` — Grindrod–Higham communicability baseline.
+* :mod:`~repro.algorithms.dynamic_walks` — Grindrod–Higham communicability
+  baseline (sparse resolvent/walk engine behind ``backend="vectorized"``).
 * :mod:`~repro.algorithms.tang_distance` — Tang et al. temporal-distance baseline.
 * :mod:`~repro.algorithms.pagerank` — snapshot / evolving / aggregate PageRank.
 * :mod:`~repro.algorithms.influence` — Section V citation-network mining.

@@ -21,19 +21,26 @@ callers that need them.
 
 Backends
 --------
-``influence_set``, ``influencer_set`` and ``top_influencers`` accept
-``backend="python" | "vectorized"`` (default ``"vectorized"``): the engine
-runs the citation-flipped expansions natively (``reverse_edges`` swaps the
-spatial operator stack while keeping the time direction), and
-``top_influencers`` batches every author's earliest appearance into one
-CSR × dense-block reach-count sweep.  ``community_of`` and
-``influence_tree_leaves`` need per-node expansion order and stay on the
-Python path (see ROADMAP open items).
+Every function accepts ``backend="python" | "vectorized"`` (default
+``"vectorized"``): the engine runs the citation-flipped expansions natively
+(``reverse_edges`` swaps the spatial operator stack while keeping the time
+direction), and ``top_influencers`` batches every author's earliest
+appearance into one CSR × dense-block reach-count sweep.
+``influence_tree_leaves`` reads the leaf test straight off the compiled
+stacks — a backward-reached slot is a leaf iff its spatial expansion column
+is empty (out-degree columns of the forward operators, or in-degree rows
+when following citations) and the node has no earlier active appearance
+(a shifted cumulative OR over the activeness mask) — and ``community_of``
+unions the forward sweeps of all leaves as columns of one batched engine
+block.  The dict-walking implementations are kept verbatim as the
+``backend="python"`` oracles.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
+
+import numpy as np
 
 from repro.core.bfs import evolving_bfs
 from repro.exceptions import InactiveNodeError
@@ -167,6 +174,7 @@ def influence_tree_leaves(
     time,
     *,
     follow_citations: bool = False,
+    backend: str = "vectorized",
 ) -> set[TemporalNodeTuple]:
     """Leaves of the backward influence tree ``T⁻¹(author, time)``.
 
@@ -174,11 +182,47 @@ def influence_tree_leaves(
     backward expansion: an "original source" of the influence chain.  These
     are the temporal nodes the paper uses to seed the forward community
     search.
+
+    The vectorized backend runs one backward engine sweep and evaluates the
+    leaf predicate on the whole ``(T, N)`` reached block at once: the
+    spatial half is the per-snapshot expansion-column emptiness read off
+    the compiled CSR stacks (out-degree columns, or in-degree rows when
+    ``follow_citations``), the causal half is a shifted cumulative OR over
+    the activeness mask (an earlier active appearance of the same node).
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     if not graph.is_active(author, time):
         raise InactiveNodeError(author, time)
+    if backend == "vectorized":
+        kernel = get_kernel(graph)
+        for _, dist in kernel.distance_blocks(
+            [(author, time)],
+            direction="backward",
+            reverse_edges=not follow_citations,
+        ):
+            block = dist[:, :, 0]
+        reached = block >= 0  # (T, N)
+        leaf_mask = (
+            reached
+            & ~_spatial_expandable(kernel.compiled, follow_citations)
+            & ~_earlier_active(kernel.compiled)
+        )
+        if not leaf_mask.any():
+            # every reached node still expands (cyclic snapshot): fall back
+            # to the deepest frontier so the community search always has seeds
+            leaf_mask = reached & (block == block[reached].max())
+        labels = kernel.compiled.node_labels
+        times = kernel.compiled.times
+        t_idx, v_idx = np.nonzero(leaf_mask)
+        return {
+            (labels[vi], times[ti]) for ti, vi in zip(t_idx.tolist(), v_idx.tolist())
+        }
     expand = _backward_expansion(graph, follow_citations)
-    reached = evolving_bfs(graph, (author, time), neighbor_fn=expand).reached
+    reached = evolving_bfs(
+        graph, (author, time), neighbor_fn=expand, backend="python"
+    ).reached
     leaves: set[TemporalNodeTuple] = set()
     for tn in reached:
         if not expand(*tn):
@@ -191,6 +235,38 @@ def influence_tree_leaves(
     return leaves
 
 
+def _spatial_expandable(compiled, follow_citations: bool) -> np.ndarray:
+    """``(T, N)`` mask: the backward spatial expansion of ``(v, t)`` is non-empty.
+
+    With ``follow_citations=False`` the backward search expands along
+    *out*-edges (the citation-flipped orientation), so the test is column
+    non-emptiness of the forward operators ``F[t]`` (column ``v`` holds the
+    out-edges of ``v``); with ``follow_citations=True`` it expands along
+    in-edges, which are exactly the rows of ``F[t]``.  Both reads come
+    straight off the CSR structure — no transpose is ever built for this.
+    Self-loops are already dropped from the compiled operators, matching
+    the oracle's ``w != node`` filter.
+    """
+    t_count = compiled.num_snapshots
+    n = compiled.num_nodes
+    out = np.zeros((t_count, n), dtype=bool)
+    for ti, mat in enumerate(compiled.forward_operators):
+        if follow_citations:
+            out[ti] = np.diff(mat.indptr) > 0
+        else:
+            out[ti, mat.indices] = True
+    return out
+
+
+def _earlier_active(compiled) -> np.ndarray:
+    """``(T, N)`` mask: the node has an active appearance strictly before ``t``."""
+    active = compiled.active_mask
+    earlier = np.zeros_like(active)
+    if active.shape[0] > 1:
+        earlier[1:] = np.logical_or.accumulate(active, axis=0)[:-1]
+    return earlier
+
+
 def community_of(
     graph: BaseEvolvingGraph,
     author: Hashable,
@@ -198,16 +274,44 @@ def community_of(
     *,
     follow_citations: bool = False,
     include_author: bool = False,
+    backend: str = "vectorized",
 ) -> set[Hashable]:
     """The community of ``author`` at ``time``: researchers influenced by the same sources.
 
     Implements the Section V recipe: find the leaves of ``T⁻¹(author, time)``,
     then union the forward influence sets of all leaves, i.e.
     ``T(l1, t1) ∪ T(l2, t2) ∪ ... ∪ T(lk, tk)``.
+
+    The vectorized backend seeds every leaf as one column of a batched
+    engine sweep, collapses each column to reached node identities, masks
+    out each leaf's own identity, and ORs the columns — the whole union is
+    a handful of array reductions instead of one Python BFS per leaf.
     """
+    from repro.engine import get_kernel, resolve_backend
+
+    backend = resolve_backend(backend)
     leaves = influence_tree_leaves(
-        graph, author, time, follow_citations=follow_citations
+        graph, author, time, follow_citations=follow_citations, backend=backend
     )
+    if backend == "vectorized":
+        kernel = get_kernel(graph)
+        node_index = kernel.compiled.node_index
+        labels = kernel.compiled.node_labels
+        n = kernel.compiled.num_nodes
+        member = np.zeros(n, dtype=bool)
+        for chunk, dist in kernel.distance_blocks(
+            sorted(leaves, key=repr),
+            direction="forward",
+            reverse_edges=not follow_citations,
+        ):
+            identity = (dist >= 0).any(axis=0)  # (N, R)
+            for col, (leaf_author, _) in enumerate(chunk):
+                identity[node_index[leaf_author], col] = False
+            member |= identity.any(axis=1)
+        community = {labels[vi] for vi in np.nonzero(member)[0].tolist()}
+        if not include_author:
+            community.discard(author)
+        return community
     expand = _forward_expansion(graph, follow_citations)
     # The union T(l1, t1) ∪ ... ∪ T(lk, tk) of the paper: each leaf's influence
     # set excludes that leaf's own identity, but a leaf may of course appear in
@@ -215,7 +319,7 @@ def community_of(
     community: set[Hashable] = set()
     for leaf_author, leaf_time in sorted(leaves, key=repr):
         reached = evolving_bfs(
-            graph, (leaf_author, leaf_time), neighbor_fn=expand
+            graph, (leaf_author, leaf_time), neighbor_fn=expand, backend="python"
         ).reached
         community |= {v for v, _ in reached if v != leaf_author}
     if not include_author:

@@ -22,9 +22,16 @@
   fewest spatial hops under 0/1 edge costs, Tang snapshot counts) propagated
   over the same compiled artifact with the same cumulative-masked causal
   step.
+* :class:`~repro.engine.spectral.SpectralKernel` — the spectral sibling:
+  cached sparse-LU resolvent chains (communicability, broadcast/receive
+  centrality without ever materializing ``Q``), certified sparse
+  spectral-radius bounds replacing dense ``eigvals``, and exact int64
+  SpMV walk counting, all over the lazily derived symmetrized stack of the
+  same artifact.
 * :func:`~repro.engine.dispatch.get_kernel` /
-  :func:`~repro.engine.dispatch.get_label_kernel` — the cached kernels over
-  that artifact, used by the ``backend="vectorized"`` paths of
+  :func:`~repro.engine.dispatch.get_label_kernel` /
+  :func:`~repro.engine.dispatch.get_spectral_kernel` — the cached kernels
+  over that artifact, used by the ``backend="vectorized"`` paths of
   :mod:`repro.core`, :mod:`repro.algorithms` and :mod:`repro.parallel`.
 * :func:`~repro.engine.dispatch.resolve_backend` — validation of the
   ``backend`` flag shared by every search entry point.
@@ -35,19 +42,24 @@ from repro.engine.dispatch import (
     get_compiled,
     get_kernel,
     get_label_kernel,
+    get_spectral_kernel,
     invalidate_kernel,
     resolve_backend,
 )
 from repro.engine.frontier import FrontierKernel
 from repro.engine.labels import LabelKernel
+from repro.engine.spectral import SpectralKernel, SpectralOpStats
 
 __all__ = [
     "BACKENDS",
     "FrontierKernel",
     "LabelKernel",
+    "SpectralKernel",
+    "SpectralOpStats",
     "get_compiled",
     "get_kernel",
     "get_label_kernel",
+    "get_spectral_kernel",
     "invalidate_kernel",
     "resolve_backend",
 ]

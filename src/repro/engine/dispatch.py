@@ -38,6 +38,7 @@ import weakref
 
 from repro.engine.frontier import FrontierKernel
 from repro.engine.labels import LabelKernel
+from repro.engine.spectral import SpectralKernel
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph
 from repro.graph.compiled import CompiledTemporalGraph
@@ -47,6 +48,7 @@ __all__ = [
     "get_compiled",
     "get_kernel",
     "get_label_kernel",
+    "get_spectral_kernel",
     "invalidate_kernel",
     "resolve_backend",
 ]
@@ -68,26 +70,31 @@ def resolve_backend(backend: str) -> str:
 
 def _entry(
     graph: BaseEvolvingGraph,
-) -> tuple[CompiledTemporalGraph, FrontierKernel, LabelKernel]:
-    """The cached ``(compiled, kernel, label_kernel)`` triple, rebuilt on version mismatch."""
+) -> tuple[CompiledTemporalGraph, FrontierKernel, LabelKernel, SpectralKernel]:
+    """The cached ``(compiled, kernel, label_kernel, spectral_kernel)`` quadruple.
+
+    Rebuilt on version mismatch; every kernel shares the one compiled
+    artifact (kernel construction is cheap — all per-kernel state is lazy).
+    """
     version = graph.mutation_version
     try:
         cached = _CACHE.get(graph)
     except TypeError:  # unhashable graph object
         cached = None
     if cached is not None and cached[0] == version:
-        return cached[1], cached[2], cached[3]
+        return cached[1], cached[2], cached[3], cached[4]
     # delta-aware refresh: patch the stale artifact in place of a full
     # rebuild, reusing every snapshot whose version stamp did not move
     previous = cached[1] if cached is not None else None
     compiled = CompiledTemporalGraph.recompile(graph, previous)
     kernel = FrontierKernel(compiled)
     label_kernel = LabelKernel(compiled, frontier=kernel)
+    spectral_kernel = SpectralKernel(compiled)
     try:
-        _CACHE[graph] = (version, compiled, kernel, label_kernel)
+        _CACHE[graph] = (version, compiled, kernel, label_kernel, spectral_kernel)
     except TypeError:  # unhashable or non-weakrefable graph object
         pass
-    return compiled, kernel, label_kernel
+    return compiled, kernel, label_kernel, spectral_kernel
 
 
 def get_compiled(graph: BaseEvolvingGraph) -> CompiledTemporalGraph:
@@ -111,6 +118,17 @@ def get_label_kernel(graph: BaseEvolvingGraph) -> LabelKernel:
     boolean sweeps and numeric label sweeps never compile the graph twice.
     """
     return _entry(graph)[2]
+
+
+def get_spectral_kernel(graph: BaseEvolvingGraph) -> SpectralKernel:
+    """The cached :class:`SpectralKernel` for ``graph``, sharing the compiled artifact.
+
+    Rides the same cache entry as the frontier and label kernels, so the
+    spectral family (communicability, broadcast/receive centrality, dynamic
+    walk counts) never compiles the graph separately — and its lazy LU /
+    radius caches survive as long as the graph stays unmutated.
+    """
+    return _entry(graph)[3]
 
 
 def invalidate_kernel(graph: BaseEvolvingGraph) -> None:

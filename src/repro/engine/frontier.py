@@ -461,6 +461,31 @@ class FrontierKernel:
             raise InactiveNodeError(node, time)
         return slot
 
+    def distance_blocks(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+        chunk_size: int = 128,
+    ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
+        """Run independent searches ``chunk_size`` roots at a time (public form).
+
+        Yields ``(chunk, dist)`` pairs where ``dist`` is the raw ``(T, N, R)``
+        int32 distance block whose column ``r`` belongs to ``chunk[r]``
+        (``-1`` = unreached).  This is the batched array-level interface the
+        label kernel and the engine-backed algorithms layer (influence-leaf
+        detection, community unions) consume when they want whole blocks
+        rather than decoded per-root dictionaries; :meth:`batch` is the
+        decoded convenience form.
+        """
+        return self._chunked_distances(
+            roots,
+            direction=direction,
+            reverse_edges=reverse_edges,
+            chunk_size=chunk_size,
+        )
+
     def _chunked_distances(
         self,
         roots: Iterable[TemporalNodeTuple],

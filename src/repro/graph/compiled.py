@@ -14,6 +14,10 @@ a first-class, immutable artifact that every consumer shares:
   so ``F[t] @ x`` advances a frontier block along out-edges;
 * the **backward-operator stack** ``F[t]^T`` — built *lazily* on first use,
   because forward-only workloads (the overwhelming majority) never apply it;
+* the **symmetrized (spectral) stack** ``S[t]`` — the adjacency orientation
+  the Grindrod–Higham communicability/walk family operates on, derived
+  lazily at zero compilation cost (it aliases the forward stack for
+  undirected graphs and the backward stack for directed ones);
 * a ``(T, N)`` **activeness mask** (Definition 3);
 * the source graph's ``mutation_version`` stamp, which lets caches decide
   *exactly* whether the artifact still describes the graph;
@@ -87,6 +91,9 @@ class CompiledTemporalGraph:
         self._backward: list[sp.csr_matrix] | None = (
             list(backward_operators) if backward_operators is not None else None
         )
+        # the spectral (symmetrized-adjacency) stack is derived lazily from
+        # the other two; see :attr:`symmetrized_operators`
+        self._symmetrized: list[sp.csr_matrix] | None = None
         self._directed = bool(is_directed)
         self._version = int(mutation_version)
         self._n = int(self._forward[0].shape[0]) if self._forward else 0
@@ -414,6 +421,39 @@ class CompiledTemporalGraph:
     def transposes_built(self) -> bool:
         """Whether the backward-operator stack has been materialized yet."""
         return self._backward is not None
+
+    @property
+    def symmetrized_operators(self) -> list[sp.csr_matrix]:
+        """Per-snapshot stack ``S[t]`` in the adjacency orientation, built lazily.
+
+        This is the matrix family the spectral/walk-counting baselines
+        (Grindrod–Higham communicability, dynamic-walk counts) operate on —
+        exactly :meth:`MatrixSequenceEvolvingGraph.symmetrized_matrix_at
+        <repro.graph.adjacency_matrix.MatrixSequenceEvolvingGraph.symmetrized_matrix_at>`
+        compiled onto the artifact: for directed graphs ``S[t] = A[t]``
+        (``S[t][u, v] = 1`` iff the edge ``u -> v`` exists at ``t``), for
+        undirected graphs the 0/1-clamped ``A[t] + A[t]^T``.  Self-loops are
+        dropped, matching the matrix-sequence normalization.
+
+        No new matrices are ever compiled: the undirected forward stack *is*
+        already symmetric (so it is aliased at zero cost), and the directed
+        adjacency orientation is the transpose of the forward stack (so the
+        lazily built backward stack is aliased).  Frontier-only workloads
+        therefore never pay for this property.
+        """
+        if self._symmetrized is None:
+            if self._directed:
+                # F[t] = A[t]^T, so the adjacency orientation is the
+                # (lazily built) backward stack
+                self._symmetrized = self.backward_operators
+            else:
+                self._symmetrized = self._forward
+        return list(self._symmetrized)
+
+    @property
+    def symmetrized_built(self) -> bool:
+        """Whether the symmetrized (spectral) stack has been materialized yet."""
+        return self._symmetrized is not None
 
     # ------------------------------------------------------------------ #
     # point queries                                                       #

@@ -1,11 +1,19 @@
 """Parallel execution helpers (extension beyond the paper's single-core experiment).
 
-* :func:`~repro.parallel.frontier.parallel_evolving_bfs` — level-synchronous
-  parallel BFS (thread pool, identical results to Algorithm 1).
+Production batching is engine-routed: :func:`~repro.parallel.batch.batch_bfs`
+runs many independent searches over the shared compiled artifact
+(``backend="vectorized"`` packs roots into CSR × dense-block products,
+``backend="process"`` ships the picklable artifact to worker processes).
+
 * :func:`~repro.parallel.batch.batch_bfs` — many independent searches over a
-  shared graph with serial / thread / process backends.
+  shared graph with serial / thread / process / vectorized backends.
+* :func:`~repro.parallel.frontier.parallel_evolving_bfs` — level-synchronous
+  parallel BFS (thread pool, identical results to Algorithm 1); kept as the
+  *documented Python-parallel baseline*, superseded in practice by the
+  engine backends above.
 * :mod:`~repro.parallel.partition` — frontier chunking and time-based graph
-  partitioning utilities.
+  partitioning utilities (``partition_timestamps`` can weigh its partition
+  off a compiled artifact's CSR stacks).
 """
 
 from repro.parallel.batch import batch_bfs, map_over_roots
@@ -13,9 +21,9 @@ from repro.parallel.frontier import parallel_evolving_bfs
 from repro.parallel.partition import chunk_by_weight, chunk_evenly, partition_timestamps
 
 __all__ = [
-    "parallel_evolving_bfs",
     "batch_bfs",
     "map_over_roots",
+    "parallel_evolving_bfs",
     "chunk_evenly",
     "chunk_by_weight",
     "partition_timestamps",

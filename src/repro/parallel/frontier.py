@@ -1,24 +1,32 @@
-"""Level-synchronous parallel BFS over evolving graphs.
+"""Level-synchronous parallel BFS: the documented Python-parallel baseline.
 
 The BFS of Algorithm 1 is embarrassingly parallel *within* a level: each
 frontier node's forward neighbours can be computed independently, and the
 merge (deduplication against the visited set) is a cheap reduction.  This
 module provides a thread-pool implementation of that scheme.
 
-A note on fidelity (and the GIL)
---------------------------------
-The paper's implementation is single-threaded Julia; its measured claim
-(Figure 5) is about *linear scaling in the number of edges*, not about
-parallel speed-up, so the serial :func:`repro.core.bfs.evolving_bfs` is the
-primary reproduction target.  CPython's GIL means the thread-pool variant
-here mostly overlaps bookkeeping rather than achieving true multi-core
-traversal of hash-map adjacency structures; it exists (a) to document the
-level-synchronous decomposition, (b) to provide a correctness-checked
-parallel code path whose speed-up can be measured honestly in the ablation
-benchmark ``bench_parallel.py``, and (c) so the library can transparently
-benefit on GIL-free builds of CPython.  Process pools are intentionally not
-used for the inner loop: pickling a large evolving graph to worker processes
-costs far more than the traversal itself.
+Status: documented baseline (superseded in practice by the engine)
+------------------------------------------------------------------
+Since PR 1 the production path for throughput is the vectorized frontier
+engine: :func:`repro.parallel.batch.batch_bfs` with ``backend="vectorized"``
+packs many roots into CSR × dense-block products over the shared
+:class:`~repro.graph.compiled.CompiledTemporalGraph`, and
+``backend="process"`` ships that artifact to worker processes — both beat
+any Python-level thread decomposition by an order of magnitude (see
+``benchmarks/bench_engine.py`` and ``bench_parallel.py``).  This module is
+kept as the *documented baseline*: (a) it records the level-synchronous
+decomposition the paper's algorithm admits, (b) it provides a
+correctness-checked parallel code path whose speed-up can be measured
+honestly in the ablation benchmark ``bench_parallel.py``, and (c) it can
+benefit transparently on GIL-free builds of CPython.  CPython's GIL means
+the thread pool mostly overlaps bookkeeping rather than achieving true
+multi-core traversal of hash-map adjacency structures; the paper's own
+measured claim (Figure 5) is about linear scaling in the number of edges,
+not parallel speed-up, so the serial :func:`repro.core.bfs.evolving_bfs`
+remains the primary reproduction target.  Process pools are intentionally
+not used for this inner loop: pickling a large evolving graph to worker
+processes costs far more than the traversal itself (``batch_bfs``'s process
+backend avoids exactly that by shipping the compiled artifact instead).
 """
 
 from __future__ import annotations
@@ -55,6 +63,10 @@ def parallel_evolving_bfs(
 ) -> BFSResult:
     """Level-synchronous parallel BFS; produces exactly the same result as Algorithm 1.
 
+    This is the Python-parallel *baseline* — for throughput use
+    :func:`repro.parallel.batch.batch_bfs` with the ``"vectorized"`` or
+    ``"process"`` backends, which run on the compiled engine artifact.
+
     Parameters
     ----------
     num_workers:
@@ -84,9 +96,12 @@ def parallel_evolving_bfs(
         while frontier:
             if executor is not None and len(frontier) >= num_workers * min_chunk_size:
                 chunks = chunk_evenly(frontier, num_workers)
-                futures = [executor.submit(_expand_chunk, graph, chunk) for chunk in chunks]
+                futures = [
+                    executor.submit(_expand_chunk, graph, chunk) for chunk in chunks
+                ]
                 candidate_lists: Iterable[list[TemporalNodeTuple]] = (
-                    f.result() for f in futures)
+                    f.result() for f in futures
+                )
             else:
                 candidate_lists = [_expand_chunk(graph, frontier)]
 

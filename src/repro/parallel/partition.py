@@ -1,4 +1,4 @@
-"""Frontier and graph partitioning for parallel traversal.
+"""Frontier and graph partitioning for parallel traversal (documented baseline).
 
 The paper's experiment runs on a single core; parallel traversal is an
 extension this reproduction adds for completeness (and because the repro
@@ -8,17 +8,24 @@ BFS level, the frontier is split into chunks and each worker expands its
 chunk independently; the per-worker discoveries are then merged by the
 driver, which preserves the BFS level structure and therefore the distances.
 
-This module contains the purely combinatorial pieces (no processes/threads):
-chunking strategies and a time-based graph partition used by the ablation
-benchmarks.
+Like :mod:`repro.parallel.frontier`, this module is kept as the documented
+Python-parallel baseline — production batching goes through the engine via
+:func:`repro.parallel.batch.batch_bfs`.  The purely combinatorial pieces
+here (chunking strategies, the time-based partition the ablation benchmarks
+use) stay useful for both worlds; :func:`partition_timestamps` can weigh its
+partition straight off a compiled artifact's CSR stacks instead of walking
+Python edge iterators.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, TypeVar
+from typing import TYPE_CHECKING, Sequence, TypeVar
 
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.compiled import CompiledTemporalGraph
 
 T = TypeVar("T")
 
@@ -43,7 +50,7 @@ def chunk_evenly(items: Sequence[T], num_chunks: int) -> list[list[T]]:
     start = 0
     for i in range(k):
         size = base + (1 if i < extra else 0)
-        chunks.append(items[start:start + size])
+        chunks.append(items[start : start + size])
         start += size
     return [c for c in chunks if c]
 
@@ -73,19 +80,43 @@ def chunk_by_weight(
     return [c for c in chunk_items if c]
 
 
-def partition_timestamps(graph: BaseEvolvingGraph, num_parts: int) -> list[list[Time]]:
+def partition_timestamps(
+    graph: BaseEvolvingGraph,
+    num_parts: int,
+    *,
+    compiled: "CompiledTemporalGraph | None" = None,
+) -> list[list[Time]]:
     """Partition the timestamps into contiguous groups with balanced static-edge counts.
 
     A time-based partition is the natural decomposition for evolving graphs:
     causal edges only cross partitions forward in time, so a pipeline of
     workers (one per partition) only communicates frontier state downstream.
+
+    When a :class:`~repro.graph.compiled.CompiledTemporalGraph` for the
+    graph is supplied (it must be current), the per-snapshot weights are
+    read off the compiled CSR operator stack (stored-entry counts) instead
+    of walking Python edge iterators — the engine-routed path for callers
+    that already hold the artifact.  Operator nnz differs from the raw edge
+    count by symmetrization and self-loop dropping, which leaves the
+    balancing heuristic unchanged.
     """
     if num_parts < 1:
         raise GraphError("num_parts must be at least 1")
     times = list(graph.timestamps)
     if not times:
         return []
-    weights = [sum(1 for _ in graph.edges_at(t)) + 1 for t in times]
+    if compiled is not None:
+        if not compiled.is_current(graph):
+            raise GraphError(
+                "the supplied compiled artifact is stale for this graph "
+                f"(artifact version {compiled.mutation_version}, graph "
+                f"version {graph.mutation_version})"
+            )
+        operators = compiled.forward_operators
+        position = compiled.time_index
+        weights = [int(operators[position[t]].nnz) + 1 for t in times]
+    else:
+        weights = [sum(1 for _ in graph.edges_at(t)) + 1 for t in times]
     total = sum(weights)
     target = total / min(num_parts, len(times))
     parts: list[list[Time]] = []

@@ -1,0 +1,197 @@
+"""Property-based equivalence for the engine-backed influence-leaf detection.
+
+PR 5 ported ``influence_tree_leaves`` and ``community_of`` off the
+per-node Python expansion walk and onto the compiled stacks: one backward
+engine sweep plus a vectorized leaf predicate (expansion-column emptiness
+read off the CSR structure, earlier-activeness off the mask), and one
+batched forward sweep for the community union.  The dict oracle stays
+behind ``backend="python"``; these tests pin the default vectorized
+backend to it on random evolving graphs and hand-built cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.influence import (
+    _earlier_active,
+    _spatial_expandable,
+    community_of,
+    influence_tree_leaves,
+)
+from repro.engine import get_compiled
+from repro.exceptions import GraphError, InactiveNodeError
+from repro.graph import AdjacencyListEvolvingGraph
+
+node_labels = st.integers(min_value=0, max_value=12)
+time_labels = st.integers(min_value=0, max_value=5)
+
+
+@st.composite
+def evolving_graphs(draw, *, directed: bool | None = None, min_edges: int = 1,
+                    max_edges: int = 25):
+    if directed is None:
+        directed = draw(st.booleans())
+    n_edges = draw(st.integers(min_value=min_edges, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(node_labels, node_labels, time_labels).filter(lambda e: e[0] != e[1]),
+            min_size=n_edges, max_size=n_edges,
+        )
+    )
+    return AdjacencyListEvolvingGraph(edges, directed=directed)
+
+
+@st.composite
+def graphs_with_roots(draw, **kwargs):
+    graph = draw(evolving_graphs(**kwargs))
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    root = draw(st.sampled_from(active))
+    return graph, root
+
+
+ALGO_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------- #
+# equivalence with the dict oracle                                             #
+# --------------------------------------------------------------------------- #
+
+@ALGO_SETTINGS
+@given(graphs_with_roots(), st.booleans())
+def test_leaves_equal_python(graph_root, follow_citations):
+    graph, (author, time) = graph_root
+    vectorized = influence_tree_leaves(
+        graph, author, time, follow_citations=follow_citations
+    )
+    python = influence_tree_leaves(
+        graph, author, time, follow_citations=follow_citations, backend="python"
+    )
+    assert vectorized == python
+
+
+@ALGO_SETTINGS
+@given(graphs_with_roots(), st.booleans(), st.booleans())
+def test_community_equals_python(graph_root, follow_citations, include_author):
+    graph, (author, time) = graph_root
+    vectorized = community_of(
+        graph, author, time,
+        follow_citations=follow_citations, include_author=include_author,
+    )
+    python = community_of(
+        graph, author, time,
+        follow_citations=follow_citations, include_author=include_author,
+        backend="python",
+    )
+    assert vectorized == python
+
+
+@ALGO_SETTINGS
+@given(graphs_with_roots(directed=True))
+def test_directed_leaves_equal_python(graph_root):
+    """The citation-shaped (directed) case, where leaf sets are non-trivial."""
+    graph, (author, time) = graph_root
+    assert influence_tree_leaves(graph, author, time) == influence_tree_leaves(
+        graph, author, time, backend="python"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the out-degree-column readout itself                                         #
+# --------------------------------------------------------------------------- #
+
+def test_spatial_expandable_reads_out_degree_columns():
+    """Hand-built graph: column emptiness must match per-node out-degrees."""
+    graph = AdjacencyListEvolvingGraph(
+        [(0, 1, 0), (0, 2, 0), (2, 3, 1)], directed=True, timestamps=[0, 1]
+    )
+    compiled = get_compiled(graph)
+    # labels sort to [0, 1, 2, 3]; expansion follows out-edges by default
+    expandable = _spatial_expandable(compiled, follow_citations=False)
+    np.testing.assert_array_equal(
+        expandable,
+        np.array([
+            [True, False, False, False],   # t=0: only node 0 has out-edges
+            [False, False, True, False],   # t=1: only node 2 does
+        ]),
+    )
+    # follow_citations flips to in-degree rows
+    incoming = _spatial_expandable(compiled, follow_citations=True)
+    np.testing.assert_array_equal(
+        incoming,
+        np.array([
+            [False, True, True, False],    # t=0: nodes 1 and 2 are cited
+            [False, False, False, True],   # t=1: node 3 is
+        ]),
+    )
+
+
+def test_earlier_active_mask():
+    graph = AdjacencyListEvolvingGraph(
+        [(0, 1, 0), (0, 2, 1), (1, 2, 2)], directed=True, timestamps=[0, 1, 2]
+    )
+    compiled = get_compiled(graph)
+    earlier = _earlier_active(compiled)
+    # labels sort to [0, 1, 2]; active: t0={0,1}, t1={0,2}, t2={1,2}
+    np.testing.assert_array_equal(
+        earlier,
+        np.array([
+            [False, False, False],
+            [True, True, False],
+            [True, True, True],
+        ]),
+    )
+
+
+def test_leaves_on_hand_built_citation_chain():
+    """The Section-V worked example: the chain bottoms out at its original source."""
+    graph = AdjacencyListEvolvingGraph(
+        [(1, 0, 0), (2, 1, 1), (3, 0, 1), (4, 2, 2)],
+        directed=True,
+        timestamps=[0, 1, 2],
+    )
+    for backend in ("vectorized", "python"):
+        leaves = influence_tree_leaves(graph, 4, 2, backend=backend)
+        assert leaves == {(0, 0)}
+        assert community_of(graph, 4, 2, backend=backend) == {1, 2, 3}
+
+
+def test_cyclic_fallback_matches_python(cyclic_snapshot_graph):
+    """When every reached slot still expands, both backends fall back identically."""
+    vectorized = influence_tree_leaves(cyclic_snapshot_graph, 3, 1)
+    python = influence_tree_leaves(cyclic_snapshot_graph, 3, 1, backend="python")
+    assert vectorized == python
+    assert vectorized  # the fallback always yields seeds
+
+
+# --------------------------------------------------------------------------- #
+# flags and errors                                                             #
+# --------------------------------------------------------------------------- #
+
+def test_unknown_backend_rejected():
+    graph = AdjacencyListEvolvingGraph([(1, 2, "t1")])
+    with pytest.raises(GraphError):
+        influence_tree_leaves(graph, 1, "t1", backend="julia")
+    with pytest.raises(GraphError):
+        community_of(graph, 1, "t1", backend="julia")
+
+
+def test_inactive_author_raises_on_both_backends():
+    graph = AdjacencyListEvolvingGraph(
+        [(1, 2, "t1")], directed=True, timestamps=["t1", "t2"]
+    )
+    for backend in ("vectorized", "python"):
+        with pytest.raises(InactiveNodeError):
+            influence_tree_leaves(graph, 1, "t2", backend=backend)
+        with pytest.raises(InactiveNodeError):
+            community_of(graph, 1, "t2", backend=backend)
