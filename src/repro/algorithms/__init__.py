@@ -10,6 +10,8 @@
 * :mod:`~repro.algorithms.tang_distance` — Tang et al. temporal-distance baseline.
 * :mod:`~repro.algorithms.pagerank` — snapshot / evolving / aggregate PageRank.
 * :mod:`~repro.algorithms.influence` — Section V citation-network mining.
+* :mod:`~repro.algorithms.queries` — frozen query descriptors for the
+  serving layer (:mod:`repro.serving`).
 """
 
 from repro.algorithms.centrality import (
@@ -57,6 +59,18 @@ from repro.algorithms.tang_distance import (
     temporal_distance_tang,
     temporal_distances_tang_from,
     temporal_efficiency,
+)
+from repro.algorithms.queries import (
+    BFSQuery,
+    BroadcastCentralityQuery,
+    EarliestArrivalQuery,
+    FewestHopsQuery,
+    LatestDepartureQuery,
+    Query,
+    ReachabilityQuery,
+    ReceiveCentralityQuery,
+    TangDistanceQuery,
+    TopKReachQuery,
 )
 from repro.algorithms.temporal_paths import (
     earliest_arrival_time,
@@ -113,4 +127,15 @@ __all__ = [
     "influence_tree_leaves",
     "community_of",
     "top_influencers",
+    # serving-layer query descriptors
+    "Query",
+    "BFSQuery",
+    "ReachabilityQuery",
+    "EarliestArrivalQuery",
+    "LatestDepartureQuery",
+    "FewestHopsQuery",
+    "TangDistanceQuery",
+    "TopKReachQuery",
+    "BroadcastCentralityQuery",
+    "ReceiveCentralityQuery",
 ]

@@ -1,0 +1,267 @@
+"""Canonical query descriptors for the serving layer.
+
+The algorithms layer answers questions through *functions* — one call, one
+graph, one sweep.  A serving façade (:mod:`repro.serving`) instead receives
+*queries as values* from many threads, so the question itself needs a
+first-class, hashable description with two derived keys:
+
+* :meth:`Query.cache_key` — the canonical identity of the question.  Paired
+  with the graph's exact ``mutation_version`` it keys the server's result
+  cache: two queries with equal cache keys against the same version are the
+  same computation and may share one cached answer.
+* :meth:`Query.sweep_key` — the *shape* of the sweep that answers it.
+  Queries whose sweep keys match within one micro-batch are coalesced into a
+  single ``(T, N, R)`` block sweep (each query's root becomes a column);
+  e.g. a BFS, a reachability probe and an earliest-arrival readout from
+  different roots all ride one forward frontier sweep.
+
+Every descriptor mirrors the semantics of a documented function in
+:mod:`repro.algorithms` or :mod:`repro.core` (named in its docstring); the
+serving layer's contract — enforced by ``tests/test_serving.py`` — is that
+served results are bit-identical to calling that function directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+from repro.graph.base import Node, TemporalNodeTuple, Time
+
+__all__ = [
+    "BFSQuery",
+    "BroadcastCentralityQuery",
+    "EarliestArrivalQuery",
+    "FewestHopsQuery",
+    "LatestDepartureQuery",
+    "Query",
+    "ReachabilityQuery",
+    "ReceiveCentralityQuery",
+    "TangDistanceQuery",
+    "TopKReachQuery",
+    "describe",
+    "rank_top_k",
+]
+
+_DIRECTIONS = ("forward", "backward")
+
+
+def _as_temporal_node(value) -> TemporalNodeTuple:
+    try:
+        node, time = value
+    except (TypeError, ValueError):
+        raise GraphError(f"expected a (node, time) pair, got {value!r}") from None
+    return (node, time)
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class for hashable, canonical query descriptors."""
+
+    def cache_key(self) -> tuple:
+        """Canonical identity of the question (class tag + normalized fields)."""
+        raise NotImplementedError
+
+    def sweep_key(self) -> tuple:
+        """Shape of the sweep answering it; equal keys coalesce into one sweep."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BFSQuery(Query):
+    """Full single-source search; mirrors ``evolving_bfs(...).reached``.
+
+    The result is the ``{(node, time): distance}`` dictionary of
+    :func:`repro.core.bfs.evolving_bfs`; an inactive root raises
+    :class:`~repro.exceptions.InactiveNodeError`, exactly like the function.
+    ``direction="backward"`` mirrors :func:`repro.core.backward.backward_bfs`;
+    ``reverse_edges`` flips the spatial orientation only (the Section V
+    citation-mining convention).
+    """
+
+    root: TemporalNodeTuple
+    direction: str = "forward"
+    reverse_edges: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", _as_temporal_node(self.root))
+        if self.direction not in _DIRECTIONS:
+            raise GraphError(f"unsupported direction {self.direction!r}")
+
+    def cache_key(self) -> tuple:
+        return ("bfs", self.root, self.direction, self.reverse_edges)
+
+    def sweep_key(self) -> tuple:
+        return ("frontier", self.direction, self.reverse_edges)
+
+
+@dataclass(frozen=True)
+class ReachabilityQuery(Query):
+    """Distance from ``root`` to one ``target`` temporal node (``None`` if unreached).
+
+    Mirrors ``evolving_bfs(graph, root).distance(*target)``, including the
+    :class:`~repro.exceptions.InactiveNodeError` on an inactive root — but is
+    served from the same shared frontier sweep as every other forward query
+    in its micro-batch.
+    """
+
+    root: TemporalNodeTuple
+    target: TemporalNodeTuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", _as_temporal_node(self.root))
+        object.__setattr__(self, "target", _as_temporal_node(self.target))
+
+    def cache_key(self) -> tuple:
+        return ("reach", self.root, self.target)
+
+    def sweep_key(self) -> tuple:
+        return ("frontier", "forward", False)
+
+
+@dataclass(frozen=True)
+class EarliestArrivalQuery(Query):
+    """Earliest reachable timestamp per node identity; mirrors
+    :func:`repro.algorithms.temporal_paths.earliest_arrival_times` (an
+    inactive source yields ``{}``)."""
+
+    source: TemporalNodeTuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", _as_temporal_node(self.source))
+
+    def cache_key(self) -> tuple:
+        return ("earliest_arrival", self.source)
+
+    def sweep_key(self) -> tuple:
+        return ("frontier", "forward", False)
+
+
+@dataclass(frozen=True)
+class LatestDepartureQuery(Query):
+    """Latest departure timestamp per node identity; mirrors
+    :func:`repro.algorithms.temporal_paths.latest_departure_times` (an
+    inactive target yields ``{}``).  Rides the *backward* frontier sweep."""
+
+    target: TemporalNodeTuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "target", _as_temporal_node(self.target))
+
+    def cache_key(self) -> tuple:
+        return ("latest_departure", self.target)
+
+    def sweep_key(self) -> tuple:
+        return ("frontier", "backward", False)
+
+
+@dataclass(frozen=True)
+class FewestHopsQuery(Query):
+    """Minimal static-edge counts to every reachable temporal node; mirrors
+    :func:`repro.algorithms.temporal_paths.fewest_spatial_hops_from` (an
+    inactive source yields ``{}``)."""
+
+    source: TemporalNodeTuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", _as_temporal_node(self.source))
+
+    def cache_key(self) -> tuple:
+        return ("fewest_hops", self.source)
+
+    def sweep_key(self) -> tuple:
+        return ("zero_one", 1, 0)
+
+
+@dataclass(frozen=True)
+class TangDistanceQuery(Query):
+    """Tang snapshot-count distances from one source node; mirrors
+    :func:`repro.algorithms.tang_distance.temporal_distances_tang_from`."""
+
+    source_node: Node
+    start_time: Time | None = None
+    horizon: int = 1
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise GraphError(f"horizon must be at least 1, got {self.horizon!r}")
+
+    def cache_key(self) -> tuple:
+        return ("tang", self.source_node, self.start_time, self.horizon)
+
+    def sweep_key(self) -> tuple:
+        return ("tang", self.start_time, self.horizon)
+
+
+@dataclass(frozen=True)
+class TopKReachQuery(Query):
+    """Top-``k`` temporal nodes by identity reach count (whole-graph ranking).
+
+    The counts are those of
+    :func:`repro.algorithms.centrality.temporal_out_reach` (or
+    ``temporal_in_reach`` for ``direction="backward"``); the ranking is the
+    deterministic order of :func:`rank_top_k`.  One counts computation per
+    micro-batch serves every ``k`` in it.
+    """
+
+    k: int
+    direction: str = "forward"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise GraphError(f"k must be at least 1, got {self.k!r}")
+        if self.direction not in _DIRECTIONS:
+            raise GraphError(f"unsupported direction {self.direction!r}")
+
+    def cache_key(self) -> tuple:
+        return ("top_k_reach", self.k, self.direction)
+
+    def sweep_key(self) -> tuple:
+        return ("reach_counts", self.direction)
+
+
+@dataclass(frozen=True)
+class BroadcastCentralityQuery(Query):
+    """Grindrod–Higham broadcast centrality at ``alpha``; mirrors
+    :func:`repro.algorithms.dynamic_walks.broadcast_centrality`."""
+
+    alpha: float = 0.1
+
+    def cache_key(self) -> tuple:
+        return ("broadcast", float(self.alpha))
+
+    def sweep_key(self) -> tuple:
+        return ("spectral", "broadcast", float(self.alpha))
+
+
+@dataclass(frozen=True)
+class ReceiveCentralityQuery(Query):
+    """Grindrod–Higham receive centrality at ``alpha``; mirrors
+    :func:`repro.algorithms.dynamic_walks.receive_centrality`."""
+
+    alpha: float = 0.1
+
+    def cache_key(self) -> tuple:
+        return ("receive", float(self.alpha))
+
+    def sweep_key(self) -> tuple:
+        return ("spectral", "receive", float(self.alpha))
+
+
+def rank_top_k(
+    counts: dict[TemporalNodeTuple, int], k: int
+) -> tuple[tuple[TemporalNodeTuple, int], ...]:
+    """Deterministic top-``k`` ranking of a reach-count dictionary.
+
+    Sorted by descending count, ties broken by the ``repr`` of the temporal
+    node (the codebase's usual mixed-type-safe ordering), truncated to ``k``.
+    Shared by :class:`TopKReachQuery` execution and its test oracle so both
+    sides rank identically.
+    """
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))
+    return tuple(ordered[:k])
+
+
+def describe(query: Query) -> str:
+    """One-line human-readable form of a query (server logs and reports)."""
+    return f"{type(query).__name__}{query.cache_key()[1:]}"

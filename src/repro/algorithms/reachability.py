@@ -33,10 +33,12 @@ __all__ = [
 ]
 
 
-def forward_influence_set(graph: BaseEvolvingGraph,
-                          root: TemporalNodeTuple,
-                          *,
-                          backend: str = "vectorized") -> set[TemporalNodeTuple]:
+def forward_influence_set(
+    graph: BaseEvolvingGraph,
+    root: TemporalNodeTuple,
+    *,
+    backend: str = "vectorized",
+) -> set[TemporalNodeTuple]:
     """``T(root)``: every temporal node reachable from ``root`` (excluding the root itself).
 
     Returns the empty set for inactive roots (their temporal paths are empty).
@@ -48,10 +50,12 @@ def forward_influence_set(graph: BaseEvolvingGraph,
     return {tn for tn in reached if tn != root}
 
 
-def backward_influence_set(graph: BaseEvolvingGraph,
-                           root: TemporalNodeTuple,
-                           *,
-                           backend: str = "vectorized") -> set[TemporalNodeTuple]:
+def backward_influence_set(
+    graph: BaseEvolvingGraph,
+    root: TemporalNodeTuple,
+    *,
+    backend: str = "vectorized",
+) -> set[TemporalNodeTuple]:
     """``T⁻¹(root)``: every temporal node that can reach ``root`` (excluding the root itself)."""
     root = tuple(root)
     if not graph.is_active(*root):
@@ -60,22 +64,29 @@ def backward_influence_set(graph: BaseEvolvingGraph,
     return {tn for tn in reached if tn != root}
 
 
-def influence_node_identities(graph: BaseEvolvingGraph,
-                              root: TemporalNodeTuple,
-                              *,
-                              backward: bool = False,
-                              backend: str = "vectorized") -> set[Hashable]:
+def influence_node_identities(
+    graph: BaseEvolvingGraph,
+    root: TemporalNodeTuple,
+    *,
+    backward: bool = False,
+    backend: str = "vectorized",
+) -> set[Hashable]:
     """Node identities influenced by (or influencing, when ``backward``) the root."""
     root = tuple(root)
-    temporal = backward_influence_set(graph, root, backend=backend) if backward \
+    temporal = (
+        backward_influence_set(graph, root, backend=backend)
+        if backward
         else forward_influence_set(graph, root, backend=backend)
+    )
     return {v for v, _ in temporal if v != root[0]}
 
 
-def influenced_by(graph: BaseEvolvingGraph,
-                  roots: Iterable[TemporalNodeTuple],
-                  *,
-                  backend: str = "vectorized") -> set[TemporalNodeTuple]:
+def influenced_by(
+    graph: BaseEvolvingGraph,
+    roots: Iterable[TemporalNodeTuple],
+    *,
+    backend: str = "vectorized",
+) -> set[TemporalNodeTuple]:
     """Union of forward influence over several roots, computed in one multi-source BFS."""
     root_list = [tuple(r) for r in roots]
     active = [r for r in root_list if graph.is_active(*r)]
@@ -86,11 +97,13 @@ def influenced_by(graph: BaseEvolvingGraph,
     return {tn for tn in reached if tn not in active_set}
 
 
-def earliest_influence_time(graph: BaseEvolvingGraph,
-                            root: TemporalNodeTuple,
-                            node: Hashable,
-                            *,
-                            backend: str = "vectorized"):
+def earliest_influence_time(
+    graph: BaseEvolvingGraph,
+    root: TemporalNodeTuple,
+    node: Hashable,
+    *,
+    backend: str = "vectorized",
+):
     """The earliest timestamp at which ``node`` is influenced by ``root``, or ``None``.
 
     "Influenced" means some temporal path from ``root`` ends at ``(node, t)``;
@@ -104,11 +117,12 @@ def earliest_influence_time(graph: BaseEvolvingGraph,
     return min(times) if times else None
 
 
-def influence_sizes(graph: BaseEvolvingGraph,
-                    roots: Iterable[TemporalNodeTuple] | None = None,
-                    *,
-                    backend: str = "vectorized"
-                    ) -> dict[TemporalNodeTuple, int]:
+def influence_sizes(
+    graph: BaseEvolvingGraph,
+    roots: Iterable[TemporalNodeTuple] | None = None,
+    *,
+    backend: str = "vectorized",
+) -> dict[TemporalNodeTuple, int]:
     """Number of *node identities* influenced by each root (a simple influence ranking).
 
     When ``roots`` is omitted, every active temporal node is used.  The
@@ -132,12 +146,10 @@ def influence_sizes(graph: BaseEvolvingGraph,
             if result is None:  # inactive root: empty influence
                 out[root] = 0
             else:
-                out[root] = len(
-                    {v for v, _ in result.reached if v != root[0]})
+                out[root] = len({v for v, _ in result.reached if v != root[0]})
         return out
 
     out = {}
     for root in root_list:
-        out[root] = len(
-            influence_node_identities(graph, root, backend=backend))
+        out[root] = len(influence_node_identities(graph, root, backend=backend))
     return out

@@ -16,8 +16,12 @@ import numpy as np
 from repro.core.expansion import build_static_expansion
 from repro.graph.base import BaseEvolvingGraph, Time
 
-__all__ = ["EvolvingGraphStats", "compute_stats", "per_snapshot_edge_counts",
-           "causal_to_static_ratio"]
+__all__ = [
+    "EvolvingGraphStats",
+    "compute_stats",
+    "per_snapshot_edge_counts",
+    "causal_to_static_ratio",
+]
 
 
 @dataclass
@@ -74,7 +78,9 @@ def compute_stats(graph: BaseEvolvingGraph) -> EvolvingGraphStats:
     active_per_snapshot = {t: len(graph.active_nodes_at(t)) for t in graph.timestamps}
     active_times_counts = [len(graph.active_times(v)) for v in nodes]
     out_degrees = np.array(
-        [expansion.graph.out_degree(tn) for tn in expansion.node_order], dtype=np.int64)
+        [expansion.graph.out_degree(tn) for tn in expansion.node_order],
+        dtype=np.int64,
+    )
     return EvolvingGraphStats(
         num_timestamps=graph.num_timestamps,
         num_node_identities=len(nodes),
@@ -84,8 +90,11 @@ def compute_stats(graph: BaseEvolvingGraph) -> EvolvingGraphStats:
         num_expanded_edges=expansion.num_edges,
         static_edges_per_snapshot=per_snapshot_edge_counts(graph),
         active_nodes_per_snapshot=active_per_snapshot,
-        mean_out_degree_expansion=float(out_degrees.mean()) if out_degrees.size else 0.0,
+        mean_out_degree_expansion=(
+            float(out_degrees.mean()) if out_degrees.size else 0.0
+        ),
         max_out_degree_expansion=int(out_degrees.max()) if out_degrees.size else 0,
-        mean_active_times_per_node=float(np.mean(active_times_counts))
-        if active_times_counts else 0.0,
+        mean_active_times_per_node=(
+            float(np.mean(active_times_counts)) if active_times_counts else 0.0
+        ),
     )

@@ -30,10 +30,16 @@ snapshots; the kernels are rebuilt over the patched artifact, which costs a
 few object constructions.  :func:`invalidate_kernel` remains for callers
 that want to drop a cached artifact eagerly (e.g. to free memory, or to
 force the next compile from scratch).
+
+The cache is thread-safe: lookups on a current entry are lock-free, while
+entry creation and delta recompilation are double-checked under a module
+lock so concurrent first-touch (the :class:`repro.serving.QueryServer`
+reader threads) compiles each ``(graph, mutation_version)`` exactly once.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 from repro.engine.frontier import FrontierKernel
@@ -60,6 +66,18 @@ _CACHE: "weakref.WeakKeyDictionary[BaseEvolvingGraph, tuple]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Serializes cache-entry creation and delta recompilation.  Concurrent
+#: first-touch from :class:`repro.serving.QueryServer` reader threads used to
+#: race ``_entry``: two threads could each compile the graph (duplicate
+#: kernels, wasted work) or one could patch a stale entry while another was
+#: mid-read of its quadruple.  Reads stay lock-free (the version-checked
+#: lookup below only dereferences an immutable tuple, which is safe under
+#: concurrent replacement); entry construction is double-checked under this
+#: lock, so exactly one thread compiles per ``(graph, mutation_version)``.
+#: The lock is global rather than per-graph — compile misses are rare and the
+#: hit path never takes it, so cross-graph contention is negligible.
+_CACHE_LOCK = threading.RLock()
+
 
 def resolve_backend(backend: str) -> str:
     """Validate a ``backend`` flag value, returning it unchanged."""
@@ -83,18 +101,37 @@ def _entry(
         cached = None
     if cached is not None and cached[0] == version:
         return cached[1], cached[2], cached[3], cached[4]
-    # delta-aware refresh: patch the stale artifact in place of a full
-    # rebuild, reusing every snapshot whose version stamp did not move
-    previous = cached[1] if cached is not None else None
-    compiled = CompiledTemporalGraph.recompile(graph, previous)
-    kernel = FrontierKernel(compiled)
-    label_kernel = LabelKernel(compiled, frontier=kernel)
-    spectral_kernel = SpectralKernel(compiled)
-    try:
-        _CACHE[graph] = (version, compiled, kernel, label_kernel, spectral_kernel)
-    except TypeError:  # unhashable or non-weakrefable graph object
-        pass
-    return compiled, kernel, label_kernel, spectral_kernel
+    with _CACHE_LOCK:
+        # double-check: another thread may have compiled while we waited
+        version = graph.mutation_version
+        try:
+            cached = _CACHE.get(graph)
+        except TypeError:
+            cached = None
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2], cached[3], cached[4]
+        # delta-aware refresh: patch the stale artifact in place of a full
+        # rebuild, reusing every snapshot whose version stamp did not move
+        previous = cached[1] if cached is not None else None
+        compiled = CompiledTemporalGraph.recompile(graph, previous)
+        kernel = FrontierKernel(compiled)
+        label_kernel = LabelKernel(compiled, frontier=kernel)
+        spectral_kernel = SpectralKernel(compiled)
+        if graph.mutation_version == version:
+            # only publish an entry whose stamp still matches the graph; a
+            # writer that mutated mid-compile forces the next reader to
+            # recompile rather than ever caching a stale artifact
+            try:
+                _CACHE[graph] = (
+                    version,
+                    compiled,
+                    kernel,
+                    label_kernel,
+                    spectral_kernel,
+                )
+            except TypeError:  # unhashable or non-weakrefable graph object
+                pass
+        return compiled, kernel, label_kernel, spectral_kernel
 
 
 def get_compiled(graph: BaseEvolvingGraph) -> CompiledTemporalGraph:
@@ -133,7 +170,8 @@ def get_spectral_kernel(graph: BaseEvolvingGraph) -> SpectralKernel:
 
 def invalidate_kernel(graph: BaseEvolvingGraph) -> None:
     """Drop the cached artifact for ``graph`` (to rebuild or free it eagerly)."""
-    try:
-        _CACHE.pop(graph, None)
-    except TypeError:
-        pass
+    with _CACHE_LOCK:
+        try:
+            _CACHE.pop(graph, None)
+        except TypeError:
+            pass

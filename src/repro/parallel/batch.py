@@ -46,7 +46,7 @@ from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
 from repro.graph.compiled import CompiledTemporalGraph
 
-__all__ = ["batch_bfs", "map_over_roots"]
+__all__ = ["batch_bfs", "fan_out_chunks", "map_over_roots"]
 
 _WORKER_KERNEL = None
 
@@ -66,6 +66,35 @@ def _worker_batch(
     results = _WORKER_KERNEL.batch(chunk, chunk_size=len(chunk))
     # ship plain reached dictionaries back; BFSResult is rebuilt in the parent
     return {root: result.reached for root, result in results.items()}
+
+
+def fan_out_chunks(
+    fn: Callable[[list], object],
+    items: Sequence,
+    *,
+    chunk_size: int,
+    num_workers: int = 1,
+) -> list[object]:
+    """Apply ``fn`` to ``items`` split into ``chunk_size`` chunks, in order.
+
+    The shared chunking/fan-out primitive of the batch layer: with
+    ``num_workers > 1`` the chunks are spread over a thread pool (the SpMM
+    inner loops overlap wherever SciPy releases the GIL), otherwise they run
+    inline.  Used by :func:`batch_bfs`'s vectorized backend and by the
+    serving layer's coalesced group execution
+    (:mod:`repro.serving.coalesce`), so both fan work out identically.
+    Returns one result per chunk, in chunk order.
+    """
+    if chunk_size < 1:
+        raise GraphError("chunk_size must be at least 1")
+    chunks = [
+        list(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+    if num_workers <= 1 or len(chunks) <= 1:
+        return [fn(chunk) for chunk in chunks]
+    with ThreadPoolExecutor(max_workers=num_workers) as pool:
+        return list(pool.map(fn, chunks))
 
 
 def map_over_roots(
@@ -149,22 +178,16 @@ def batch_bfs(
             from repro.engine import get_kernel
 
             kernel = get_kernel(graph)
-        if num_workers is None or num_workers <= 1 or len(active_roots) <= chunk_size:
-            return kernel.batch(active_roots, chunk_size=chunk_size)
         # fan the chunks out over threads; every worker shares the same
         # compiled artifact, so nothing is recompiled per worker or per call
-        chunks = [
-            active_roots[start : start + chunk_size]
-            for start in range(0, len(active_roots), chunk_size)
-        ]
         results = {}
-        with ThreadPoolExecutor(max_workers=num_workers) as pool:
-            futures = [
-                pool.submit(kernel.batch, chunk, chunk_size=chunk_size)
-                for chunk in chunks
-            ]
-            for future in futures:
-                results.update(future.result())
+        for part in fan_out_chunks(
+            lambda chunk: kernel.batch(chunk, chunk_size=chunk_size),
+            active_roots,
+            chunk_size=chunk_size,
+            num_workers=num_workers or 1,
+        ):
+            results.update(part)
         return results
 
     results: dict[TemporalNodeTuple, BFSResult] = {}

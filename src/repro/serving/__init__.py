@@ -1,0 +1,21 @@
+"""Concurrent query serving over the compiled-kernel engine.
+
+The layer above :mod:`repro.engine` on the road to the "millions of users"
+north star: :class:`QueryServer` accepts query descriptors
+(:mod:`repro.algorithms.queries`) from many threads, dedupes and caches them
+against the graph's exact ``mutation_version``, coalesces same-shape queries
+into shared ``(T, N, R)`` block sweeps, and admits streamed mutations
+between micro-batches through the delta-recompile path.
+
+>>> from repro.serving import QueryServer
+>>> from repro.algorithms.queries import BFSQuery, EarliestArrivalQuery
+>>> with QueryServer(graph) as server:                        # doctest: +SKIP
+...     fut = server.submit(BFSQuery(root=("a", 0)))
+...     ea = server.query(EarliestArrivalQuery(source=("a", 0)))
+...     server.mutate([("a", "b", 1)]).result()
+"""
+
+from repro.serving.coalesce import GroupOutcome, execute_group
+from repro.serving.server import QueryServer, ServingStats
+
+__all__ = ["GroupOutcome", "QueryServer", "ServingStats", "execute_group"]

@@ -1,0 +1,410 @@
+"""The thread-safe query server: micro-batching, coalescing and result caching.
+
+:class:`QueryServer` turns the engine — a fast *library* of batched kernels —
+into a fast *system*: many client threads submit
+:class:`~repro.algorithms.queries.Query` descriptors concurrently, and the
+server answers them with far less kernel work than one sweep per query:
+
+1. **result cache** — a bounded LRU keyed on ``(mutation_version,
+   cache_key)``.  ``mutation_version`` is exact (any in-place edit bumps
+   it), so a hit is always safe to serve without touching a kernel; repeated
+   and Zipf-skewed traffic is mostly absorbed here.
+2. **in-flight dedup** — identical queries submitted while one of them is
+   still being computed attach to the same pending computation.
+3. **micro-batch coalescing** — queries that arrived within one batching
+   window and share a :meth:`~repro.algorithms.queries.Query.sweep_key` are
+   executed as *one* ``(T, N, R)`` block sweep (roots become columns of the
+   CSR × dense-block products; see :mod:`repro.serving.coalesce`), and the
+   per-query answers are scattered back to their futures.
+4. **single-writer mutations** — :meth:`mutate` enqueues an edge batch that
+   the dispatcher applies *between* micro-batches: the graph is edited, the
+   compiled artifact is refreshed through the PR-4 delta path
+   (:meth:`~repro.graph.compiled.CompiledTemporalGraph.recompile` — only
+   touched snapshots rebuild), and every cache entry whose version no longer
+   matches is invalidated.  Queries therefore always execute against a
+   consistent ``(graph, artifact)`` pair.
+
+Freshness contract: a query is answered at *some* mutation version at least
+as new as the one current when it was submitted (the usual serving model);
+:meth:`join` quiesces the server when a caller needs a fixed version.
+Results may be shared between callers (cache hits hand out the same object)
+— treat them as read-only.
+
+Thread-safety: ``submit``/``query``/``mutate`` may be called from any number
+of threads.  All kernel execution happens on the dispatcher thread (plus its
+optional chunk fan-out pool), and the engine's dispatch cache is itself
+lock-safe since this PR, so readers can also keep calling the plain
+``repro.algorithms`` functions on the same graph between mutations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Sequence
+
+from repro.algorithms.queries import Query
+from repro.exceptions import GraphError
+from repro.graph.base import BaseEvolvingGraph, TemporalEdgeTuple
+from repro.serving.coalesce import execute_group
+
+__all__ = ["QueryServer", "ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Op-stats of one :class:`QueryServer` (the serving analogue of
+    :class:`~repro.linalg.csr.OperationCounter`).
+
+    ``sweeps``/``sweep_columns`` are what the coalescing tests assert on: a
+    micro-batch of ``R`` same-shape queries must execute as one sweep of
+    ``R`` columns, not ``R`` sweeps.  ``coalesced_queries`` counts queries
+    that shared their sweep with at least one other query or rode an
+    in-flight duplicate.
+    """
+
+    submitted: int = 0
+    served: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    inflight_joins: int = 0
+    micro_batches: int = 0
+    sweeps: int = 0
+    sweep_columns: int = 0
+    coalesced_queries: int = 0
+    mutations: int = 0
+    edges_streamed: int = 0
+    entries_invalidated: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy (reports and assertions)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class _VersionedLRU:
+    """Bounded LRU of ``(mutation_version, cache_key) -> result``.
+
+    Not itself locked — the server serializes access under its own lock.
+    ``get`` double-checks the version so a stale entry is never served even
+    if pruning were to lag a mutation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise GraphError(f"cache capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, version: int, key: tuple):
+        full_key = (version, key)
+        if full_key not in self._entries:
+            return None, False
+        self._entries.move_to_end(full_key)
+        return self._entries[full_key], True
+
+    def put(self, version: int, key: tuple, value) -> None:
+        full_key = (version, key)
+        self._entries[full_key] = value
+        self._entries.move_to_end(full_key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def prune_stale(self, version: int) -> int:
+        """Drop every entry whose version no longer matches; returns the count."""
+        stale = [k for k in self._entries if k[0] != version]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+
+class QueryServer:
+    """Concurrent query-serving façade over one evolving graph.
+
+    Parameters
+    ----------
+    graph:
+        The evolving graph to serve.  The server becomes the graph's single
+        writer: mutate it only through :meth:`mutate` while serving.
+    window_s:
+        Micro-batch gathering window.  After the first query of a batch
+        arrives the dispatcher waits up to this long for more queries to
+        coalesce with it (a mutation or a full batch cuts the wait short).
+    max_batch:
+        Upper bound on queries drained into one micro-batch.
+    cache_entries:
+        LRU capacity of the version-keyed result cache.
+    chunk_size:
+        Maximum roots per ``(T, N, R)`` sweep chunk (the engine's usual
+        column-block width).
+    num_workers:
+        When > 1, a coalesced group whose roots span several chunks fans the
+        chunks over this many threads
+        (:func:`repro.parallel.batch.fan_out_chunks`).
+    """
+
+    def __init__(
+        self,
+        graph: BaseEvolvingGraph,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 1024,
+        cache_entries: int = 1024,
+        chunk_size: int = 128,
+        num_workers: int = 1,
+    ) -> None:
+        if window_s < 0:
+            raise GraphError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise GraphError(f"max_batch must be at least 1, got {max_batch}")
+        if chunk_size < 1:
+            raise GraphError(f"chunk_size must be at least 1, got {chunk_size}")
+        self._graph = graph
+        self._window = float(window_s)
+        self._max_batch = int(max_batch)
+        self._chunk_size = int(chunk_size)
+        self._num_workers = max(1, int(num_workers))
+        self.stats = ServingStats()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._cache = _VersionedLRU(cache_entries)
+        self._pending: list[tuple[Query, Future]] = []
+        self._inflight: dict[tuple, list[Future]] = {}
+        self._mutations: list[tuple[list[TemporalEdgeTuple], Future]] = []
+        self._executing = False
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._serve_loop, name="repro-query-server", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # client API                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> BaseEvolvingGraph:
+        """The served graph (mutate only through :meth:`mutate`)."""
+        return self._graph
+
+    @property
+    def cache_size(self) -> int:
+        """Current number of cached results (bounded by ``cache_entries``)."""
+        with self._lock:
+            return len(self._cache)
+
+    def submit(self, query: Query) -> Future:
+        """Enqueue one query; the returned future resolves to its result.
+
+        Cache hits resolve immediately; in-flight duplicates attach to the
+        pending computation; everything else joins the next micro-batch.
+        """
+        if not isinstance(query, Query):
+            raise GraphError(
+                f"submit expects a Query descriptor, got {type(query).__name__}"
+            )
+        key = query.cache_key()
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise GraphError("QueryServer is closed")
+            self.stats.submitted += 1
+            value, hit = self._cache.get(self._graph.mutation_version, key)
+            if hit:
+                self.stats.cache_hits += 1
+                self.stats.served += 1
+            else:
+                waiters = self._inflight.get(key)
+                if waiters is not None:
+                    waiters.append(future)
+                    self.stats.inflight_joins += 1
+                    self.stats.coalesced_queries += 1
+                    return future
+                self.stats.cache_misses += 1
+                self._inflight[key] = []
+                self._pending.append((query, future))
+                self._wake.notify()
+                return future
+        future.set_result(value)
+        return future
+
+    def query(self, query: Query, *, timeout: float | None = 30.0):
+        """Submit and wait: the blocking convenience form of :meth:`submit`."""
+        return self.submit(query).result(timeout=timeout)
+
+    def query_many(
+        self, queries: Iterable[Query], *, timeout: float | None = 60.0
+    ) -> list:
+        """Submit a burst of queries and gather their results in order."""
+        futures = [self.submit(q) for q in queries]
+        return [f.result(timeout=timeout) for f in futures]
+
+    def mutate(self, edges: Sequence[TemporalEdgeTuple]) -> Future:
+        """Enqueue an edge batch for the single writer.
+
+        Applied between micro-batches: ``graph.add_edges_from(edges)``, a
+        delta recompile of the shared artifact, and invalidation of every
+        version-mismatched cache entry.  The future resolves to the graph's
+        new ``mutation_version``.
+        """
+        batch = [tuple(e) for e in edges]
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise GraphError("QueryServer is closed")
+            self._mutations.append((batch, future))
+            self._wake.notify()
+        return future
+
+    def join(self, *, timeout: float | None = 60.0) -> None:
+        """Block until every enqueued query and mutation has been served."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._pending or self._mutations or self._executing:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("QueryServer.join timed out")
+                self._idle.wait(remaining)
+
+    def close(self, *, timeout: float | None = 60.0) -> None:
+        """Serve everything already enqueued, then stop the dispatcher."""
+        with self._lock:
+            self._closed = True
+            self._wake.notify_all()
+        self._dispatcher.join(timeout=timeout)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not (self._pending or self._mutations or self._closed):
+                    self._wake.wait()
+                if self._closed and not self._pending and not self._mutations:
+                    return
+                # micro-batch window: let a burst accumulate before sweeping
+                # (mutations and full batches cut the wait short)
+                if self._window > 0 and self._pending and not self._mutations:
+                    deadline = time.monotonic() + self._window
+                    while (
+                        len(self._pending) < self._max_batch
+                        and not self._mutations
+                        and not self._closed
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._wake.wait(remaining)
+                mutations, self._mutations = self._mutations, []
+                tickets = self._pending[: self._max_batch]
+                del self._pending[: len(tickets)]
+                self._executing = True
+            try:
+                for batch, future in mutations:
+                    self._apply_mutation(batch, future)
+                if tickets:
+                    self._execute_micro_batch(tickets)
+            finally:
+                with self._lock:
+                    self._executing = False
+                    self._idle.notify_all()
+
+    def _apply_mutation(self, batch: list[TemporalEdgeTuple], future: Future) -> None:
+        """Single-writer admission of one streamed edge batch."""
+        from repro.engine import get_compiled
+
+        try:
+            self._graph.add_edges_from(batch)
+            # refresh the artifact now through the delta path, so the next
+            # micro-batch pays nothing; snapshots the batch did not touch
+            # are shared with the previous artifact
+            get_compiled(self._graph)
+            version = self._graph.mutation_version
+        except Exception as exc:
+            future.set_exception(exc)
+            return
+        with self._lock:
+            self.stats.mutations += 1
+            self.stats.edges_streamed += len(batch)
+            self.stats.entries_invalidated += self._cache.prune_stale(version)
+        future.set_result(version)
+
+    def _execute_micro_batch(self, tickets: list[tuple[Query, Future]]) -> None:
+        version = self._graph.mutation_version
+        # dedupe on canonical identity, then group by sweep shape
+        unique: "OrderedDict[tuple, Query]" = OrderedDict()
+        holders: dict[tuple, list[Future]] = {}
+        for query, future in tickets:
+            key = query.cache_key()
+            unique.setdefault(key, query)
+            holders.setdefault(key, []).append(future)
+        groups: "OrderedDict[tuple, list[tuple[tuple, Query]]]" = OrderedDict()
+        for key, query in unique.items():
+            groups.setdefault(query.sweep_key(), []).append((key, query))
+
+        with self._lock:
+            self.stats.micro_batches += 1
+
+        for sweep_key, members in groups.items():
+            keys = [key for key, _ in members]
+            queries = [query for _, query in members]
+            try:
+                outcome = execute_group(
+                    self._graph,
+                    sweep_key,
+                    queries,
+                    chunk_size=self._chunk_size,
+                    num_workers=self._num_workers,
+                )
+                results, errors = outcome.results, outcome.errors
+            except Exception as exc:  # whole-group failure
+                outcome = None
+                results = [None] * len(queries)
+                errors = [exc] * len(queries)
+
+            # a query is "coalesced" when its sweep was shared with at least
+            # one other distinct query (in-flight joins are counted at submit)
+            shared = len(queries) > 1
+            with self._lock:
+                if outcome is not None:
+                    self.stats.sweeps += outcome.sweeps
+                    self.stats.sweep_columns += outcome.columns
+                waiters = {key: self._inflight.pop(key, []) for key in keys}
+                for key, result, error in zip(keys, results, errors):
+                    count = len(holders[key]) + len(waiters[key])
+                    if error is None:
+                        self._cache.put(version, key, result)
+                        self.stats.served += count
+                    else:
+                        self.stats.failed += count
+                    if shared:
+                        self.stats.coalesced_queries += 1
+
+            for key, result, error in zip(keys, results, errors, strict=True):
+                for future in holders[key] + waiters[key]:
+                    if error is None:
+                        future.set_result(result)
+                    else:
+                        future.set_exception(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QueryServer graph_version={self._graph.mutation_version} "
+            f"cache={len(self._cache)}/{self._cache.capacity} "
+            f"served={self.stats.served}>"
+        )

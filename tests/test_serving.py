@@ -1,0 +1,441 @@
+"""The serving layer: equivalence, coalescing, caching, and concurrency.
+
+Four contracts, per ISSUE 6:
+
+* **equivalence** — every served result is bit-identical to calling the
+  documented direct function on the same graph, for every query family,
+  including across interleaved mutation batches (hypothesis-driven);
+* **coalescing** — a micro-batch of same-shape queries executes as *one*
+  ``(T, N, R)`` sweep, asserted both on the server's op-stats and on the
+  frontier kernel's flop counter;
+* **caching** — the LRU respects its bound, entries are invalidated exactly
+  when ``mutation_version`` moves (and *only* then), and repeats are served
+  without kernel work;
+* **concurrency** — many reader threads and a mutating writer make progress
+  together without deadlock, corruption, or stale answers after quiescing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dynamic_walks import broadcast_centrality, receive_centrality
+from repro.algorithms.queries import (
+    BFSQuery,
+    BroadcastCentralityQuery,
+    EarliestArrivalQuery,
+    FewestHopsQuery,
+    LatestDepartureQuery,
+    ReachabilityQuery,
+    ReceiveCentralityQuery,
+    TangDistanceQuery,
+    TopKReachQuery,
+    describe,
+    rank_top_k,
+)
+from repro.algorithms.tang_distance import temporal_distances_tang_from
+from repro.algorithms.temporal_paths import (
+    earliest_arrival_times,
+    fewest_spatial_hops_from,
+    latest_departure_times,
+)
+from repro.core.bfs import evolving_bfs
+from repro.engine import get_compiled, get_kernel
+from repro.engine.frontier import FrontierKernel
+from repro.exceptions import GraphError, InactiveNodeError
+from repro.generators import random_evolving_graph
+from repro.graph import AdjacencyListEvolvingGraph
+from repro.linalg import OperationCounter
+from repro.serving import QueryServer
+
+# --------------------------------------------------------------------------- #
+# strategies                                                                   #
+# --------------------------------------------------------------------------- #
+
+node_labels = st.integers(min_value=0, max_value=9)
+time_labels = st.integers(min_value=0, max_value=4)
+
+edge_strategy = st.tuples(node_labels, node_labels, time_labels).filter(
+    lambda e: e[0] != e[1]
+)
+
+
+@st.composite
+def served_graphs(draw):
+    """A small evolving graph plus interleaved mutation batches."""
+    edges = draw(st.lists(edge_strategy, min_size=3, max_size=20))
+    directed = draw(st.booleans())
+    graph = AdjacencyListEvolvingGraph(edges, directed=directed)
+    if not graph.active_temporal_nodes():
+        graph.add_edge(0, 1, 0)
+    batches = draw(
+        st.lists(
+            st.lists(edge_strategy, min_size=1, max_size=5), min_size=0, max_size=2
+        )
+    )
+    return graph, batches
+
+
+def _direct_answers(graph, queries):
+    """The direct-function oracle for a query list, on the graph as-is."""
+    answers = []
+    for query in queries:
+        if isinstance(query, BFSQuery):
+            answers.append(evolving_bfs(graph, query.root, backend="vectorized").reached)
+        elif isinstance(query, ReachabilityQuery):
+            result = evolving_bfs(graph, query.root, backend="vectorized")
+            answers.append(result.distance(*query.target))
+        elif isinstance(query, EarliestArrivalQuery):
+            answers.append(earliest_arrival_times(graph, query.source))
+        elif isinstance(query, LatestDepartureQuery):
+            answers.append(latest_departure_times(graph, query.target))
+        elif isinstance(query, FewestHopsQuery):
+            answers.append(fewest_spatial_hops_from(graph, query.source))
+        elif isinstance(query, TangDistanceQuery):
+            answers.append(
+                temporal_distances_tang_from(
+                    graph,
+                    query.source_node,
+                    start_time=query.start_time,
+                    horizon=query.horizon,
+                )
+            )
+        elif isinstance(query, TopKReachQuery):
+            roots = graph.active_temporal_nodes()
+            counts = (
+                get_kernel(graph).identity_reach_counts(
+                    roots, direction=query.direction
+                )
+                if roots
+                else {}
+            )
+            answers.append(rank_top_k(counts, query.k))
+        elif isinstance(query, BroadcastCentralityQuery):
+            answers.append(broadcast_centrality(graph, query.alpha))
+        elif isinstance(query, ReceiveCentralityQuery):
+            answers.append(receive_centrality(graph, query.alpha))
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"no oracle for {type(query).__name__}")
+    return answers
+
+
+def _query_mix(graph):
+    """One query of every family over the graph's first few active roots."""
+    active = graph.active_temporal_nodes()
+    roots = active[:3]
+    queries = []
+    for root in roots:
+        queries.append(BFSQuery(root=root))
+        queries.append(EarliestArrivalQuery(source=root))
+        queries.append(LatestDepartureQuery(target=root))
+        queries.append(FewestHopsQuery(source=root))
+        queries.append(ReachabilityQuery(root=root, target=active[-1]))
+        queries.append(TangDistanceQuery(source_node=root[0]))
+    queries.append(TopKReachQuery(k=3))
+    queries.append(BroadcastCentralityQuery(alpha=0.01))
+    queries.append(ReceiveCentralityQuery(alpha=0.01))
+    return queries
+
+
+# --------------------------------------------------------------------------- #
+# equivalence (hypothesis)                                                     #
+# --------------------------------------------------------------------------- #
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(served_graphs())
+def test_served_results_bit_identical_across_mutations(case):
+    """Every family's served result equals its direct call, at every version."""
+    graph, batches = case
+    with QueryServer(graph, window_s=0.005) as server:
+        for phase in range(len(batches) + 1):
+            queries = _query_mix(graph)
+            served = server.query_many(queries)
+            direct = _direct_answers(graph, queries)
+            for query, got, want in zip(queries, served, direct):
+                assert got == want, describe(query)
+            # repeats are pure cache hits and still identical
+            again = server.query_many(queries)
+            assert again == served
+            if phase < len(batches):
+                version = server.mutate(batches[phase]).result(timeout=30)
+                assert version == graph.mutation_version
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(served_graphs())
+def test_serving_stats_account_every_query(case):
+    graph, _ = case
+    queries = _query_mix(graph)
+    with QueryServer(graph, window_s=0.005) as server:
+        server.query_many(queries)
+        server.join()
+        stats = server.stats.snapshot()
+    assert stats["submitted"] == len(queries)
+    assert stats["served"] + stats["failed"] == len(queries)
+    assert stats["cache_hits"] + stats["cache_misses"] + stats["inflight_joins"] == len(
+        queries
+    )
+
+
+def test_inactive_roots_mirror_direct_semantics():
+    """BFS/reachability raise; the readout families answer with empty dicts."""
+    graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], directed=True)
+    inactive = (99, 0)
+    with QueryServer(graph, window_s=0.0) as server:
+        with pytest.raises(InactiveNodeError):
+            server.query(BFSQuery(root=inactive))
+        with pytest.raises(InactiveNodeError):
+            server.query(ReachabilityQuery(root=inactive, target=(1, 0)))
+        assert server.query(EarliestArrivalQuery(source=inactive)) == {}
+        assert server.query(LatestDepartureQuery(target=inactive)) == {}
+        assert server.query(FewestHopsQuery(source=inactive)) == {}
+        # Tang: an unknown source still informs itself (the function's answer)
+        assert server.query(TangDistanceQuery(source_node=99)) == {99: 0}
+        assert server.query(TangDistanceQuery(source_node=0, start_time=77)) == {}
+
+
+def test_descriptor_validation():
+    with pytest.raises(GraphError):
+        BFSQuery(root=(0, 0), direction="sideways")
+    with pytest.raises(GraphError):
+        TopKReachQuery(k=0)
+    with pytest.raises(GraphError):
+        TangDistanceQuery(source_node=0, horizon=0)
+    with pytest.raises(GraphError):
+        BFSQuery(root=7)  # not a (node, time) pair
+    assert describe(BFSQuery(root=(0, 0))).startswith("BFSQuery")
+
+
+# --------------------------------------------------------------------------- #
+# coalescing                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def test_micro_batch_coalesces_into_one_sweep():
+    """K same-shape queries in one window: one sweep, K columns — and the
+    flop counter matches a single batched kernel run, not K single runs."""
+    graph = random_evolving_graph(60, 6, 300, seed=11)
+    roots = graph.active_temporal_nodes()[:8]
+    get_compiled(graph)  # warm the artifact so the window isn't spent compiling
+
+    served_counter = OperationCounter()
+    get_kernel(graph).counter = served_counter
+    try:
+        with QueryServer(graph, window_s=0.5, max_batch=64) as server:
+            futures = [server.submit(BFSQuery(root=r)) for r in roots]
+            results = [f.result(timeout=30) for f in futures]
+            stats = server.stats.snapshot()
+    finally:
+        get_kernel(graph).counter = None
+
+    assert stats["micro_batches"] == 1
+    assert stats["sweeps"] == 1
+    assert stats["sweep_columns"] == len(roots)
+    assert stats["coalesced_queries"] == len(roots)
+
+    # flop-identical to one batched (T, N, R) sweep over the same roots
+    batched_counter = OperationCounter()
+    reference = FrontierKernel(get_compiled(graph), counter=batched_counter)
+    for _ in reference.distance_blocks(roots, chunk_size=128):
+        pass
+    assert served_counter.multiply_adds == batched_counter.multiply_adds
+    assert served_counter.column_checks == batched_counter.column_checks
+
+    for root, result in zip(roots, results):
+        assert result == evolving_bfs(graph, root, backend="vectorized").reached
+
+
+def test_cross_family_queries_share_the_forward_sweep():
+    """BFS + earliest-arrival + reachability from one root: one column, one sweep."""
+    graph = random_evolving_graph(40, 5, 150, seed=3)
+    root = graph.active_temporal_nodes()[0]
+    target = graph.active_temporal_nodes()[-1]
+    get_compiled(graph)
+    with QueryServer(graph, window_s=0.5) as server:
+        futures = [
+            server.submit(BFSQuery(root=root)),
+            server.submit(EarliestArrivalQuery(source=root)),
+            server.submit(ReachabilityQuery(root=root, target=target)),
+        ]
+        [f.result(timeout=30) for f in futures]
+        stats = server.stats.snapshot()
+    assert stats["sweeps"] == 1
+    assert stats["sweep_columns"] == 1  # all three decoded one shared column
+    assert stats["coalesced_queries"] == 3
+
+
+def test_identical_inflight_queries_join_one_computation():
+    graph = random_evolving_graph(40, 5, 150, seed=5)
+    root = graph.active_temporal_nodes()[0]
+    get_compiled(graph)
+    with QueryServer(graph, window_s=0.5) as server:
+        futures = [server.submit(BFSQuery(root=root)) for _ in range(5)]
+        results = [f.result(timeout=30) for f in futures]
+        stats = server.stats.snapshot()
+    assert stats["cache_misses"] == 1
+    assert stats["inflight_joins"] == 4
+    assert stats["sweep_columns"] == 1
+    assert all(r == results[0] for r in results)
+
+
+# --------------------------------------------------------------------------- #
+# cache behaviour                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def test_lru_bound_respected():
+    graph = random_evolving_graph(40, 5, 150, seed=9)
+    roots = graph.active_temporal_nodes()[:10]
+    with QueryServer(graph, window_s=0.0, cache_entries=4) as server:
+        for root in roots:
+            server.query(BFSQuery(root=root))
+        assert server.cache_size <= 4
+        # the most recent entry is resident; an evicted one is recomputed
+        server.query(BFSQuery(root=roots[-1]))
+        stats = server.stats.snapshot()
+        assert stats["cache_hits"] >= 1
+        server.query(BFSQuery(root=roots[0]))
+        assert server.stats.snapshot()["cache_misses"] >= len(roots) + 1
+
+
+def test_invalidation_exactly_on_version_move():
+    graph = random_evolving_graph(30, 4, 100, seed=13)
+    root = graph.active_temporal_nodes()[0]
+    times = list(graph.timestamps)
+    existing = next(iter(graph.temporal_edges_unordered()))
+    with QueryServer(graph, window_s=0.0) as server:
+        first = server.query(BFSQuery(root=root))
+        assert server.query(BFSQuery(root=root)) == first
+        assert server.stats.cache_hits == 1
+
+        # a no-op batch (duplicate edge) does NOT move mutation_version:
+        # nothing may be invalidated and the cache keeps hitting
+        version = graph.mutation_version
+        assert server.mutate([existing]).result(timeout=30) == version
+        assert server.stats.entries_invalidated == 0
+        server.query(BFSQuery(root=root))
+        assert server.stats.cache_hits == 2
+
+        # a real insertion moves the version: the entry is invalidated and
+        # the recomputed answer reflects the new graph
+        fresh = (root[0], -1, times[0])  # -1 is outside the generator's universe
+        new_version = server.mutate([fresh]).result(timeout=30)
+        assert new_version > version
+        assert server.stats.entries_invalidated >= 1
+        recomputed = server.query(BFSQuery(root=root))
+        assert recomputed == evolving_bfs(graph, root, backend="vectorized").reached
+        assert server.stats.cache_misses >= 2
+
+
+def test_mutation_future_resolves_to_new_version_and_uses_delta_path():
+    graph = random_evolving_graph(50, 6, 200, seed=17)
+    root = graph.active_temporal_nodes()[0]
+    times = list(graph.timestamps)
+    with QueryServer(graph, window_s=0.0) as server:
+        server.query(BFSQuery(root=root))
+        batch = [(root[0], -2, times[1]), (-2, -3, times[2])]
+        version = server.mutate(batch).result(timeout=30)
+        assert version == graph.mutation_version
+        stats = get_compiled(graph).delta_stats
+        # the artifact was refreshed by the writer, not rebuilt per query
+        assert stats is None or stats["rebuilt"] <= len(times)
+        assert server.query(BFSQuery(root=root)) == evolving_bfs(
+            graph, root, backend="vectorized"
+        ).reached
+
+
+# --------------------------------------------------------------------------- #
+# concurrency                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def _client(server, queries, out, idx):
+    try:
+        out[idx] = server.query_many(queries, timeout=120.0)
+    except Exception as exc:  # pragma: no cover - surfaced by the assert below
+        out[idx] = exc
+
+
+def test_concurrent_readers_and_writer_stress():
+    """8 reader threads + interleaved mutation batches: no deadlock, no
+    corruption, and post-quiesce answers equal the direct functions."""
+    graph = random_evolving_graph(60, 6, 250, seed=23)
+    roots = graph.active_temporal_nodes()[:12]
+    times = list(graph.timestamps)
+    batches = [
+        [(roots[i % len(roots)][0], 1000 + 3 * i + j, times[i % len(times)])
+         for j in range(3)]
+        for i in range(4)
+    ]
+    with QueryServer(graph, window_s=0.002, num_workers=2) as server:
+        per_thread = [
+            [BFSQuery(root=roots[(i + j) % len(roots)]) for j in range(15)]
+            + [EarliestArrivalQuery(source=roots[i % len(roots)])]
+            for i in range(8)
+        ]
+        out = [None] * 8
+        threads = [
+            threading.Thread(target=_client, args=(server, per_thread[i], out, i))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        mutation_futures = [server.mutate(batch) for batch in batches]
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive(), "reader thread deadlocked"
+        for future in mutation_futures:
+            future.result(timeout=30)
+        for result in out:
+            assert not isinstance(result, Exception), result
+            assert all(isinstance(r, dict) for r in result)
+        server.join()
+        # quiesced: every answer now equals the direct call on the final graph
+        for root in roots:
+            assert server.query(BFSQuery(root=root)) == evolving_bfs(
+                graph, root, backend="vectorized"
+            ).reached
+        assert server.stats.mutations == len(batches)
+
+
+def test_server_close_and_reject_after_close():
+    graph = random_evolving_graph(20, 4, 60, seed=29)
+    root = graph.active_temporal_nodes()[0]
+    server = QueryServer(graph, window_s=0.0)
+    future = server.submit(BFSQuery(root=root))
+    server.close()
+    assert future.result(timeout=5) == evolving_bfs(
+        graph, root, backend="vectorized"
+    ).reached
+    with pytest.raises(GraphError):
+        server.submit(BFSQuery(root=root))
+    with pytest.raises(GraphError):
+        server.mutate([(0, 1, graph.timestamps[0])])
+
+
+def test_server_parameter_validation():
+    graph = random_evolving_graph(10, 3, 20, seed=31)
+    with pytest.raises(GraphError):
+        QueryServer(graph, window_s=-1.0)
+    with pytest.raises(GraphError):
+        QueryServer(graph, max_batch=0)
+    with pytest.raises(GraphError):
+        QueryServer(graph, cache_entries=0)
+    with pytest.raises(GraphError):
+        QueryServer(graph, chunk_size=0)
+    with QueryServer(graph) as server:
+        with pytest.raises(GraphError):
+            server.submit("not a query")
