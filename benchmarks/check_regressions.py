@@ -20,6 +20,13 @@ benchmarks have regenerated the reports in quick mode.  Run locally with::
 
 A missing report or workload fails the gate too: a benchmark that silently
 stopped producing numbers is exactly the rot this exists to catch.
+
+Besides the pass/fail verdict, the gate writes a consolidated
+``BENCH_summary.json`` next to the reports — one schema-stable object
+mapping every baselined ``<report>/<workload>`` to its largest-size
+speedup, baseline, floor and status — which CI uploads as an artifact so a
+whole run's perf picture is one download instead of a report-by-report
+crawl.
 """
 
 from __future__ import annotations
@@ -70,6 +77,27 @@ def check(baselines_path: Path, reports_dir: Path) -> int:
         extra = sorted(set(measured_workloads) - set(workloads))
         if extra:
             print(f"note: {report_name} has unbaselined workloads: {', '.join(extra)}")
+
+    summary = {
+        "schema_version": 1,
+        "floor_fraction": floor_fraction,
+        "workloads": {
+            f"{report_name}/{workload}": {
+                "speedup": measured,
+                "baseline": baseline,
+                "floor": floor,
+                "status": status,
+            }
+            for report_name, workload, baseline, floor, measured, status in rows
+        },
+        "failures": failures,
+    }
+    reports_dir.mkdir(parents=True, exist_ok=True)
+    summary_path = reports_dir / "BENCH_summary.json"
+    summary_path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {summary_path}")
 
     name_width = max((len(f"{r}/{w}") for r, w, *_ in rows), default=20)
     print(f"{'workload':<{name_width}} {'baseline':>9} {'floor':>7} "

@@ -71,6 +71,11 @@ class IncrementalBFS:
         ``"vectorized"`` (default) maintains the distances on the frontier
         engine over the delta-recompiled artifact; ``"python"`` is the
         dictionary-walking reference implementation.
+    sweep_mode:
+        Engine sweep implementation for the vectorized backend (``"fused"`` /
+        ``"classic"``; ``None`` follows the process-wide default), applied to
+        both the initial search and every decrease-only re-sweep.  Distances
+        are bit-identical across modes; the python backend ignores it.
 
     Examples
     --------
@@ -88,13 +93,17 @@ class IncrementalBFS:
         root: TemporalNodeTuple,
         *,
         backend: str = "vectorized",
+        sweep_mode: str | None = None,
     ) -> None:
         if not isinstance(graph, AdjacencyListEvolvingGraph):
             raise GraphError(
                 "IncrementalBFS requires the mutable adjacency-list representation"
             )
-        from repro.engine import resolve_backend
+        from repro.engine import resolve_backend, resolve_sweep_mode
 
+        if sweep_mode is not None:
+            resolve_sweep_mode(sweep_mode)  # validate eagerly, resolve per sweep
+        self._sweep_mode = sweep_mode
         self._backend = resolve_backend(backend)
         self._graph = graph
         self._root: TemporalNodeTuple = (root[0], root[1])
@@ -252,7 +261,9 @@ class IncrementalBFS:
 
         kernel = get_kernel(self._graph)
         self._axes = kernel.compiled
-        self._dist = np.ascontiguousarray(kernel.distance_block(self._root))
+        self._dist = np.ascontiguousarray(
+            kernel.distance_block(self._root, sweep_mode=self._sweep_mode)
+        )
         self._decoded = None
 
     def _decode(self) -> dict[TemporalNodeTuple, int]:
@@ -423,6 +434,7 @@ class IncrementalBFS:
                         candidate[improvable].tolist(),
                     )
                 ),
+                sweep_mode=self._sweep_mode,
             )
 
     # ------------------------------------------------------------------ #

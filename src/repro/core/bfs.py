@@ -99,7 +99,9 @@ class BFSResult:
         if target not in self.reached:
             return None
         if not self.parents:
-            raise ValueError("parent pointers were not tracked; rerun with track_parents=True")
+            raise ValueError(
+                "parent pointers were not tracked; rerun with track_parents=True"
+            )
         chain = [target]
         while self.parents[chain[-1]] != chain[-1]:
             chain.append(self.parents[chain[-1]])
@@ -116,8 +118,10 @@ def evolving_bfs(
     *,
     track_parents: bool = False,
     track_frontiers: bool = False,
-    neighbor_fn: Callable[[Hashable, Hashable], Iterable[TemporalNodeTuple]] | None = None,
+    neighbor_fn: Callable[[Hashable, Hashable], Iterable[TemporalNodeTuple]]
+    | None = None,
     backend: str = "vectorized",
+    sweep_mode: str | None = None,
 ) -> BFSResult:
     """Breadth-first search over an evolving graph from ``root`` (Algorithm 1).
 
@@ -140,6 +144,11 @@ def evolving_bfs(
         ``"vectorized"`` (default) runs on the sparse frontier engine;
         ``"python"`` runs the original reference implementation.  Tracking
         options and ``neighbor_fn`` always use the Python path.
+    sweep_mode:
+        Engine sweep implementation for the vectorized backend (``"fused"``
+        bit-packed sweeps or the ``"classic"`` oracle loops; ``None`` follows
+        the process-wide default).  Results are bit-identical across modes;
+        the python backend ignores it.
 
     Returns
     -------
@@ -159,11 +168,13 @@ def evolving_bfs(
         and not track_frontiers
         and graph.num_timestamps > 0
     ):
-        return get_kernel(graph).bfs(root)
+        return get_kernel(graph).bfs(root, sweep_mode=sweep_mode)
     expand = neighbor_fn if neighbor_fn is not None else graph.forward_neighbors
 
     reached: dict[TemporalNodeTuple, int] = {root: 0}
-    parents: dict[TemporalNodeTuple, TemporalNodeTuple] = {root: root} if track_parents else {}
+    parents: dict[TemporalNodeTuple, TemporalNodeTuple] = (
+        {root: root} if track_parents else {}
+    )
     frontiers: list[list[TemporalNodeTuple]] = [[root]] if track_frontiers else []
 
     frontier: list[TemporalNodeTuple] = [root]
@@ -195,8 +206,10 @@ def multi_source_bfs(
     roots: Iterable[TemporalNodeTuple],
     *,
     track_parents: bool = False,
-    neighbor_fn: Callable[[Hashable, Hashable], Iterable[TemporalNodeTuple]] | None = None,
+    neighbor_fn: Callable[[Hashable, Hashable], Iterable[TemporalNodeTuple]]
+    | None = None,
     backend: str = "vectorized",
+    sweep_mode: str | None = None,
 ) -> BFSResult:
     """BFS from several roots at once: distance to the *nearest* root.
 
@@ -205,7 +218,8 @@ def multi_source_bfs(
     Inactive roots are skipped (their temporal paths are empty); if every root
     is inactive, an :class:`InactiveNodeError` is raised.  With
     ``backend="vectorized"`` (default) all roots seed one engine frontier, so
-    the whole search costs a single traversal.
+    the whole search costs a single traversal; ``sweep_mode`` picks the
+    engine's fused or classic sweep implementation as in :func:`evolving_bfs`.
     """
     from repro.engine import get_kernel, resolve_backend
 
@@ -225,11 +239,12 @@ def multi_source_bfs(
         and not track_parents
         and graph.num_timestamps > 0
     ):
-        return get_kernel(graph).multi_source(active_roots)
+        return get_kernel(graph).multi_source(active_roots, sweep_mode=sweep_mode)
 
     reached: dict[TemporalNodeTuple, int] = {r: 0 for r in active_roots}
     parents: dict[TemporalNodeTuple, TemporalNodeTuple] = (
-        {r: r for r in active_roots} if track_parents else {})
+        {r: r for r in active_roots} if track_parents else {}
+    )
     frontier: list[TemporalNodeTuple] = list(active_roots)
     k = 1
     while frontier:

@@ -35,8 +35,26 @@
   :mod:`repro.core`, :mod:`repro.algorithms` and :mod:`repro.parallel`.
 * :func:`~repro.engine.dispatch.resolve_backend` — validation of the
   ``backend`` flag shared by every search entry point.
+* :mod:`~repro.engine.bitops` — the bit-packed fused sweep core behind the
+  ``sweep_mode`` flag: ``"fused"`` (default) keeps frontier/visited state
+  packed in ``uint64`` words, fuses each snapshot's spatial advance with the
+  causal carry into one pass over the operator stack, and
+  direction-optimizes push vs pull vs dense per snapshot per round from
+  packed popcounts; ``"classic"`` is the original byte-per-cell loop, kept
+  as the in-repo oracle.  :func:`~repro.engine.bitops.set_sweep_mode` /
+  :func:`~repro.engine.bitops.use_sweep_mode` switch the process-wide
+  default; every kernel entry point also takes a per-call ``sweep_mode``
+  override.  Results are bit-identical across modes.
 """
 
+from repro.engine import bitops
+from repro.engine.bitops import (
+    SWEEP_MODES,
+    get_sweep_mode,
+    resolve_sweep_mode,
+    set_sweep_mode,
+    use_sweep_mode,
+)
 from repro.engine.dispatch import (
     BACKENDS,
     get_compiled,
@@ -52,14 +70,20 @@ from repro.engine.spectral import SpectralKernel, SpectralOpStats
 
 __all__ = [
     "BACKENDS",
+    "SWEEP_MODES",
     "FrontierKernel",
     "LabelKernel",
     "SpectralKernel",
     "SpectralOpStats",
+    "bitops",
     "get_compiled",
     "get_kernel",
     "get_label_kernel",
     "get_spectral_kernel",
+    "get_sweep_mode",
     "invalidate_kernel",
     "resolve_backend",
+    "resolve_sweep_mode",
+    "set_sweep_mode",
+    "use_sweep_mode",
 ]

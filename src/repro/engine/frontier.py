@@ -40,11 +40,34 @@ whose *documented* behaviour is that insertion order (``track_frontiers``,
 ``neighbor_fn`` overrides, ``evolving_bfs(track_parents=True)``) still run
 the Python reference path — see :func:`repro.core.bfs.evolving_bfs`.
 
+Since PR 7 every sweep runs in one of two modes (``sweep_mode``, default
+``"fused"``; see :mod:`repro.engine.bitops`):
+
+* ``"classic"`` — the original byte-per-cell loops above, kept verbatim as
+  the in-repo oracle the equivalence suites compare against;
+* ``"fused"`` — frontier/visited state stays bit-packed in ``uint64`` words
+  across rounds (:func:`~repro.engine.bitops.pack_bits`), each round makes
+  a *single* ascending-time pass that fuses the per-snapshot spatial
+  advance with the masked causal carry
+  (:func:`~repro.engine.bitops.fused_update`), and every spatial advance
+  direction-optimizes between push, pull and the dense product from packed
+  popcounts (:func:`~repro.engine.bitops.advance_blocked`).  Distances are
+  written straight from the packed nonzero coordinates, so results are
+  bit-identical to classic — the hypothesis suites assert this for every
+  kernel family.  ``track_parents`` searches always run classic (their
+  discovery-order bookkeeping is inherently slot-at-a-time).
+
 Cost model: with a :class:`~repro.linalg.csr.OperationCounter` attached, the
 kernel accounts ``2 · nnz(A[t]) · R`` multiply-adds per spatial product
 (one gaxpy per column, matching :meth:`CSRMatrix.matmat
 <repro.linalg.csr.CSRMatrix.matmat>`) and ``T · N · R`` column checks per
 causal step, which is the Theorem 5/6 accounting of the blocked algorithm.
+Fused sweeps charge the actually-gathered sparse work to ``multiply_adds``
+(push: ``2 · Σ out-degree`` over frontier cells; pull: ``2 · nnz`` of the
+candidate rows per column; dense: the classic number) and their packed
+bookkeeping to ``word_ops`` — one unit per 64-bit word operation — so a
+fused sweep's total is strictly below its classic twin on any multi-snapshot
+graph.
 """
 
 from __future__ import annotations
@@ -54,6 +77,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.core.bfs import BFSResult
+from repro.engine import bitops
 from repro.exceptions import ConvergenceError, GraphError, InactiveNodeError
 from repro.graph.base import BaseEvolvingGraph, Node, TemporalNodeTuple, Time
 from repro.graph.compiled import CompiledTemporalGraph
@@ -116,6 +140,11 @@ class FrontierKernel:
         # (dst row, src column) coordinate expansions for parent attribution,
         # built lazily once per operator stack (the artifact is immutable)
         self._parent_coords: dict[bool, list[tuple[np.ndarray, np.ndarray]]] = {}
+        # fused-sweep caches, also lazy and immutable: the packed (T, W)
+        # activeness words and the per-snapshot operator column counts (the
+        # push cost model), keyed by operator orientation
+        self._active_words: np.ndarray | None = None
+        self._operator_degrees_cache: dict[bool, list[np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # structure                                                           #
@@ -161,6 +190,7 @@ class FrontierKernel:
         direction: str = "forward",
         reverse_edges: bool = False,
         track_parents: bool = False,
+        sweep_mode: str | None = None,
     ) -> BFSResult:
         """Single-source search from ``root``; equals Algorithm 1 on ``reached``.
 
@@ -173,7 +203,9 @@ class FrontierKernel:
         discovering ``(t, v)`` slot of one shortest-path tree: distances are
         identical to the Python reference, but the tree may pick a different
         (equally shortest) parent than the dict implementation's discovery
-        order.
+        order.  ``sweep_mode`` picks the fused or classic engine loop
+        (``None``: the process-wide default); results are identical
+        (``track_parents`` searches always run classic).
         """
         root = (root[0], root[1])
         seed = self._seed_index(root)
@@ -186,7 +218,9 @@ class FrontierKernel:
                 reached=self._reached_dict(dist, 0),
                 parents=self._parents_dict(dist, parent_t, parent_v, 0),
             )
-        dist = self._run([[seed]], direction, reverse_edges=reverse_edges)
+        dist = self._run(
+            [[seed]], direction, reverse_edges=reverse_edges, sweep_mode=sweep_mode
+        )
         return BFSResult(root=root, reached=self._reached_dict(dist, 0))
 
     def multi_source(
@@ -194,6 +228,7 @@ class FrontierKernel:
         roots: Iterable[TemporalNodeTuple],
         *,
         direction: str = "forward",
+        sweep_mode: str | None = None,
     ) -> BFSResult:
         """One search seeded at several roots: distance to the *nearest* root.
 
@@ -208,7 +243,7 @@ class FrontierKernel:
                 raise InactiveNodeError(*root_list[0])
             raise ValueError("multi_source requires at least one root")
         seeds = [self._seed_index(r) for r in active_roots]
-        dist = self._run([seeds], direction)
+        dist = self._run([seeds], direction, sweep_mode=sweep_mode)
         return BFSResult(root=tuple(active_roots), reached=self._reached_dict(dist, 0))
 
     def batch(
@@ -217,6 +252,7 @@ class FrontierKernel:
         *,
         direction: str = "forward",
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[TemporalNodeTuple, BFSResult]:
         """Many *independent* single-source searches, amortized over one traversal.
 
@@ -232,7 +268,10 @@ class FrontierKernel:
         active_roots = [r for r in root_list if self.is_active(*r)]
         results: dict[TemporalNodeTuple, BFSResult] = {}
         for chunk, dist in self._chunked_distances(
-            active_roots, direction=direction, chunk_size=chunk_size
+            active_roots,
+            direction=direction,
+            chunk_size=chunk_size,
+            sweep_mode=sweep_mode,
         ):
             for col, root in enumerate(chunk):
                 results[root] = BFSResult(
@@ -244,7 +283,9 @@ class FrontierKernel:
     # incremental maintenance (the streaming layer)                       #
     # ------------------------------------------------------------------ #
 
-    def distance_block(self, root: TemporalNodeTuple) -> np.ndarray:
+    def distance_block(
+        self, root: TemporalNodeTuple, *, sweep_mode: str | None = None
+    ) -> np.ndarray:
         """Single-source distances as a raw ``(T, N)`` int32 block.
 
         ``-1`` marks unreachable slots.  This is the array form of
@@ -253,12 +294,14 @@ class FrontierKernel:
         dictionaries only on demand).
         """
         seed = self._seed_index((root[0], root[1]))
-        return self._run([[seed]], "forward")[:, :, 0]
+        return self._run([[seed]], "forward", sweep_mode=sweep_mode)[:, :, 0]
 
     def decrease_only_resweep(
         self,
         dist: np.ndarray,
         seeds: Sequence[tuple[int, int, int]],
+        *,
+        sweep_mode: str | None = None,
     ) -> int:
         """Masked decrease-only relaxation from dirty slots, in place.
 
@@ -294,6 +337,18 @@ class FrontierKernel:
                 improved[ti, vi] = True
         if not improved.any():
             return 0
+        if bitops.resolve_sweep_mode(sweep_mode) == "fused":
+            changed = self._resweep_fused(work, improved, active)
+        else:
+            changed = self._resweep_classic(work, improved, active)
+        dist[:] = np.where(work >= _UNREACHED, -1, work)
+        return changed
+
+    def _resweep_classic(
+        self, work: np.ndarray, improved: np.ndarray, active: np.ndarray
+    ) -> int:
+        """The byte-per-cell re-sweep rounds (the fused path's oracle)."""
+        t_count, n = active.shape
         mats = self.compiled.forward_operators
         counter = self.counter
         changed = 0
@@ -302,12 +357,15 @@ class FrontierKernel:
             frontier = improved & (work == level)
             changed += int(frontier.sum())
             improved &= ~frontier
-            # spatial step over the touched snapshots only
+            # spatial step: one cast for the whole round and one SpMV per
+            # *touched* snapshot, instead of scanning all T rows and paying
+            # a per-row astype inside the Python loop
             reach = np.zeros((t_count, n), dtype=bool)
-            for ti in range(t_count):
-                row = frontier[ti]
-                if row.any():
-                    reach[ti] = (mats[ti] @ row.astype(np.int32)) > 0
+            touched = np.flatnonzero(frontier.any(axis=1))
+            if touched.size:
+                rows = frontier[touched].astype(np.int32)
+                for pos, ti in enumerate(touched.tolist()):
+                    reach[ti] = (mats[ti] @ rows[pos]) > 0
                     if counter is not None:
                         counter.multiply_adds += 2 * int(mats[ti].nnz)
             # causal step: cumulative OR along time, masked by activeness
@@ -320,7 +378,56 @@ class FrontierKernel:
             if better.any():
                 work[better] = level + 1
                 improved |= better
-        dist[:] = np.where(work >= _UNREACHED, -1, work)
+        return changed
+
+    def _resweep_fused(
+        self, work: np.ndarray, improved: np.ndarray, active: np.ndarray
+    ) -> int:
+        """Packed re-sweep rounds: push-or-dense advances plus a word carry.
+
+        Re-sweep frontiers are the dirty region of a mutation batch —
+        usually a few slots — so the push direction dominates; the causal
+        step is a running ``(1, W)`` word carry folded into each snapshot's
+        reach, replacing the classic full ``(T, N)`` accumulate.  Pull is
+        not attempted here: the undiscovered set of a re-sweep ("slots whose
+        distance can still improve") is not tracked packed, and the dirty
+        regions are too small for pull to win.
+        """
+        t_count, n = active.shape
+        w = bitops.words_for(n)
+        mats = self.compiled.forward_operators
+        degrees = self._operator_degrees(True)
+        active_words = self._packed_active()
+        counter = self.counter
+        changed = 0
+        while improved.any():
+            level = int(work[improved].min())
+            frontier = improved & (work == level)
+            changed += int(frontier.sum())
+            improved &= ~frontier
+            frontier_words = bitops.pack_bits(frontier)[:, None, :]
+            carry = np.zeros((1, w), dtype=np.uint64)
+            for ti in range(t_count):
+                f_t = frontier_words[ti]
+                reach_words = carry & active_words[ti]
+                if f_t.any():
+                    reach_words |= bitops.advance_blocked(
+                        mats[ti],
+                        f_t,
+                        n,
+                        out_degrees=degrees[ti],
+                        counter=counter,
+                    ) & active_words[ti]
+                    carry |= f_t
+                if counter is not None:
+                    counter.word_ops += 4 * w
+                if not reach_words.any():
+                    continue
+                reach_row = bitops.unpack_bits(reach_words[0], n)
+                better = reach_row & active[ti] & (work[ti] > level + 1)
+                if better.any():
+                    work[ti][better] = level + 1
+                    improved[ti] |= better
         return changed
 
     # ------------------------------------------------------------------ #
@@ -334,6 +441,7 @@ class FrontierKernel:
         direction: str = "forward",
         reverse_edges: bool = False,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[TemporalNodeTuple, int]:
         """Per root: how many *other* node identities its search reaches.
 
@@ -350,6 +458,7 @@ class FrontierKernel:
             direction=direction,
             reverse_edges=reverse_edges,
             chunk_size=chunk_size,
+            sweep_mode=sweep_mode,
         ):
             identity_reached = (dist >= 0).any(axis=0)  # (N, R)
             counts = identity_reached.sum(axis=0)
@@ -364,6 +473,7 @@ class FrontierKernel:
         *,
         direction: str = "forward",
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[TemporalNodeTuple, float]:
         """Per root: ``sum(1/d)`` over reached temporal nodes at distance > 0.
 
@@ -373,7 +483,7 @@ class FrontierKernel:
         """
         out: dict[TemporalNodeTuple, float] = {}
         for chunk, dist in self._chunked_distances(
-            roots, direction=direction, chunk_size=chunk_size
+            roots, direction=direction, chunk_size=chunk_size, sweep_mode=sweep_mode
         ):
             inverse = np.where(dist > 0, 1.0 / np.maximum(dist, 1), 0.0)
             sums = inverse.sum(axis=(0, 1))
@@ -468,6 +578,7 @@ class FrontierKernel:
         direction: str = "forward",
         reverse_edges: bool = False,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
         """Run independent searches ``chunk_size`` roots at a time (public form).
 
@@ -484,6 +595,7 @@ class FrontierKernel:
             direction=direction,
             reverse_edges=reverse_edges,
             chunk_size=chunk_size,
+            sweep_mode=sweep_mode,
         )
 
     def _chunked_distances(
@@ -493,6 +605,7 @@ class FrontierKernel:
         direction: str = "forward",
         reverse_edges: bool = False,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
         """Run independent searches ``chunk_size`` roots at a time.
 
@@ -506,8 +619,130 @@ class FrontierKernel:
                 [[self._seed_index(r)] for r in chunk],
                 direction,
                 reverse_edges=reverse_edges,
+                sweep_mode=sweep_mode,
             )
             yield chunk, dist
+
+    def _packed_active(self) -> np.ndarray:
+        """The packed ``(T, W)`` activeness words, built once per kernel."""
+        if self._active_words is None:
+            self._active_words = bitops.pack_bits(self.compiled.active_mask)
+        return self._active_words
+
+    def _operator_degrees(self, use_forward_ops: bool) -> list[np.ndarray]:
+        """Per-snapshot operator column counts (the push-direction cost model).
+
+        Column ``u`` of operator ``t`` has one stored entry per edge leaving
+        ``u``, so these are the out-degrees a push advance gathers; built
+        lazily once per orientation (the artifact is immutable).
+        """
+        degrees = self._operator_degrees_cache.get(use_forward_ops)
+        if degrees is None:
+            mats = (
+                self.compiled.forward_operators
+                if use_forward_ops
+                else self.compiled.backward_operators
+            )
+            n = self.compiled.num_nodes
+            degrees = [np.bincount(m.indices, minlength=n) for m in mats]
+            self._operator_degrees_cache[use_forward_ops] = degrees
+        return degrees
+
+    def _run_fused(
+        self,
+        seeds_per_column: list[list[tuple[int, int]]],
+        direction: str,
+        *,
+        reverse_edges: bool = False,
+    ) -> np.ndarray:
+        """The bit-packed twin of :meth:`_run`: identical distances, one pass.
+
+        Frontier and visited state stay packed ``(T, R, W)`` uint64 across
+        rounds; each level walks the operator stack once in time order,
+        fusing the direction-optimized spatial advance with the causal carry
+        and every mask (:func:`repro.engine.bitops.fused_update`), and
+        unpacks only the newly discovered coordinates to write distances.
+        """
+        forward = direction == "forward"
+        active_mask = self.compiled.active_mask
+        t_count, n = active_mask.shape
+        r = len(seeds_per_column)
+        w = bitops.words_for(n)
+        # distances accumulate in frontier-major (T, R, N) order so each
+        # level's write is one vectorized blend over a contiguous block; the
+        # caller-facing (T, N, R) layout is a transposed view of the result
+        dist = np.full((t_count, r, n), -1, dtype=np.int32)
+        frontier = np.zeros((t_count, r, w), dtype=np.uint64)
+        for col, seeds in enumerate(seeds_per_column):
+            for ti, vi in seeds:
+                frontier[ti, col, vi >> 6] |= np.uint64(1 << (vi & 63))
+                dist[ti, col, vi] = 0
+        visited = frontier.copy()
+        use_forward_ops = forward != reverse_edges
+        mats = (
+            self.compiled.forward_operators
+            if use_forward_ops
+            else self.compiled.backward_operators
+        )
+        degrees = self._operator_degrees(use_forward_ops)
+        active_words = self._packed_active()
+        counter = self.counter
+        # the causal carry runs with time for forward searches and against
+        # it for backward ones, so one ordered pass replaces the classic
+        # full-block accumulate-shift-mask sequence
+        order = list(range(t_count)) if forward else list(range(t_count - 1, -1, -1))
+        scratch = np.zeros_like(frontier)
+        level = 0
+        alive = bool(frontier.any())
+        while alive:
+            level += 1
+            alive = False
+            carry = np.zeros((r, w), dtype=np.uint64)
+            for ti in order:
+                f_t = frontier[ti]
+                new_t = scratch[ti]
+                f_any = bool(f_t.any())
+                if not f_any and not carry.any():
+                    new_t[:] = 0
+                    continue
+                remaining = active_words[ti] & ~visited[ti]
+                if counter is not None:
+                    counter.word_ops += 2 * new_t.size  # saturation probe
+                if not remaining.any():
+                    # every active node is already visited in every column, so
+                    # no bit can come out of the masked update: drop the whole
+                    # spatial product.  The classic oracle has no such exit —
+                    # it pays the full block product every level.
+                    new_t[:] = 0
+                    if f_any:
+                        carry |= f_t
+                    continue
+                if f_any and mats[ti].nnz:
+                    spatial = bitops.advance_blocked(
+                        mats[ti],
+                        f_t,
+                        n,
+                        out_degrees=degrees[ti],
+                        active_row=active_words[ti],
+                        visited_words=visited[ti],
+                        counter=counter,
+                    )
+                else:
+                    spatial = np.zeros((r, w), dtype=np.uint64)
+                bitops.fused_update(
+                    spatial, carry, active_words[ti], visited[ti], f_t, new_t
+                )
+                if counter is not None:
+                    counter.word_ops += bitops.FUSED_UPDATE_WORD_OPS * new_t.size
+                if new_t.any():
+                    alive = True
+                    # every new bit still holds the -1 sentinel (bits enter
+                    # visited exactly once), so the level write is a single
+                    # vectorized blend instead of a per-bit scatter
+                    mask = bitops.unpack_bits(new_t, n)
+                    dist[ti] += np.multiply(mask, level + 1, dtype=np.int32)
+            frontier, scratch = scratch, frontier
+        return dist.transpose(0, 2, 1)
 
     def _run(
         self,
@@ -516,18 +751,28 @@ class FrontierKernel:
         *,
         reverse_edges: bool = False,
         track_parents: bool = False,
+        sweep_mode: str | None = None,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Level-synchronous expansion of ``R`` seed sets; ``(T, N, R)`` distances.
 
-        With ``track_parents=True`` the return value is the triple
-        ``(dist, parent_t, parent_v)``: for every reached slot, the
-        ``(parent_t, parent_v)`` arrays hold the slot that discovered it (one
-        valid shortest-path-tree parent; seeds point at themselves).  Slots
-        discovered spatially record the in-snapshot source node, slots
-        discovered causally record the same node at the discovering time.
+        ``sweep_mode`` selects the packed fused path or the classic
+        byte-per-cell loop (``None``: the process-wide default, normally
+        ``"fused"``); both produce bit-identical distances.  With
+        ``track_parents=True`` the sweep always runs classic and the return
+        value is the triple ``(dist, parent_t, parent_v)``: for every
+        reached slot, the ``(parent_t, parent_v)`` arrays hold the slot that
+        discovered it (one valid shortest-path-tree parent; seeds point at
+        themselves).  Slots discovered spatially record the in-snapshot
+        source node, slots discovered causally record the same node at the
+        discovering time.
         """
         if direction not in _DIRECTIONS:
             raise GraphError(f"unsupported direction {direction!r}")
+        mode = bitops.resolve_sweep_mode(sweep_mode)
+        if mode == "fused" and not track_parents:
+            return self._run_fused(
+                seeds_per_column, direction, reverse_edges=reverse_edges
+            )
         forward = direction == "forward"
         active_mask = self.compiled.active_mask
         t_count, n = active_mask.shape

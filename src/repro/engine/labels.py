@@ -40,6 +40,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.engine import bitops
 from repro.engine.frontier import FrontierKernel
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph, Node, TemporalNodeTuple, Time
@@ -99,6 +100,7 @@ class LabelKernel:
         roots: Iterable[TemporalNodeTuple],
         *,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[TemporalNodeTuple, dict[Node, Time]]:
         """Per root: the earliest reachable time stamp of *every* node identity.
 
@@ -108,7 +110,7 @@ class LabelKernel:
         """
         out: dict[TemporalNodeTuple, dict[Node, Time]] = {}
         for chunk, dist in self.frontier._chunked_distances(
-            roots, direction="forward", chunk_size=chunk_size
+            roots, direction="forward", chunk_size=chunk_size, sweep_mode=sweep_mode
         ):
             reached = dist >= 0  # (T, N, R)
             hit = reached.any(axis=0)
@@ -125,6 +127,7 @@ class LabelKernel:
         targets: Iterable[TemporalNodeTuple],
         *,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[TemporalNodeTuple, dict[Node, Time]]:
         """Per target: the latest time stamp from which every node can still reach it.
 
@@ -135,7 +138,7 @@ class LabelKernel:
         t_count = self.compiled.num_snapshots
         out: dict[TemporalNodeTuple, dict[Node, Time]] = {}
         for chunk, dist in self.frontier._chunked_distances(
-            targets, direction="backward", chunk_size=chunk_size
+            targets, direction="backward", chunk_size=chunk_size, sweep_mode=sweep_mode
         ):
             reached = dist >= 0
             hit = reached.any(axis=0)
@@ -158,6 +161,7 @@ class LabelKernel:
         spatial_cost: int = 1,
         causal_cost: int = 0,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
         """(min, +) labels with per-edge-family costs drawn from ``{0, 1}``.
 
@@ -174,11 +178,13 @@ class LabelKernel:
         for cost, name in cost_flags:
             if cost not in (0, 1):
                 raise GraphError(f"{name} must be 0 or 1, got {cost!r}")
+        mode = bitops.resolve_sweep_mode(sweep_mode)
+        run = self._zero_one_run_fused if mode == "fused" else self._zero_one_run
         root_list = [(r[0], r[1]) for r in roots]
         for start in range(0, len(root_list), chunk_size):
             chunk = root_list[start : start + chunk_size]
             seeds = [self.frontier._seed_index(r) for r in chunk]
-            yield chunk, self._zero_one_run(seeds, spatial_cost, causal_cost)
+            yield chunk, run(seeds, spatial_cost, causal_cost)
 
     def _zero_one_run(
         self,
@@ -240,11 +246,84 @@ class LabelKernel:
             reached |= frontier
         return labels
 
+    def _zero_one_run_fused(
+        self,
+        seeds: Sequence[tuple[int, int]],
+        spatial_cost: int,
+        causal_cost: int,
+    ) -> np.ndarray:
+        """The packed twin of :meth:`_zero_one_run` — bit-identical labels.
+
+        State lives as ``(T, R, W)`` uint64 words; the spatial step is the
+        direction-optimizing :func:`~repro.engine.bitops.advance_blocked`
+        per snapshot and the causal step is the word-wise
+        :func:`~repro.engine.bitops.causal_or_accumulate`, so each level's
+        saturation/expansion makes one pass over packed words instead of
+        byte-per-cell blocks.
+        """
+        t_count, n = self.compiled.active_mask.shape
+        r = len(seeds)
+        w = bitops.words_for(n)
+        mats = self.compiled.forward_operators
+        degrees = self.frontier._operator_degrees(True)
+        active_words = self.frontier._packed_active()
+        labels = np.full((t_count, n, r), -1, dtype=np.int32)
+        frontier = np.zeros((t_count, r, w), dtype=np.uint64)
+        for col, (ti, vi) in enumerate(seeds):
+            frontier[ti, col, vi >> 6] |= np.uint64(1) << np.uint64(vi & 63)
+            labels[ti, vi, col] = 0
+        reached = frontier.copy()
+
+        def spatial_step(block: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(block)
+            for ti in range(t_count):
+                if mats[ti].nnz and block[ti].any():
+                    out[ti] = bitops.advance_blocked(
+                        mats[ti],
+                        block[ti],
+                        n,
+                        out_degrees=degrees[ti],
+                        active_row=active_words[ti],
+                        visited_words=reached[ti],
+                    )
+            return out
+
+        cost = 0
+        while frontier.any():
+            # saturate zero-cost edge families at the current cost level
+            while True:
+                grow = np.zeros_like(frontier)
+                if causal_cost == 0:
+                    grow |= bitops.causal_or_accumulate(frontier, active_words)
+                if spatial_cost == 0:
+                    grow |= spatial_step(frontier)
+                grow &= active_words[:, None, :]
+                grow &= ~reached
+                if not grow.any():
+                    break
+                mask = bitops.unpack_bits(grow, n)  # (T, R, N) boolean
+                labels[mask.transpose(0, 2, 1)] = cost
+                reached |= grow
+                frontier |= grow
+            # one unit-cost expansion
+            step = np.zeros_like(frontier)
+            if spatial_cost == 1:
+                step |= spatial_step(frontier)
+            if causal_cost == 1:
+                step |= bitops.causal_or_accumulate(frontier, active_words)
+            frontier = step & active_words[:, None, :] & ~reached
+            cost += 1
+            mask = bitops.unpack_bits(frontier, n)
+            labels[mask.transpose(0, 2, 1)] = cost
+            reached |= frontier
+        return labels
+
     def fewest_hops(
         self,
         roots: Iterable[TemporalNodeTuple],
         *,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[TemporalNodeTuple, dict[TemporalNodeTuple, int]]:
         """Per root: minimal static-edge count to every reachable temporal node.
 
@@ -253,7 +332,11 @@ class LabelKernel:
         """
         out: dict[TemporalNodeTuple, dict[TemporalNodeTuple, int]] = {}
         for chunk, labels in self.zero_one_labels(
-            roots, spatial_cost=1, causal_cost=0, chunk_size=chunk_size
+            roots,
+            spatial_cost=1,
+            causal_cost=0,
+            chunk_size=chunk_size,
+            sweep_mode=sweep_mode,
         ):
             for col, root in enumerate(chunk):
                 t_arr, v_arr = np.nonzero(labels[:, :, col] >= 0)
@@ -277,6 +360,7 @@ class LabelKernel:
         horizon: int = 1,
         start_index: int = 0,
         chunk_size: int = 128,
+        sweep_mode: str | None = None,
     ) -> dict[Node, dict[Node, int]]:
         """Per source node: Tang snapshot-count distance to every node identity.
 
@@ -290,41 +374,96 @@ class LabelKernel:
         """
         if start_index < 0 or start_index >= self.compiled.num_snapshots:
             raise GraphError(f"start_index {start_index} out of range")
-        node_index = self.compiled._node_index
+        mode = bitops.resolve_sweep_mode(sweep_mode)
+        run = self._tang_chunk_fused if mode == "fused" else self._tang_chunk_classic
         sources = list(source_nodes)
-        mats = self.compiled.forward_operators
-        t_count = self.compiled.num_snapshots
-        n = self.compiled.num_nodes
         out: dict[Node, dict[Node, int]] = {}
         for start in range(0, len(sources), chunk_size):
             chunk = sources[start : start + chunk_size]
-            r = len(chunk)
-            informed = np.zeros((n, r), dtype=bool)
-            steps = np.full((n, r), -1, dtype=np.int32)
-            for col, source in enumerate(chunk):
-                vi = node_index.get(source)
-                if vi is not None:
-                    informed[vi, col] = True
-                    steps[vi, col] = 0
-            for step, ti in enumerate(range(start_index, t_count), start=1):
-                if not mats[ti].nnz:
-                    continue
-                for _ in range(max(1, horizon)):
-                    spread = (mats[ti] @ informed.astype(np.int32)) > 0
-                    newly = spread & ~informed
-                    if not newly.any():
-                        break
-                    informed |= newly
-                fresh = informed & (steps < 0)
-                steps[fresh] = step
-                if informed.all():
-                    break
+            steps = run(chunk, horizon, start_index)
             for col, source in enumerate(chunk):
                 known = np.nonzero(steps[:, col] >= 0)[0]
                 out[source] = {
                     self._labels[vi]: int(steps[vi, col]) for vi in known.tolist()
                 }
         return out
+
+    def _tang_chunk_classic(
+        self, chunk: Sequence[Node], horizon: int, start_index: int
+    ) -> np.ndarray:
+        node_index = self.compiled._node_index
+        mats = self.compiled.forward_operators
+        t_count = self.compiled.num_snapshots
+        n = self.compiled.num_nodes
+        r = len(chunk)
+        informed = np.zeros((n, r), dtype=bool)
+        steps = np.full((n, r), -1, dtype=np.int32)
+        for col, source in enumerate(chunk):
+            vi = node_index.get(source)
+            if vi is not None:
+                informed[vi, col] = True
+                steps[vi, col] = 0
+        for step, ti in enumerate(range(start_index, t_count), start=1):
+            if not mats[ti].nnz:
+                continue
+            for _ in range(max(1, horizon)):
+                spread = (mats[ti] @ informed.astype(np.int32)) > 0
+                newly = spread & ~informed
+                if not newly.any():
+                    break
+                informed |= newly
+            fresh = informed & (steps < 0)
+            steps[fresh] = step
+            if informed.all():
+                break
+        return steps
+
+    def _tang_chunk_fused(
+        self, chunk: Sequence[Node], horizon: int, start_index: int
+    ) -> np.ndarray:
+        """Packed twin of :meth:`_tang_chunk_classic` — bit-identical steps.
+
+        ``informed`` lives as ``(R, W)`` uint64 words; each within-snapshot
+        round is one :func:`~repro.engine.bitops.advance_blocked` (no
+        ``active_row`` — Tang's convention has no activeness requirement)
+        and the newly-informed readout decodes only the fresh words.
+        """
+        node_index = self.compiled._node_index
+        mats = self.compiled.forward_operators
+        t_count = self.compiled.num_snapshots
+        n = self.compiled.num_nodes
+        r = len(chunk)
+        w = bitops.words_for(n)
+        degrees = self.frontier._operator_degrees(True)
+        informed = np.zeros((r, w), dtype=np.uint64)
+        steps = np.full((n, r), -1, dtype=np.int32)
+        for col, source in enumerate(chunk):
+            vi = node_index.get(source)
+            if vi is not None:
+                informed[col, vi >> 6] |= np.uint64(1) << np.uint64(vi & 63)
+                steps[vi, col] = 0
+        for step, ti in enumerate(range(start_index, t_count), start=1):
+            if not mats[ti].nnz:
+                continue
+            fresh = np.zeros((r, w), dtype=np.uint64)
+            for _ in range(max(1, horizon)):
+                spread = bitops.advance_blocked(
+                    mats[ti],
+                    informed,
+                    n,
+                    out_degrees=degrees[ti],
+                    visited_words=informed,
+                )
+                newly = spread & ~informed
+                if not newly.any():
+                    break
+                informed |= newly
+                fresh |= newly
+            if fresh.any():
+                steps.T[bitops.unpack_bits(fresh, n)] = step
+            if bitops.popcount(informed) == n * r:
+                break
+        return steps
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -49,21 +49,27 @@ from repro.graph.compiled import CompiledTemporalGraph
 __all__ = ["batch_bfs", "fan_out_chunks", "map_over_roots"]
 
 _WORKER_KERNEL = None
+_WORKER_SWEEP_MODE: str | None = None
 
 
-def _init_worker(compiled: CompiledTemporalGraph) -> None:
+def _init_worker(
+    compiled: CompiledTemporalGraph, sweep_mode: str | None = None
+) -> None:
     """Build one frontier kernel per worker over the shipped compiled artifact."""
     from repro.engine.frontier import FrontierKernel
 
-    global _WORKER_KERNEL
+    global _WORKER_KERNEL, _WORKER_SWEEP_MODE
     _WORKER_KERNEL = FrontierKernel(compiled)
+    _WORKER_SWEEP_MODE = sweep_mode
 
 
 def _worker_batch(
     chunk: list[TemporalNodeTuple],
 ) -> dict[TemporalNodeTuple, dict]:
     assert _WORKER_KERNEL is not None, "worker not initialised"
-    results = _WORKER_KERNEL.batch(chunk, chunk_size=len(chunk))
+    results = _WORKER_KERNEL.batch(
+        chunk, chunk_size=len(chunk), sweep_mode=_WORKER_SWEEP_MODE
+    )
     # ship plain reached dictionaries back; BFSResult is rebuilt in the parent
     return {root: result.reached for root, result in results.items()}
 
@@ -131,6 +137,7 @@ def batch_bfs(
     chunk_size: int = 128,
     mp_context: str | None = None,
     compiled: CompiledTemporalGraph | None = None,
+    sweep_mode: str | None = None,
 ) -> dict[TemporalNodeTuple, BFSResult]:
     """Run one evolving-graph BFS per root and collect the results.
 
@@ -150,6 +157,12 @@ def batch_bfs(
     :func:`repro.generators.stream.apply_stream` — instead of resolving it
     through the dispatch cache.  It must describe ``graph``'s current
     contents (``compiled.is_current(graph)``); the python backends ignore it.
+
+    ``sweep_mode`` selects the engine sweep implementation (``"fused"`` /
+    ``"classic"``; ``None`` follows the process-wide default) for the
+    vectorized and process backends — worker processes receive it through
+    the pool initializer, so the parent's choice applies everywhere.  The
+    python backends ignore it; results are bit-identical regardless.
     """
     root_list = [tuple(r) for r in roots]
     if compiled is not None and backend in ("vectorized", "process"):
@@ -182,7 +195,9 @@ def batch_bfs(
         # compiled artifact, so nothing is recompiled per worker or per call
         results = {}
         for part in fan_out_chunks(
-            lambda chunk: kernel.batch(chunk, chunk_size=chunk_size),
+            lambda chunk: kernel.batch(
+                chunk, chunk_size=chunk_size, sweep_mode=sweep_mode
+            ),
             active_roots,
             chunk_size=chunk_size,
             num_workers=num_workers or 1,
@@ -227,7 +242,7 @@ def batch_bfs(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(compiled,),
+            initargs=(compiled, sweep_mode),
             mp_context=context,
         ) as pool:
             for part in pool.map(_worker_batch, chunks):

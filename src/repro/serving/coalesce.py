@@ -72,17 +72,28 @@ def execute_group(
     *,
     chunk_size: int = 128,
     num_workers: int = 1,
+    sweep_mode: str | None = None,
 ) -> GroupOutcome:
-    """Answer every query in one sweep-shape group with shared kernel work."""
+    """Answer every query in one sweep-shape group with shared kernel work.
+
+    ``sweep_mode`` selects the kernel sweep implementation (``"fused"`` /
+    ``"classic"``; ``None`` follows the process-wide default) and is threaded
+    to every batched kernel call below — results are bit-identical either
+    way, so served answers never depend on the mode.
+    """
     family = sweep_key[0]
     if family == "frontier":
-        return _frontier_group(graph, sweep_key, queries, chunk_size, num_workers)
+        return _frontier_group(
+            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode
+        )
     if family == "zero_one":
-        return _zero_one_group(graph, sweep_key, queries, chunk_size, num_workers)
+        return _zero_one_group(
+            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode
+        )
     if family == "tang":
-        return _tang_group(graph, sweep_key, queries, chunk_size)
+        return _tang_group(graph, sweep_key, queries, chunk_size, sweep_mode)
     if family == "reach_counts":
-        return _reach_counts_group(graph, sweep_key, queries, chunk_size)
+        return _reach_counts_group(graph, sweep_key, queries, chunk_size, sweep_mode)
     if family == "spectral":
         return _spectral_group(graph, sweep_key, queries)
     raise GraphError(f"unknown sweep family {family!r}")
@@ -121,6 +132,7 @@ def _frontier_group(
     queries: list[Query],
     chunk_size: int,
     num_workers: int,
+    sweep_mode: str | None,
 ) -> GroupOutcome:
     """BFS / reachability / earliest-arrival / latest-departure, one sweep."""
     from repro.engine import get_kernel
@@ -158,6 +170,7 @@ def _frontier_group(
                 direction=direction,
                 reverse_edges=reverse_edges,
                 chunk_size=chunk_size,
+                sweep_mode=sweep_mode,
             )
         )
 
@@ -206,6 +219,7 @@ def _zero_one_group(
     queries: list[Query],
     chunk_size: int,
     num_workers: int,
+    sweep_mode: str | None,
 ) -> GroupOutcome:
     """Fewest-spatial-hops sources packed into one 0/1-semiring sweep."""
     from repro.engine import get_label_kernel
@@ -237,6 +251,7 @@ def _zero_one_group(
                 spatial_cost=spatial_cost,
                 causal_cost=causal_cost,
                 chunk_size=chunk_size,
+                sweep_mode=sweep_mode,
             )
         )
 
@@ -263,6 +278,7 @@ def _tang_group(
     sweep_key: tuple,
     queries: list[Query],
     chunk_size: int,
+    sweep_mode: str | None,
 ) -> GroupOutcome:
     """Tang snapshot-count sources packed into one batched time sweep."""
     from repro.engine import get_label_kernel
@@ -286,7 +302,11 @@ def _tang_group(
             seen.add(query.source_node)
             sources.append(query.source_node)
     steps = get_label_kernel(graph).tang_steps(
-        sources, horizon=horizon, start_index=start_index, chunk_size=chunk_size
+        sources,
+        horizon=horizon,
+        start_index=start_index,
+        chunk_size=chunk_size,
+        sweep_mode=sweep_mode,
     )
     outcome.columns = len(sources)
     outcome.sweeps = 1
@@ -302,6 +322,7 @@ def _reach_counts_group(
     sweep_key: tuple,
     queries: list[Query],
     chunk_size: int,
+    sweep_mode: str | None,
 ) -> GroupOutcome:
     """One whole-graph reach-count sweep serves every top-k ranking in the group."""
     from repro.engine import get_kernel
@@ -312,7 +333,7 @@ def _reach_counts_group(
     counts: dict[TemporalNodeTuple, int] = {}
     if roots:
         counts = get_kernel(graph).identity_reach_counts(
-            roots, direction=direction, chunk_size=chunk_size
+            roots, direction=direction, chunk_size=chunk_size, sweep_mode=sweep_mode
         )
         outcome.columns = len(roots)
         outcome.sweeps = 1

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field, fields
 from typing import Iterable, Sequence
 
 from repro.algorithms.queries import Query
+from repro.engine.bitops import resolve_sweep_mode
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph, TemporalEdgeTuple
 from repro.serving.coalesce import execute_group
@@ -147,6 +148,12 @@ class QueryServer:
         When > 1, a coalesced group whose roots span several chunks fans the
         chunks over this many threads
         (:func:`repro.parallel.batch.fan_out_chunks`).
+    sweep_mode:
+        Kernel sweep implementation for every coalesced group: ``"fused"``
+        (bit-packed direction-optimizing sweeps), ``"classic"`` (the
+        byte-per-cell oracle loops), or ``None`` to follow the process-wide
+        :func:`repro.engine.get_sweep_mode` default at execution time.
+        Served results are bit-identical across modes.
     """
 
     def __init__(
@@ -158,6 +165,7 @@ class QueryServer:
         cache_entries: int = 1024,
         chunk_size: int = 128,
         num_workers: int = 1,
+        sweep_mode: str | None = None,
     ) -> None:
         if window_s < 0:
             raise GraphError(f"window_s must be >= 0, got {window_s}")
@@ -165,6 +173,9 @@ class QueryServer:
             raise GraphError(f"max_batch must be at least 1, got {max_batch}")
         if chunk_size < 1:
             raise GraphError(f"chunk_size must be at least 1, got {chunk_size}")
+        if sweep_mode is not None:
+            resolve_sweep_mode(sweep_mode)  # validate eagerly, resolve at sweep time
+        self._sweep_mode = sweep_mode
         self._graph = graph
         self._window = float(window_s)
         self._max_batch = int(max_batch)
@@ -370,6 +381,7 @@ class QueryServer:
                     queries,
                     chunk_size=self._chunk_size,
                     num_workers=self._num_workers,
+                    sweep_mode=self._sweep_mode,
                 )
                 results, errors = outcome.results, outcome.errors
             except Exception as exc:  # whole-group failure

@@ -25,10 +25,12 @@ from repro.core import (
 )
 from repro.engine import (
     BACKENDS,
+    SWEEP_MODES,
     FrontierKernel,
     get_kernel,
     invalidate_kernel,
     resolve_backend,
+    use_sweep_mode,
 )
 from repro.exceptions import GraphError, InactiveNodeError
 from repro.graph import (
@@ -340,6 +342,141 @@ class TestOperationCounting:
         # three identical searches share each product, so the per-column
         # accounting must report exactly three times the single-search flops
         assert batched.multiply_adds == 3 * single.multiply_adds
+
+
+# --------------------------------------------------------------------------- #
+# fused (bit-packed) sweeps vs the classic oracle                              #
+# --------------------------------------------------------------------------- #
+
+@ENGINE_SETTINGS
+@given(graphs_with_roots(), st.sampled_from(["forward", "backward"]),
+       st.booleans())
+def test_fused_bfs_bit_identical_to_classic(graph_root, direction, reverse_edges):
+    graph, root = graph_root
+    kernel = FrontierKernel(graph)
+    classic = kernel.bfs(root, direction=direction, reverse_edges=reverse_edges,
+                         sweep_mode="classic")
+    fused = kernel.bfs(root, direction=direction, reverse_edges=reverse_edges,
+                       sweep_mode="fused")
+    assert fused.reached == classic.reached
+
+
+@ENGINE_SETTINGS
+@given(evolving_graphs(), st.data())
+def test_fused_multi_source_and_batch_bit_identical_to_classic(graph, data):
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    roots = data.draw(st.lists(st.sampled_from(active), min_size=1, max_size=5))
+    kernel = FrontierKernel(graph)
+    assert (kernel.multi_source(roots, sweep_mode="fused").reached
+            == kernel.multi_source(roots, sweep_mode="classic").reached)
+    classic = kernel.batch(roots, sweep_mode="classic", chunk_size=3)
+    fused = kernel.batch(roots, sweep_mode="fused", chunk_size=3)
+    assert set(classic) == set(fused)
+    for root in classic:
+        assert fused[root].reached == classic[root].reached
+
+
+@ENGINE_SETTINGS
+@given(graphs_with_roots())
+def test_process_wide_sweep_mode_matches_per_call_override(graph_root):
+    graph, root = graph_root
+    kernel = FrontierKernel(graph)
+    with use_sweep_mode("classic"):
+        ambient = kernel.bfs(root)
+    assert ambient.reached == kernel.bfs(root, sweep_mode="fused").reached
+
+
+class TestFusedSweeps:
+    def test_sweep_modes_exported(self):
+        assert set(SWEEP_MODES) == {"fused", "classic"}
+
+    @pytest.mark.parametrize("sweep_mode", SWEEP_MODES)
+    def test_inactive_root_raises_in_both_modes(self, figure1, sweep_mode):
+        kernel = FrontierKernel(figure1)
+        with pytest.raises(InactiveNodeError):
+            kernel.bfs((4, "t1"), sweep_mode=sweep_mode)
+        with pytest.raises(InactiveNodeError):
+            kernel.multi_source([(4, "t1")], sweep_mode=sweep_mode)
+
+    @pytest.mark.parametrize("sweep_mode", SWEEP_MODES)
+    def test_batch_skips_inactive_roots_in_both_modes(self, figure1, sweep_mode):
+        kernel = FrontierKernel(figure1)
+        results = kernel.batch([(1, "t1"), (4, "t1")], sweep_mode=sweep_mode)
+        assert set(results) == {(1, "t1")}
+
+    def test_unknown_sweep_mode_rejected(self, figure1):
+        kernel = FrontierKernel(figure1)
+        with pytest.raises(GraphError):
+            kernel.bfs((1, "t1"), sweep_mode="turbo")
+
+    def test_track_parents_always_runs_classic(self, figure1):
+        """Parent tracking is classic-only; the fused default must not break it."""
+        kernel = FrontierKernel(figure1)
+        traced = kernel.bfs((1, "t1"), track_parents=True)
+        plain = kernel.bfs((1, "t1"))
+        assert traced.reached == plain.reached
+        assert traced.parents[(1, "t1")] == (1, "t1")
+
+    def test_fused_does_strictly_less_accounted_work(self):
+        """On a non-trivial graph the fused sweep's total accounted work
+        (multiply-adds + word ops) undercuts the classic byte-per-cell
+        total (multiply-adds + column checks).  Tiny graphs can invert
+        this — word bookkeeping has a fixed per-snapshot floor — so the
+        assertion runs on a few hundred nodes, where packing pays."""
+        rng = np.random.default_rng(7)
+        edges = [
+            (int(rng.integers(250)), int(rng.integers(250)), int(rng.integers(6)))
+            for _ in range(2500)
+        ]
+        graph = AdjacencyListEvolvingGraph(
+            edges, timestamps=list(range(6)), directed=True
+        )
+        kernel = FrontierKernel(graph, counter=OperationCounter())
+        roots = graph.active_temporal_nodes()[:32]
+
+        classic = kernel.batch(roots, sweep_mode="classic")
+        classic_total = kernel.counter.total()
+        assert kernel.counter.word_ops == 0  # classic never touches words
+
+        kernel.counter.reset()
+        fused = kernel.batch(roots, sweep_mode="fused")
+        fused_total = kernel.counter.total()
+        assert kernel.counter.word_ops > 0
+        assert kernel.counter.multiply_adds > 0
+        assert fused_total < classic_total
+
+        for root in classic:
+            assert fused[root].reached == classic[root].reached
+
+    def test_resweep_bit_identical_and_batched(self):
+        """decrease_only_resweep: fused and classic agree with a fresh search."""
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            n_nodes = int(rng.integers(3, 40))
+            n_times = int(rng.integers(2, 5))
+            edges = [
+                (int(rng.integers(n_nodes)), int(rng.integers(n_nodes)),
+                 int(rng.integers(n_times)))
+                for _ in range(int(rng.integers(5, 60)))
+            ]
+            graph = AdjacencyListEvolvingGraph(
+                edges, timestamps=list(range(n_times)), directed=True
+            )
+            roots = graph.active_temporal_nodes()
+            if not roots:
+                continue
+            root = roots[int(rng.integers(len(roots)))]
+            kernel = FrontierKernel(graph)
+            fresh = kernel.distance_block(root)
+            # degrade some distances, then re-sweep from the fresh seeds
+            for mode in SWEEP_MODES:
+                degraded = np.where(fresh >= 0, fresh + 2, fresh)
+                seeds = [(*kernel._seed_index(root), 0)]
+                kernel.decrease_only_resweep(degraded, seeds, sweep_mode=mode)
+                np.testing.assert_array_equal(degraded, fresh)
 
 
 # --------------------------------------------------------------------------- #

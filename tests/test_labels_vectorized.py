@@ -390,3 +390,62 @@ def test_compiled_graph_pickle_roundtrip(medium_random_graph):
     assert LabelKernel(clone).earliest_arrivals([root]) == LabelKernel(
         compiled
     ).earliest_arrivals([root])
+
+
+# --------------------------------------------------------------------------- #
+# fused (bit-packed) label sweeps vs the classic oracle                        #
+# --------------------------------------------------------------------------- #
+
+@ALGO_SETTINGS
+@given(evolving_graphs(), st.data())
+def test_fused_time_readouts_bit_identical_to_classic(graph, data):
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    roots = data.draw(st.lists(st.sampled_from(active), min_size=1, max_size=4))
+    kernel = LabelKernel(graph)
+    assert (kernel.earliest_arrivals(roots, sweep_mode="fused")
+            == kernel.earliest_arrivals(roots, sweep_mode="classic"))
+    assert (kernel.latest_departures(roots, sweep_mode="fused")
+            == kernel.latest_departures(roots, sweep_mode="classic"))
+    assert (kernel.fewest_hops(roots, sweep_mode="fused")
+            == kernel.fewest_hops(roots, sweep_mode="classic"))
+
+
+@ALGO_SETTINGS
+@given(evolving_graphs(), st.data(),
+       st.sampled_from([(1, 0), (0, 1), (1, 1), (0, 0)]))
+def test_fused_zero_one_labels_bit_identical_to_classic(graph, data, costs):
+    spatial_cost, causal_cost = costs
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    roots = data.draw(st.lists(st.sampled_from(active), min_size=1, max_size=4))
+    kernel = LabelKernel(graph)
+    classic = list(kernel.zero_one_labels(
+        roots, spatial_cost=spatial_cost, causal_cost=causal_cost,
+        sweep_mode="classic"))
+    fused = list(kernel.zero_one_labels(
+        roots, spatial_cost=spatial_cost, causal_cost=causal_cost,
+        sweep_mode="fused"))
+    assert len(classic) == len(fused)
+    for (chunk_c, block_c), (chunk_f, block_f) in zip(classic, fused):
+        assert chunk_c == chunk_f
+        np.testing.assert_array_equal(block_f, block_c)
+
+
+@ALGO_SETTINGS
+@given(evolving_graphs(), st.data(), st.integers(min_value=1, max_value=3))
+def test_fused_tang_steps_bit_identical_to_classic(graph, data, horizon):
+    nodes = sorted(graph.nodes()) or [0]
+    sources = data.draw(st.lists(st.sampled_from(nodes), min_size=1, max_size=4))
+    sources.append("never-a-node")  # inactive/missing sources skip seeding
+    start_index = data.draw(
+        st.integers(min_value=0, max_value=max(0, graph.num_timestamps - 1)))
+    kernel = get_label_kernel(graph)
+    assert (kernel.tang_steps(sources, horizon=horizon, start_index=start_index,
+                              sweep_mode="fused")
+            == kernel.tang_steps(sources, horizon=horizon,
+                                 start_index=start_index, sweep_mode="classic"))
