@@ -48,24 +48,35 @@ __all__ = [
 
 
 def _reach_vectorized(
-    graph: BaseEvolvingGraph, direction: str
+    graph: BaseEvolvingGraph, direction: str, shards: int | None
 ) -> dict[TemporalNodeTuple, int]:
-    from repro.engine import get_kernel
+    from repro.engine import get_kernel, get_sharded_driver
 
     roots = graph.active_temporal_nodes()
     if not roots:
         return {}
+    if shards is not None:
+        driver = get_sharded_driver(graph, shards)
+        return driver.identity_reach_counts(roots, direction=direction)
     return get_kernel(graph).identity_reach_counts(roots, direction=direction)
 
 
 def temporal_out_reach(
-    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+    graph: BaseEvolvingGraph,
+    *,
+    backend: str = "vectorized",
+    shards: int | None = None,
 ) -> dict[TemporalNodeTuple, int]:
-    """For every active temporal node, the number of distinct node identities it can reach."""
+    """For every active temporal node, the number of distinct node identities it can reach.
+
+    ``shards`` routes the batched sweep through the pipelined time-shard
+    driver (:func:`repro.engine.get_sharded_driver`) instead of the
+    monolithic kernel; results are bit-identical.
+    """
     from repro.engine import resolve_backend
 
     if resolve_backend(backend) == "vectorized":
-        return _reach_vectorized(graph, "forward")
+        return _reach_vectorized(graph, "forward", shards)
     out: dict[TemporalNodeTuple, int] = {}
     for root in graph.active_temporal_nodes():
         reached = evolving_bfs(graph, root, backend="python").reached
@@ -74,13 +85,20 @@ def temporal_out_reach(
 
 
 def temporal_in_reach(
-    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+    graph: BaseEvolvingGraph,
+    *,
+    backend: str = "vectorized",
+    shards: int | None = None,
 ) -> dict[TemporalNodeTuple, int]:
-    """For every active temporal node, the number of distinct node identities that can reach it."""
+    """For every active temporal node, the number of distinct node identities that can reach it.
+
+    ``shards`` routes through the pipelined time-shard driver, as in
+    :func:`temporal_out_reach`.
+    """
     from repro.engine import resolve_backend
 
     if resolve_backend(backend) == "vectorized":
-        return _reach_vectorized(graph, "backward")
+        return _reach_vectorized(graph, "backward", shards)
     out: dict[TemporalNodeTuple, int] = {}
     for root in graph.active_temporal_nodes():
         reached = backward_bfs(graph, root, backend="python").reached
@@ -89,14 +107,19 @@ def temporal_in_reach(
 
 
 def temporal_closeness(
-    graph: BaseEvolvingGraph, *, backend: str = "vectorized"
+    graph: BaseEvolvingGraph,
+    *,
+    backend: str = "vectorized",
+    shards: int | None = None,
 ) -> dict[TemporalNodeTuple, float]:
     """Harmonic temporal closeness: mean of ``1/distance`` to every other active temporal node.
 
     Harmonic (rather than classic) closeness is used so unreachable nodes
-    contribute zero instead of making the measure undefined.
+    contribute zero instead of making the measure undefined.  ``shards``
+    routes the sweep through the pipelined time-shard driver; the per-root
+    sums match the monolithic kernel to reduction-order rounding.
     """
-    from repro.engine import get_kernel, resolve_backend
+    from repro.engine import get_kernel, get_sharded_driver, resolve_backend
 
     backend = resolve_backend(backend)
     active = graph.active_temporal_nodes()
@@ -104,7 +127,10 @@ def temporal_closeness(
     if not active:
         return {}
     if backend == "vectorized":
-        sums = get_kernel(graph).harmonic_closeness_sums(active)
+        if shards is not None:
+            sums = get_sharded_driver(graph, shards).harmonic_closeness_sums(active)
+        else:
+            sums = get_kernel(graph).harmonic_closeness_sums(active)
         if n <= 1:
             return {root: 0.0 for root in active}
         return {root: sums[root] / (n - 1) for root in active}

@@ -57,20 +57,27 @@ def earliest_arrival_times(
     source: TemporalNodeTuple,
     *,
     backend: str = "vectorized",
+    shards: int | None = None,
 ) -> dict[Hashable, Hashable]:
     """Earliest reachable timestamp of *every* node identity, in one sweep.
 
     Returns ``{node: time}`` for every node reachable from ``source``
     (including the source itself at its own time); unreachable nodes are
     absent.  An inactive source reaches nothing (Definition 4), giving ``{}``.
+    ``shards`` routes the sweep through the pipelined time-shard driver
+    (:func:`repro.engine.get_sharded_driver`); results are bit-identical.
     """
-    from repro.engine import get_label_kernel, resolve_backend
+    from repro.engine import get_label_kernel, get_sharded_driver, resolve_backend
 
     backend = resolve_backend(backend)
     source = (source[0], source[1])
     if not graph.is_active(*source):
         return {}
     if backend == "vectorized":
+        if shards is not None:
+            return get_sharded_driver(graph, shards).earliest_arrivals([source])[
+                source
+            ]
         return get_label_kernel(graph).earliest_arrivals([source])[source]
     from repro.core.bfs import evolving_bfs
 
@@ -108,21 +115,25 @@ def fewest_spatial_hops_from(
     source: TemporalNodeTuple,
     *,
     backend: str = "vectorized",
+    shards: int | None = None,
 ) -> dict[TemporalNodeTuple, int]:
     """Minimal static-edge count from ``source`` to every reachable temporal node.
 
     One ``(min, +)`` label sweep (static edges cost 1, causal edges cost 0)
     answers the Grindrod–Higham hop question for all targets at once; the
     Python oracle is the equivalent 0/1-weight Dijkstra run to exhaustion.
-    An inactive source reaches nothing, giving ``{}``.
+    An inactive source reaches nothing, giving ``{}``.  ``shards`` routes
+    the sweep through the pipelined time-shard driver.
     """
-    from repro.engine import get_label_kernel, resolve_backend
+    from repro.engine import get_label_kernel, get_sharded_driver, resolve_backend
 
     backend = resolve_backend(backend)
     source = (source[0], source[1])
     if not graph.is_active(*source):
         return {}
     if backend == "vectorized":
+        if shards is not None:
+            return get_sharded_driver(graph, shards).fewest_hops([source])[source]
         return get_label_kernel(graph).fewest_hops([source])[source]
     best: dict[TemporalNodeTuple, int] = {source: 0}
     heap: list[tuple[int, int, TemporalNodeTuple]] = [(0, 0, source)]
@@ -166,6 +177,7 @@ def latest_departure_times(
     target: TemporalNodeTuple,
     *,
     backend: str = "vectorized",
+    shards: int | None = None,
 ) -> dict[Hashable, Hashable]:
     """Latest departure timestamp of *every* node that can still reach ``target``.
 
@@ -173,14 +185,19 @@ def latest_departure_times(
     reaches ``target`` (the target itself maps to its own time).  One
     backward sweep on the lazily transposed operator stacks answers the
     question for all sources at once.  An inactive target gives ``{}``.
+    ``shards`` routes the sweep through the pipelined time-shard driver.
     """
-    from repro.engine import get_label_kernel, resolve_backend
+    from repro.engine import get_label_kernel, get_sharded_driver, resolve_backend
 
     backend = resolve_backend(backend)
     target = (target[0], target[1])
     if not graph.is_active(*target):
         return {}
     if backend == "vectorized":
+        if shards is not None:
+            return get_sharded_driver(graph, shards).latest_departures([target])[
+                target
+            ]
         return get_label_kernel(graph).latest_departures([target])[target]
     from repro.core.backward import backward_bfs
 

@@ -35,6 +35,16 @@
   :mod:`repro.core`, :mod:`repro.algorithms` and :mod:`repro.parallel`.
 * :func:`~repro.engine.dispatch.resolve_backend` — validation of the
   ``backend`` flag shared by every search entry point.
+* :class:`~repro.engine.sharded_sweep.ShardedSweepDriver` — the pipelined
+  execution layer over :class:`~repro.graph.sharded.ShardedTemporalGraph`
+  time shards: each shard runs the same fused bit-packed sweeps and hands a
+  packed :class:`~repro.engine.sharded_sweep.BoundaryBlock` downstream, so
+  chunks of roots flow through the shard chain concurrently (thread or
+  persistent-process backends) or shard-major with eviction (serial backend
+  over a memory-mapped store — the out-of-core path).  Results are
+  bit-identical to the monolithic kernels;
+  :func:`~repro.engine.dispatch.get_sharded_driver` is the version-exact
+  cache behind the algorithm layer's ``shards=`` flag.
 * :mod:`~repro.engine.bitops` — the bit-packed fused sweep core behind the
   ``sweep_mode`` flag: ``"fused"`` (default) keeps frontier/visited state
   packed in ``uint64`` words, fuses each snapshot's spatial advance with the
@@ -60,25 +70,35 @@ from repro.engine.dispatch import (
     get_compiled,
     get_kernel,
     get_label_kernel,
+    get_sharded_driver,
     get_spectral_kernel,
     invalidate_kernel,
     resolve_backend,
 )
 from repro.engine.frontier import FrontierKernel
 from repro.engine.labels import LabelKernel
+from repro.engine.sharded_sweep import (
+    SHARD_BACKENDS,
+    BoundaryBlock,
+    ShardedSweepDriver,
+)
 from repro.engine.spectral import SpectralKernel, SpectralOpStats
 
 __all__ = [
     "BACKENDS",
+    "SHARD_BACKENDS",
     "SWEEP_MODES",
+    "BoundaryBlock",
     "FrontierKernel",
     "LabelKernel",
+    "ShardedSweepDriver",
     "SpectralKernel",
     "SpectralOpStats",
     "bitops",
     "get_compiled",
     "get_kernel",
     "get_label_kernel",
+    "get_sharded_driver",
     "get_spectral_kernel",
     "get_sweep_mode",
     "invalidate_kernel",

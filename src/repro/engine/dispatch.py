@@ -39,21 +39,25 @@ reader threads) compiles each ``(graph, mutation_version)`` exactly once.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 
 from repro.engine.frontier import FrontierKernel
 from repro.engine.labels import LabelKernel
+from repro.engine.sharded_sweep import SHARD_BACKENDS, ShardedSweepDriver
 from repro.engine.spectral import SpectralKernel
 from repro.exceptions import GraphError
 from repro.graph.base import BaseEvolvingGraph
 from repro.graph.compiled import CompiledTemporalGraph
+from repro.graph.sharded import ShardedTemporalGraph
 
 __all__ = [
     "BACKENDS",
     "get_compiled",
     "get_kernel",
     "get_label_kernel",
+    "get_sharded_driver",
     "get_spectral_kernel",
     "invalidate_kernel",
     "resolve_backend",
@@ -168,6 +172,80 @@ def get_spectral_kernel(graph: BaseEvolvingGraph) -> SpectralKernel:
     return _entry(graph)[3]
 
 
+#: Per-graph sharded-driver cache: ``graph -> (mutation_version, {key: driver})``.
+#: A version bump evicts the whole per-graph map (drivers hold compiled shard
+#: slices of the stale artifact) and closes any pipeline worker processes.
+_SHARD_CACHE: "weakref.WeakKeyDictionary[BaseEvolvingGraph, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_sharded_driver(
+    graph: BaseEvolvingGraph,
+    shards: int,
+    *,
+    backend: str | None = None,
+    num_workers: int | None = None,
+    chunk_size: int = 128,
+) -> ShardedSweepDriver:
+    """The cached pipelined shard driver for ``graph``, exact to its version.
+
+    Shards the cached compiled artifact into ``shards`` contiguous snapshot
+    ranges (nnz-weighted) and wraps it in a
+    :class:`~repro.engine.sharded_sweep.ShardedSweepDriver`.  ``backend``
+    defaults to the ``REPRO_SHARD_BACKEND`` environment variable when set,
+    else ``"serial"``.  Drivers are cached per
+    ``(mutation_version, shard layout, backend, workers, chunk size)`` so
+    repeated algorithm calls with the same routing reuse the shard slices
+    (and, for the process backend, the persistent worker pipeline); a graph
+    mutation evicts and closes every stale driver for that graph.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_SHARD_BACKEND", "serial")
+    if backend not in SHARD_BACKENDS:
+        raise GraphError(
+            f"unsupported shard backend {backend!r}; expected one of {SHARD_BACKENDS}"
+        )
+    compiled = get_compiled(graph)
+    version = compiled.mutation_version
+    key = (int(shards), backend, num_workers, int(chunk_size))
+    try:
+        cached = _SHARD_CACHE.get(graph)
+    except TypeError:  # unhashable graph object
+        cached = None
+    if cached is not None and cached[0] == version:
+        driver = cached[1].get(key)
+        if driver is not None:
+            return driver
+    with _CACHE_LOCK:
+        try:
+            cached = _SHARD_CACHE.get(graph)
+        except TypeError:
+            cached = None
+        if cached is not None and cached[0] != version:
+            for stale in cached[1].values():
+                stale.close()
+            cached = None
+        if cached is not None:
+            driver = cached[1].get(key)
+            if driver is not None:
+                return driver
+        sharded = ShardedTemporalGraph.from_compiled(compiled, shards)
+        driver = ShardedSweepDriver(
+            sharded,
+            backend=backend,
+            num_workers=num_workers,
+            chunk_size=chunk_size,
+        )
+        entry = cached if cached is not None else (version, {})
+        entry[1][key] = driver
+        try:
+            _SHARD_CACHE[graph] = entry
+        except TypeError:  # unhashable or non-weakrefable graph object
+            pass
+        return driver
+
+
 def invalidate_kernel(graph: BaseEvolvingGraph) -> None:
     """Drop the cached artifact for ``graph`` (to rebuild or free it eagerly)."""
     with _CACHE_LOCK:
@@ -175,3 +253,10 @@ def invalidate_kernel(graph: BaseEvolvingGraph) -> None:
             _CACHE.pop(graph, None)
         except TypeError:
             pass
+        try:
+            stale = _SHARD_CACHE.pop(graph, None)
+        except TypeError:
+            stale = None
+        if stale is not None:
+            for driver in stale[1].values():
+                driver.close()

@@ -1,0 +1,1164 @@
+"""Pipelined cross-shard sweeps over a :class:`ShardedTemporalGraph`.
+
+The causal step of every kernel sweep is a *prefix* operation over
+snapshots: influence crosses a time-shard boundary only forward (or, for
+backward searches, only backward), and the complete cross-boundary state of
+a sweep is one packed block per root column — which node identities the
+earlier shards reached, at what minimal level.  That is what makes the
+monolithic fused sweeps of :class:`~repro.engine.frontier.FrontierKernel`
+and :class:`~repro.engine.labels.LabelKernel` shardable *bit-identically*:
+
+* shard ``i`` runs the exact fused sweep loop over its own ``(T_i, R, W)``
+  words, with one addition — at round ``m + 1`` the external nodes whose
+  minimal earlier-shard level is ``m`` are injected into the causal carry
+  (BFS), the zero-cost saturation (``causal_cost=0`` label sweeps) or the
+  unit expansion (``causal_cost=1``), which is precisely when and how the
+  monolithic sweep's carry would have delivered them;
+* injecting each node once, at its *minimal* level, is exact: a causal
+  carry reaches every later snapshot of the node in one step, so the first
+  injection visits every slot a later appearance could, and the monolithic
+  sweep's visited masking makes the later firings no-ops;
+* the shard hands downstream a :class:`BoundaryBlock` — the element-wise
+  minimum of its own per-node levels with the incoming block — and the
+  Tang sweep, whose state is time-free, hands its raw ``(R, W)`` informed
+  words.
+
+:class:`ShardedSweepDriver` schedules those shard sweeps three ways:
+
+* ``backend="serial"`` — shard-major in one process: every root-chunk's
+  sweep visits shard 0, then every sweep visits shard 1, …  With a
+  store-backed graph each shard is :meth:`released
+  <repro.graph.sharded.ShardedTemporalGraph.release>` before the next is
+  opened, so peak operator residency is one shard — the out-of-core path;
+* ``backend="thread"`` — root-chunks flow through the shard chain
+  concurrently (chunk ``c`` sweeps shard 2 while chunk ``c+1`` sweeps
+  shard 0): software pipelining over root-batches, sharing the in-process
+  shard artifacts;
+* ``backend="process"`` — persistent workers each *own* a subset of shards
+  permanently (the picklable compiled artifacts ship once, at startup);
+  thereafter only task tuples and packed ``(R, W)`` boundary blocks cross
+  process boundaries.  Shards are assigned to workers by
+  :func:`~repro.parallel.partition.chunk_by_weight` over shard nnz.
+
+Every public method mirrors its monolithic kernel twin — same arguments,
+same decoded shapes, bit-identical integer results (``tests/test_sharded.py``
+hypothesis-asserts this across families, shard counts and backends; the
+float harmonic sums agree to reduction-order rounding).  Obtain a cached
+driver via :func:`repro.engine.get_sharded_driver`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.bfs import BFSResult
+from repro.engine import bitops
+from repro.engine.frontier import FrontierKernel
+from repro.exceptions import GraphError, InactiveNodeError
+from repro.graph.base import Node, TemporalNodeTuple, Time
+from repro.graph.sharded import ShardedTemporalGraph
+
+__all__ = ["BoundaryBlock", "ShardedSweepDriver", "SHARD_BACKENDS"]
+
+SHARD_BACKENDS = ("serial", "thread", "process")
+
+#: Sentinel level for nodes no earlier shard has reached (same headroom
+#: contract as the frontier kernel's ``_UNREACHED``: never wins a minimum,
+#: ``_FAR + 1`` cannot overflow int32).
+_FAR = np.int32(2**30)
+
+
+# --------------------------------------------------------------------------- #
+# the boundary block                                                          #
+# --------------------------------------------------------------------------- #
+
+
+class BoundaryBlock:
+    """The complete cross-shard state of a BFS/label sweep, packed.
+
+    For each root column and node identity: the minimal level (distance or
+    label) at which any earlier shard reached that node, stored as one
+    ``(R, W)`` uint64 bit plane per distinct level.  This is the only thing
+    that crosses a shard boundary — and, under the process backend, the only
+    payload besides task tuples that crosses a *process* boundary.
+
+    Instances are immutable and picklable; :meth:`merged_with` produces the
+    outgoing block from the incoming one plus a shard's own levels.
+    """
+
+    __slots__ = ("num_columns", "num_bits", "levels")
+
+    def __init__(
+        self, num_columns: int, num_bits: int, levels: dict[int, np.ndarray]
+    ) -> None:
+        self.num_columns = int(num_columns)
+        self.num_bits = int(num_bits)
+        self.levels = levels
+
+    @classmethod
+    def empty(cls, num_columns: int, num_bits: int) -> "BoundaryBlock":
+        """The boundary entering the first shard of a chain: nothing reached."""
+        return cls(num_columns, num_bits, {})
+
+    @classmethod
+    def from_min_levels(cls, min_levels: np.ndarray) -> "BoundaryBlock":
+        """Encode an ``(R, N)`` int32 array of minimal levels (``_FAR`` = none)."""
+        r, n = min_levels.shape
+        levels: dict[int, np.ndarray] = {}
+        for level in np.unique(min_levels[min_levels < _FAR]).tolist():
+            levels[int(level)] = bitops.pack_bits(min_levels == level)
+        return cls(r, n, levels)
+
+    def words(self, level: int) -> np.ndarray | None:
+        """The packed ``(R, W)`` words of nodes at exactly ``level``, if any."""
+        return self.levels.get(level)
+
+    @property
+    def max_level(self) -> int:
+        """The largest stored level; ``-1`` when the block is empty."""
+        return max(self.levels) if self.levels else -1
+
+    def decode(self) -> np.ndarray:
+        """Back to the dense ``(R, N)`` int32 min-level array (``_FAR`` = none)."""
+        out = np.full((self.num_columns, self.num_bits), _FAR, dtype=np.int32)
+        for level in sorted(self.levels, reverse=True):
+            out[bitops.unpack_bits(self.levels[level], self.num_bits)] = level
+        return out
+
+    def merged_with(self, shard_min_levels: np.ndarray) -> "BoundaryBlock":
+        """The outgoing boundary: element-wise min with a shard's own levels."""
+        if not self.levels:
+            return self.from_min_levels(shard_min_levels.astype(np.int32))
+        return self.from_min_levels(np.minimum(self.decode(), shard_min_levels))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundaryBlock):
+            return NotImplemented
+        return (
+            self.num_columns == other.num_columns
+            and self.num_bits == other.num_bits
+            and set(self.levels) == set(other.levels)
+            and all(
+                np.array_equal(words, other.levels[level])
+                for level, words in self.levels.items()
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BoundaryBlock columns={self.num_columns} bits={self.num_bits} "
+            f"levels={sorted(self.levels)}>"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# per-shard sweeps (module-level and picklable: every backend runs these)     #
+# --------------------------------------------------------------------------- #
+
+
+def _bfs_shard_sweep(
+    kernel: FrontierKernel,
+    seeds_per_column: Sequence[Sequence[tuple[int, int]]],
+    boundary: BoundaryBlock,
+    *,
+    forward: bool,
+    reverse_edges: bool,
+) -> tuple[np.ndarray, BoundaryBlock]:
+    """One shard's slice of a fused BFS sweep; ``((T_i, N, R) dist, boundary out)``.
+
+    This is ``FrontierKernel._run_fused`` verbatim over the shard's own
+    snapshots, plus the boundary injection: at the round assigning distance
+    ``m + 1``, the external nodes at minimal earlier-shard distance ``m``
+    seed the causal carry — exactly the words the monolithic carry would
+    hold when entering this shard's snapshot range at that level.
+    """
+    compiled = kernel.compiled
+    active_mask = compiled.active_mask
+    t_count, n = active_mask.shape
+    r = boundary.num_columns
+    w = bitops.words_for(n)
+    dist = np.full((t_count, r, n), -1, dtype=np.int32)
+    frontier = np.zeros((t_count, r, w), dtype=np.uint64)
+    for col, seeds in enumerate(seeds_per_column):
+        for ti, vi in seeds:
+            frontier[ti, col, vi >> 6] |= np.uint64(1 << (vi & 63))
+            dist[ti, col, vi] = 0
+    visited = frontier.copy()
+    use_forward_ops = forward != reverse_edges
+    mats = (
+        compiled.forward_operators if use_forward_ops else compiled.backward_operators
+    )
+    degrees = kernel._operator_degrees(use_forward_ops)
+    active_words = kernel._packed_active()
+    counter = kernel.counter
+    order = list(range(t_count)) if forward else list(range(t_count - 1, -1, -1))
+    scratch = np.zeros_like(frontier)
+    max_ext = boundary.max_level
+    level = 0
+    alive = bool(frontier.any())
+    # rounds keep running past frontier death while later boundary levels can
+    # still revive the shard (an empty round is a handful of word probes)
+    while alive or level <= max_ext:
+        level += 1
+        alive = False
+        ext = boundary.words(level - 1)
+        carry = (
+            ext.copy() if ext is not None else np.zeros((r, w), dtype=np.uint64)
+        )
+        for ti in order:
+            f_t = frontier[ti]
+            new_t = scratch[ti]
+            f_any = bool(f_t.any())
+            if not f_any and not carry.any():
+                new_t[:] = 0
+                continue
+            remaining = active_words[ti] & ~visited[ti]
+            if counter is not None:
+                counter.word_ops += 2 * new_t.size
+            if not remaining.any():
+                new_t[:] = 0
+                if f_any:
+                    carry |= f_t
+                continue
+            if f_any and mats[ti].nnz:
+                spatial = bitops.advance_blocked(
+                    mats[ti],
+                    f_t,
+                    n,
+                    out_degrees=degrees[ti],
+                    active_row=active_words[ti],
+                    visited_words=visited[ti],
+                    counter=counter,
+                )
+            else:
+                spatial = np.zeros((r, w), dtype=np.uint64)
+            bitops.fused_update(
+                spatial, carry, active_words[ti], visited[ti], f_t, new_t
+            )
+            if counter is not None:
+                counter.word_ops += bitops.FUSED_UPDATE_WORD_OPS * new_t.size
+            if new_t.any():
+                alive = True
+                mask = bitops.unpack_bits(new_t, n)
+                dist[ti] += np.multiply(mask, level + 1, dtype=np.int32)
+        frontier, scratch = scratch, frontier
+    shard_min = np.where(dist >= 0, dist, _FAR).min(axis=0)  # (R, N)
+    return dist.transpose(0, 2, 1), boundary.merged_with(shard_min)
+
+
+def _zero_one_shard_sweep(
+    kernel: FrontierKernel,
+    seeds_per_column: Sequence[Sequence[tuple[int, int]]],
+    boundary: BoundaryBlock,
+    spatial_cost: int,
+    causal_cost: int,
+) -> tuple[np.ndarray, BoundaryBlock]:
+    """One shard's slice of the 0/1-semiring sweep; ``((T_i, N, R), boundary out)``.
+
+    ``LabelKernel._zero_one_run_fused`` over the shard's snapshots, with the
+    boundary injected where the monolithic causal step would deliver it:
+    external nodes at minimal label ``m`` join the cost-``m`` zero-cost
+    saturation when causal edges are free, or the cost-``m`` unit expansion
+    (producing ``m + 1``) when causal edges cost one.
+    """
+    compiled = kernel.compiled
+    t_count, n = compiled.active_mask.shape
+    r = boundary.num_columns
+    w = bitops.words_for(n)
+    mats = compiled.forward_operators
+    degrees = kernel._operator_degrees(True)
+    active_words = kernel._packed_active()
+    labels = np.full((t_count, n, r), -1, dtype=np.int32)
+    frontier = np.zeros((t_count, r, w), dtype=np.uint64)
+    for col, seeds in enumerate(seeds_per_column):
+        for ti, vi in seeds:
+            frontier[ti, col, vi >> 6] |= np.uint64(1) << np.uint64(vi & 63)
+            labels[ti, vi, col] = 0
+    reached = frontier.copy()
+
+    def spatial_step(block: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(block)
+        for ti in range(t_count):
+            if mats[ti].nnz and block[ti].any():
+                out[ti] = bitops.advance_blocked(
+                    mats[ti],
+                    block[ti],
+                    n,
+                    out_degrees=degrees[ti],
+                    active_row=active_words[ti],
+                    visited_words=reached[ti],
+                )
+        return out
+
+    max_ext = boundary.max_level
+    cost = 0
+    while frontier.any() or cost <= max_ext:
+        ext = boundary.words(cost)
+        # an external node is strictly earlier than every snapshot here, so
+        # its causal reach is the node's bit at all of them, active-masked
+        ext_block = (
+            ext[None, :, :] & active_words[:, None, :] if ext is not None else None
+        )
+        # saturate zero-cost edge families at the current cost level
+        while True:
+            grow = np.zeros_like(frontier)
+            if causal_cost == 0:
+                grow |= bitops.causal_or_accumulate(frontier, active_words)
+                if ext_block is not None:
+                    grow |= ext_block
+            if spatial_cost == 0:
+                grow |= spatial_step(frontier)
+            grow &= active_words[:, None, :]
+            grow &= ~reached
+            if not grow.any():
+                break
+            mask = bitops.unpack_bits(grow, n)
+            labels[mask.transpose(0, 2, 1)] = cost
+            reached |= grow
+            frontier |= grow
+        # one unit-cost expansion
+        step = np.zeros_like(frontier)
+        if spatial_cost == 1:
+            step |= spatial_step(frontier)
+        if causal_cost == 1:
+            step |= bitops.causal_or_accumulate(frontier, active_words)
+            if ext_block is not None:
+                step |= ext_block
+        frontier = step & active_words[:, None, :] & ~reached
+        cost += 1
+        mask = bitops.unpack_bits(frontier, n)
+        labels[mask.transpose(0, 2, 1)] = cost
+        reached |= frontier
+    shard_min = np.where(labels >= 0, labels, _FAR).min(axis=0).T  # (R, N)
+    return labels, boundary.merged_with(shard_min)
+
+
+def _tang_shard_sweep(
+    kernel: FrontierKernel,
+    informed: np.ndarray,
+    *,
+    horizon: int,
+    start_index: int,
+    global_start: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One shard's slice of the Tang sweep; ``((N, R) step partial, informed out)``.
+
+    The Tang state is time-free — the ``(R, W)`` informed words *are* the
+    boundary — so this is ``LabelKernel._tang_chunk_fused`` restricted to
+    the shard's snapshots, with global step numbering
+    (``global snapshot - start_index + 1``) and the incoming words carried
+    forward.  Nodes informed before this shard are never "fresh" here, so
+    the per-shard step partials are disjoint.
+    """
+    compiled = kernel.compiled
+    mats = compiled.forward_operators
+    t_count = compiled.num_snapshots
+    n = compiled.num_nodes
+    r = informed.shape[0]
+    degrees = kernel._operator_degrees(True)
+    informed = informed.copy()
+    steps = np.full((n, r), -1, dtype=np.int32)
+    if bitops.popcount(informed) == n * r:
+        return steps, informed
+    local_start = max(0, start_index - global_start)
+    for ti in range(local_start, t_count):
+        if not mats[ti].nnz:
+            continue
+        step = global_start + ti - start_index + 1
+        fresh = np.zeros((r, bitops.words_for(n)), dtype=np.uint64)
+        for _ in range(max(1, horizon)):
+            spread = bitops.advance_blocked(
+                mats[ti],
+                informed,
+                n,
+                out_degrees=degrees[ti],
+                visited_words=informed,
+                counter=kernel.counter,
+            )
+            newly = spread & ~informed
+            if not newly.any():
+                break
+            informed |= newly
+            fresh |= newly
+        if fresh.any():
+            steps.T[bitops.unpack_bits(fresh, n)] = step
+        if bitops.popcount(informed) == n * r:
+            break
+    return steps, informed
+
+
+def _run_shard_task(
+    kernel: FrontierKernel,
+    spec: tuple,
+    kind: str,
+    seeds: Sequence[Sequence[tuple[int, int]]],
+    boundary,
+    global_start: int,
+) -> tuple[object, object]:
+    """Execute one (shard, chunk) sweep and reduce its block to a partial.
+
+    ``spec`` is a picklable family tuple — ``("bfs", forward, reverse_edges)``,
+    ``("zero_one", spatial_cost, causal_cost)`` or ``("tang", horizon,
+    start_index)`` — and ``kind`` picks the partial shipped back to the
+    driver, so the process backend returns reductions (reach masks, harmonic
+    sums, hit indices, decoded dictionaries) instead of full blocks whenever
+    the readout allows.
+    """
+    family = spec[0]
+    if family == "tang":
+        return _tang_shard_sweep(
+            kernel,
+            boundary,
+            horizon=spec[1],
+            start_index=spec[2],
+            global_start=global_start,
+        )
+    if family == "bfs":
+        block, boundary_out = _bfs_shard_sweep(
+            kernel, seeds, boundary, forward=spec[1], reverse_edges=spec[2]
+        )
+    else:
+        block, boundary_out = _zero_one_shard_sweep(
+            kernel, seeds, boundary, spec[1], spec[2]
+        )
+    return _reduce_block(kernel, kind, block, global_start), boundary_out
+
+
+def _reduce_block(
+    kernel: FrontierKernel, kind: str, block: np.ndarray, global_start: int
+) -> object:
+    """Collapse a shard's ``(T_i, N, R)`` block to the partial a readout needs."""
+    if kind == "block":
+        return block
+    if kind == "reach":
+        return (block >= 0).any(axis=0)  # (N, R) identity-hit mask
+    if kind == "harmonic":
+        inverse = np.where(block > 0, 1.0 / np.maximum(block, 1), 0.0)
+        return inverse.sum(axis=(0, 1))  # (R,)
+    if kind in ("first", "last"):
+        reached = block >= 0
+        hit = reached.any(axis=0)
+        if kind == "first":
+            local = reached.argmax(axis=0)
+        else:
+            local = block.shape[0] - 1 - reached[::-1].argmax(axis=0)
+        return np.where(hit, np.int32(global_start) + local, -1).astype(np.int32)
+    if kind == "reached":
+        # decoded per-column dictionaries: the shard owns the full node
+        # universe and its own slice of real time labels, so local decoding
+        # is globally correct (and what keeps process results small)
+        return [kernel._reached_dict(block, col) for col in range(block.shape[2])]
+    raise GraphError(f"unknown shard partial kind {kind!r}")
+
+
+def _merge_partials(kind: str, parts: Sequence) -> object:
+    """Combine per-shard partials (ascending shard index) into the global one."""
+    if kind == "block":
+        return np.concatenate(parts, axis=0)
+    if kind == "reach":
+        merged = parts[0].copy()
+        for part in parts[1:]:
+            merged |= part
+        return merged
+    if kind == "harmonic":
+        merged = parts[0].copy()
+        for part in parts[1:]:
+            merged += part
+        return merged
+    if kind in ("first", "last"):
+        merged = parts[0].copy()
+        combine = np.minimum if kind == "first" else np.maximum
+        for part in parts[1:]:
+            merged = np.where(
+                merged < 0, part, np.where(part < 0, merged, combine(merged, part))
+            )
+        return merged
+    if kind == "reached":
+        merged = [dict(d) for d in parts[0]]
+        for part in parts[1:]:
+            for col, d in enumerate(part):
+                merged[col].update(d)
+        return merged
+    if kind == "steps":
+        merged = parts[0].copy()
+        for part in parts[1:]:
+            merged = np.where(merged < 0, part, merged)
+        return merged
+    raise GraphError(f"unknown shard partial kind {kind!r}")
+
+
+def _pipeline_worker(payload, in_q, out_q):  # pragma: no cover - subprocess body
+    """Process-backend worker loop: owns its shards for the driver's lifetime.
+
+    ``payload`` is ``[(shard index, compiled artifact, global start), ...]``
+    shipped once, at startup, through the PR-3 pickling path; thereafter the
+    input queue carries only task tuples with packed boundary state, and the
+    output queue only ``(chunk, shard, partial, boundary out)`` results.
+    """
+    kernels = {}
+    starts = {}
+    for shard_index, artifact, global_start in payload:
+        kernels[shard_index] = FrontierKernel(artifact)
+        starts[shard_index] = global_start
+    while True:
+        message = in_q.get()
+        if message is None:
+            break
+        chunk_id, shard_index, spec, kind, seeds, boundary = message
+        try:
+            partial, boundary_out = _run_shard_task(
+                kernels[shard_index], spec, kind, seeds, boundary, starts[shard_index]
+            )
+            out_q.put((chunk_id, shard_index, partial, boundary_out, None))
+        except Exception as exc:  # noqa: BLE001 - relayed to the driver
+            out_q.put((chunk_id, shard_index, None, None, repr(exc)))
+
+
+# --------------------------------------------------------------------------- #
+# the driver                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+class ShardedSweepDriver:
+    """Runs every kernel sweep family across the shards of one artifact.
+
+    Parameters
+    ----------
+    sharded:
+        The :class:`~repro.graph.sharded.ShardedTemporalGraph` to sweep.
+    backend:
+        ``"serial"`` (shard-major, store-release between shards — the
+        out-of-core path), ``"thread"`` (root-chunks pipeline through the
+        shard chain on a thread pool) or ``"process"`` (persistent workers
+        own shards; only packed boundaries cross process boundaries).
+    num_workers:
+        Worker count for the thread/process backends (default: the shard
+        count, capped at 4 for processes).
+    chunk_size:
+        Default root-batch width per sweep, as in the monolithic kernels.
+
+    The driver mirrors the monolithic kernel surface method-for-method and
+    is itself what :func:`repro.engine.get_sharded_driver` caches under
+    ``(mutation_version, shard layout, backend, num_workers)``.  Process
+    backends hold OS resources: :meth:`close` them (context-manager
+    supported); the dispatch cache closes evicted drivers.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedTemporalGraph,
+        *,
+        backend: str = "serial",
+        num_workers: int | None = None,
+        chunk_size: int = 128,
+        mp_context: str | None = None,
+    ) -> None:
+        if backend not in SHARD_BACKENDS:
+            raise GraphError(
+                f"unsupported shard backend {backend!r}; "
+                f"expected one of {SHARD_BACKENDS}"
+            )
+        if chunk_size < 1:
+            raise GraphError("chunk_size must be at least 1")
+        self.sharded = sharded
+        self.backend = backend
+        self.chunk_size = int(chunk_size)
+        if num_workers is None:
+            num_workers = (
+                sharded.num_shards
+                if backend == "process"
+                else min(sharded.num_shards, 4)
+            )
+        self.num_workers = max(1, int(num_workers))
+        self._mp_context = mp_context
+        self._labels = sharded.node_labels
+        self._node_index = sharded.node_index
+        self._times = sharded.times
+        self._kernels: dict[int, FrontierKernel] = {}
+        self._processes: list = []
+        self._task_queues: dict[int, object] = {}
+        self._result_queue = None
+        self._owner: dict[int, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # metadata surface (what serving and the algorithms layer read)       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_labels(self) -> list[Node]:
+        return list(self._labels)
+
+    @property
+    def times(self) -> tuple[Time, ...]:
+        return tuple(self._times)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.sharded.num_nodes
+
+    @property
+    def num_snapshots(self) -> int:
+        return self.sharded.num_snapshots
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    @property
+    def mutation_version(self) -> int:
+        return self.sharded.mutation_version
+
+    def is_active(self, node: Node, time: Time) -> bool:
+        return self.sharded.is_active(node, time)
+
+    def require_current(self, graph) -> None:
+        """Raise :class:`GraphError` when the artifact no longer matches ``graph``."""
+        if not self.sharded.is_current(graph):
+            raise GraphError(
+                "sharded artifact is stale for this graph (artifact version "
+                f"{self.sharded.mutation_version}, graph version "
+                f"{graph.mutation_version}); rebuild via get_sharded_driver"
+            )
+
+    # ------------------------------------------------------------------ #
+    # seeds and scheduling                                                #
+    # ------------------------------------------------------------------ #
+
+    def _seed_index(self, root: TemporalNodeTuple) -> tuple[int, int]:
+        node, time = root
+        slot = self.sharded.slot(node, time)
+        if slot is None or not self.sharded.active_mask[slot]:
+            raise InactiveNodeError(node, time)
+        return slot
+
+    def _kernel(self, shard_index: int) -> FrontierKernel:
+        kernel = self._kernels.get(shard_index)
+        if kernel is None:
+            kernel = FrontierKernel(self.sharded.shard(shard_index))
+            self._kernels[shard_index] = kernel
+        return kernel
+
+    def _chain(self, spec: tuple) -> list[int]:
+        """Shard processing order for a sweep family (the pipeline order)."""
+        count = self.sharded.num_shards
+        if spec[0] == "bfs" and not spec[1]:
+            return list(range(count - 1, -1, -1))
+        if spec[0] == "tang":
+            start_index = spec[2]
+            return [
+                i
+                for i, (_, stop) in enumerate(self.sharded.boundaries)
+                if stop > start_index
+            ]
+        return list(range(count))
+
+    def _split_seeds(
+        self, seeds_per_column: Sequence[Sequence[tuple[int, int]]]
+    ) -> list[list[list[tuple[int, int]]]]:
+        """Global seed slots, rebased to per-shard local snapshot indices."""
+        out = []
+        for start, stop in self.sharded.boundaries:
+            out.append(
+                [
+                    [(ti - start, vi) for ti, vi in seeds if start <= ti < stop]
+                    for seeds in seeds_per_column
+                ]
+            )
+        return out
+
+    def _run_chunks(
+        self, spec: tuple, kind: str, plans: Sequence[tuple]
+    ) -> list:
+        """Run every chunk's sweep chain; returns merged partials per chunk.
+
+        ``plans`` holds ``(per-shard seeds, initial boundary)`` per chunk —
+        for Tang sweeps the "boundary" is the packed informed words and the
+        seeds are unused.
+        """
+        if self._closed:
+            raise GraphError("driver is closed")
+        if not plans:
+            return []
+        chain = self._chain(spec)
+        merge_kind = "steps" if spec[0] == "tang" else kind
+        if not chain:
+            raise GraphError("sweep chain is empty")  # pragma: no cover - guarded
+        if self.backend == "process":
+            per_chunk = self._run_process(spec, kind, plans, chain)
+        elif self.backend == "thread" and len(plans) > 1:
+            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+                per_chunk = list(
+                    pool.map(
+                        lambda plan: self._run_chain(spec, kind, plan, chain), plans
+                    )
+                )
+        elif self.backend == "serial" and self.sharded.store_backed:
+            per_chunk = self._run_serial_shard_major(spec, kind, plans, chain)
+        else:
+            per_chunk = [self._run_chain(spec, kind, plan, chain) for plan in plans]
+        return [_merge_partials(merge_kind, parts) for parts in per_chunk]
+
+    def _run_chain(
+        self, spec: tuple, kind: str, plan: tuple, chain: Sequence[int]
+    ) -> list:
+        """One chunk through the whole shard chain, in-process."""
+        seeds_by_shard, boundary = plan
+        parts: dict[int, object] = {}
+        for shard_index in chain:
+            partial, boundary = _run_shard_task(
+                self._kernel(shard_index),
+                spec,
+                kind,
+                seeds_by_shard[shard_index] if seeds_by_shard else None,
+                boundary,
+                self.sharded.boundaries[shard_index][0],
+            )
+            parts[shard_index] = partial
+        return [parts[i] for i in sorted(parts)]
+
+    def _run_serial_shard_major(
+        self, spec: tuple, kind: str, plans: Sequence[tuple], chain: Sequence[int]
+    ) -> list:
+        """Shard-major serial order: open each shard once across all chunks.
+
+        This is the out-of-core schedule — a store-backed shard is released
+        (and its kernel dropped) before the next one opens, so peak operator
+        residency stays at one shard regardless of chain length.
+        """
+        count = len(plans)
+        parts: list[dict[int, object]] = [{} for _ in range(count)]
+        boundaries = [plan[1] for plan in plans]
+        for shard_index in chain:
+            kernel = self._kernel(shard_index)
+            global_start = self.sharded.boundaries[shard_index][0]
+            for c, plan in enumerate(plans):
+                seeds_by_shard = plan[0]
+                parts[c][shard_index], boundaries[c] = _run_shard_task(
+                    kernel,
+                    spec,
+                    kind,
+                    seeds_by_shard[shard_index] if seeds_by_shard else None,
+                    boundaries[c],
+                    global_start,
+                )
+            self._kernels.pop(shard_index, None)
+            self.sharded.release(shard_index)
+        return [[chunk_parts[i] for i in sorted(chunk_parts)] for chunk_parts in parts]
+
+    # ------------------------------------------------------------------ #
+    # the process pipeline                                                #
+    # ------------------------------------------------------------------ #
+
+    def _ensure_processes(self) -> None:
+        if self._processes:
+            return
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(self._mp_context)
+        from repro.parallel.partition import chunk_by_weight
+
+        shard_ids = list(range(self.sharded.num_shards))
+        weights = [nnz + 1 for nnz in self.sharded.shard_nnz]
+        assignment = chunk_by_weight(shard_ids, weights, self.num_workers)
+        self._result_queue = ctx.Queue()
+        for worker_id, owned in enumerate(assignment):
+            payload = [
+                (i, self.sharded.shard(i), self.sharded.boundaries[i][0])
+                for i in owned
+            ]
+            task_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_pipeline_worker,
+                args=(payload, task_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+            for i in owned:
+                self._task_queues[i] = task_queue
+
+    def _run_process(
+        self, spec: tuple, kind: str, plans: Sequence[tuple], chain: Sequence[int]
+    ) -> list:
+        """Software-pipelined schedule over the persistent shard owners.
+
+        Every chunk is enqueued at the chain's first shard up front; as each
+        ``(chunk, shard)`` result returns, its boundary block is routed to
+        the owner of the next shard — so shard ``i`` sweeps chunk ``c + 1``
+        while shard ``i + 1`` sweeps chunk ``c`` after the pipeline fills.
+        """
+        self._ensure_processes()
+        next_in_chain = {
+            shard: chain[pos + 1] for pos, shard in enumerate(chain[:-1])
+        }
+        parts: list[dict[int, object]] = [{} for _ in plans]
+
+        def submit(chunk_id: int, shard_index: int, boundary) -> None:
+            seeds_by_shard = plans[chunk_id][0]
+            self._task_queues[shard_index].put(
+                (
+                    chunk_id,
+                    shard_index,
+                    spec,
+                    kind,
+                    seeds_by_shard[shard_index] if seeds_by_shard else None,
+                    boundary,
+                )
+            )
+
+        for chunk_id, plan in enumerate(plans):
+            submit(chunk_id, chain[0], plan[1])
+        pending = len(plans) * len(chain)
+        while pending:
+            chunk_id, shard_index, partial, boundary, error = self._result_queue.get()
+            if error is not None:
+                self.close()
+                raise GraphError(f"shard worker failed: {error}")
+            pending -= 1
+            parts[chunk_id][shard_index] = partial
+            follower = next_in_chain.get(shard_index)
+            if follower is not None:
+                submit(chunk_id, follower, boundary)
+        return [[chunk_parts[i] for i in sorted(chunk_parts)] for chunk_parts in parts]
+
+    def close(self) -> None:
+        """Shut down process workers (no-op for serial/thread backends)."""
+        self._closed = True
+        for task_queue in set(self._task_queues.values()):
+            try:
+                task_queue.put(None)
+            except Exception:  # pragma: no cover - teardown races
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        self._processes = []
+        self._task_queues = {}
+        self._result_queue = None
+
+    def __enter__(self) -> "ShardedSweepDriver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            if self._processes:
+                self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # frontier-family sweeps                                              #
+    # ------------------------------------------------------------------ #
+
+    def _frontier_chunks(
+        self,
+        roots: Sequence[TemporalNodeTuple],
+        spec: tuple,
+        kind: str,
+        chunk_size: int | None,
+    ) -> Iterator[tuple[list[TemporalNodeTuple], object]]:
+        """Chunk roots and pipeline all chunks through the shard chain at once.
+
+        Every chunk's plan is built up front so the thread/process backends
+        can overlap chunks at different chain positions (software pipelining
+        over root-batches); the merged partials are then yielded chunk by
+        chunk in root order, matching the kernels' chunked iterators.
+        """
+        size = chunk_size or self.chunk_size
+        if size < 1:
+            raise GraphError("chunk_size must be at least 1")
+        n = self.sharded.num_nodes
+        chunks: list[list[TemporalNodeTuple]] = []
+        plans: list[tuple] = []
+        for start in range(0, len(roots), size):
+            chunk = list(roots[start : start + size])
+            seeds = [[self._seed_index(r)] for r in chunk]
+            chunks.append(chunk)
+            plans.append(
+                (self._split_seeds(seeds), BoundaryBlock.empty(len(chunk), n))
+            )
+        yield from zip(chunks, self._run_chunks(spec, kind, plans))
+
+    def bfs(
+        self,
+        root: TemporalNodeTuple,
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+        sweep_mode: str | None = None,
+    ) -> BFSResult:
+        """Single-source search; equals ``FrontierKernel.bfs`` bit-for-bit.
+
+        ``sweep_mode`` is accepted for kernel-surface compatibility and
+        ignored: shard sweeps always run the fused loops (whose results the
+        monolithic suites pin to classic).
+        """
+        root = (root[0], root[1])
+        spec = ("bfs", direction == "forward", bool(reverse_edges))
+        for _, merged in self._frontier_chunks([root], spec, "reached", 1):
+            return BFSResult(root=root, reached=merged[0])
+        raise GraphError("empty sweep")  # pragma: no cover - single chunk above
+
+    def multi_source(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        sweep_mode: str | None = None,
+    ) -> BFSResult:
+        """One search seeded at several roots, as ``FrontierKernel.multi_source``."""
+        root_list = [(r[0], r[1]) for r in roots]
+        active_roots = [r for r in root_list if self.is_active(*r)]
+        if not active_roots:
+            if root_list:
+                raise InactiveNodeError(*root_list[0])
+            raise ValueError("multi_source requires at least one root")
+        seeds = [[self._seed_index(r) for r in active_roots]]
+        boundary = BoundaryBlock.empty(1, self.sharded.num_nodes)
+        plan = (self._split_seeds(seeds), boundary)
+        spec = ("bfs", direction == "forward", False)
+        (merged,) = self._run_chunks(spec, "reached", [plan])
+        return BFSResult(root=tuple(active_roots), reached=merged[0])
+
+    def batch(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[TemporalNodeTuple, BFSResult]:
+        """Many independent searches, as ``FrontierKernel.batch`` (inactive skipped)."""
+        root_list = [(r[0], r[1]) for r in roots]
+        active_roots = [r for r in root_list if self.is_active(*r)]
+        spec = ("bfs", direction == "forward", False)
+        results: dict[TemporalNodeTuple, BFSResult] = {}
+        for chunk, merged in self._frontier_chunks(
+            active_roots, spec, "reached", chunk_size
+        ):
+            for col, root in enumerate(chunk):
+                results[root] = BFSResult(root=root, reached=merged[col])
+        return results
+
+    def distance_blocks(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
+        """Raw global ``(T, N, R)`` distance blocks, chunked as the kernel's."""
+        spec = ("bfs", direction == "forward", bool(reverse_edges))
+        root_list = [(r[0], r[1]) for r in roots]
+        return self._frontier_chunks(root_list, spec, "block", chunk_size)
+
+    def identity_reach_counts(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        reverse_edges: bool = False,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[TemporalNodeTuple, int]:
+        """Per root: reached node identities minus itself, pipelined per shard.
+
+        Shards ship ``(N, R)`` identity-hit masks; the driver ORs and counts,
+        so the result is bit-identical to the monolithic reduction.
+        """
+        spec = ("bfs", direction == "forward", bool(reverse_edges))
+        out: dict[TemporalNodeTuple, int] = {}
+        root_list = [(r[0], r[1]) for r in roots]
+        for chunk, merged in self._frontier_chunks(
+            root_list, spec, "reach", chunk_size
+        ):
+            counts = merged.sum(axis=0)
+            for col, root in enumerate(chunk):
+                out[root] = int(counts[col]) - 1
+        return out
+
+    def harmonic_closeness_sums(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        direction: str = "forward",
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[TemporalNodeTuple, float]:
+        """Per root: ``sum(1/d)`` over reached slots at distance > 0.
+
+        Each shard reduces its own slice of the (bit-identical) distance
+        block; the driver adds the per-shard float partials, so sums match
+        the monolithic kernel to reduction-order rounding.
+        """
+        spec = ("bfs", direction == "forward", False)
+        out: dict[TemporalNodeTuple, float] = {}
+        root_list = [(r[0], r[1]) for r in roots]
+        for chunk, merged in self._frontier_chunks(
+            root_list, spec, "harmonic", chunk_size
+        ):
+            for col, root in enumerate(chunk):
+                out[root] = float(merged[col])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # label-family sweeps                                                 #
+    # ------------------------------------------------------------------ #
+
+    def earliest_arrivals(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[TemporalNodeTuple, dict[Node, Time]]:
+        """Per root: earliest reachable time per node identity (forward sweep).
+
+        Shards ship ``(N, R)`` global first-hit snapshot indices; the driver
+        keeps the minimum, which equals the monolithic running-minimum
+        readout exactly.
+        """
+        spec = ("bfs", True, False)
+        out: dict[TemporalNodeTuple, dict[Node, Time]] = {}
+        root_list = [(r[0], r[1]) for r in roots]
+        for chunk, first in self._frontier_chunks(
+            root_list, spec, "first", chunk_size
+        ):
+            for col, root in enumerate(chunk):
+                hits = np.nonzero(first[:, col] >= 0)[0]
+                out[root] = {
+                    self._labels[vi]: self._times[first[vi, col]]
+                    for vi in hits.tolist()
+                }
+        return out
+
+    def latest_departures(
+        self,
+        targets: Iterable[TemporalNodeTuple],
+        *,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[TemporalNodeTuple, dict[Node, Time]]:
+        """Per target: latest departing time per node identity (backward sweep)."""
+        spec = ("bfs", False, False)
+        out: dict[TemporalNodeTuple, dict[Node, Time]] = {}
+        target_list = [(r[0], r[1]) for r in targets]
+        for chunk, last in self._frontier_chunks(
+            target_list, spec, "last", chunk_size
+        ):
+            for col, target in enumerate(chunk):
+                hits = np.nonzero(last[:, col] >= 0)[0]
+                out[target] = {
+                    self._labels[vi]: self._times[last[vi, col]]
+                    for vi in hits.tolist()
+                }
+        return out
+
+    def zero_one_labels(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        spatial_cost: int = 1,
+        causal_cost: int = 0,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> Iterator[tuple[list[TemporalNodeTuple], np.ndarray]]:
+        """(min, +) labels with 0/1 edge-family costs, as the label kernel's."""
+        for cost, name in (
+            (spatial_cost, "spatial_cost"),
+            (causal_cost, "causal_cost"),
+        ):
+            if cost not in (0, 1):
+                raise GraphError(f"{name} must be 0 or 1, got {cost!r}")
+        spec = ("zero_one", int(spatial_cost), int(causal_cost))
+        root_list = [(r[0], r[1]) for r in roots]
+        return self._frontier_chunks(root_list, spec, "block", chunk_size)
+
+    def fewest_hops(
+        self,
+        roots: Iterable[TemporalNodeTuple],
+        *,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[TemporalNodeTuple, dict[TemporalNodeTuple, int]]:
+        """Per root: minimal static-edge count per reached slot (hops decoded)."""
+        spec = ("zero_one", 1, 0)
+        out: dict[TemporalNodeTuple, dict[TemporalNodeTuple, int]] = {}
+        root_list = [(r[0], r[1]) for r in roots]
+        for chunk, merged in self._frontier_chunks(
+            root_list, spec, "reached", chunk_size
+        ):
+            for col, root in enumerate(chunk):
+                out[root] = merged[col]
+        return out
+
+    def tang_steps(
+        self,
+        source_nodes: Iterable[Node],
+        *,
+        horizon: int = 1,
+        start_index: int = 0,
+        chunk_size: int | None = None,
+        sweep_mode: str | None = None,
+    ) -> dict[Node, dict[Node, int]]:
+        """Tang snapshot-count distances, the informed words flowing shard to shard."""
+        if start_index < 0 or start_index >= self.sharded.num_snapshots:
+            raise GraphError(f"start_index {start_index} out of range")
+        spec = ("tang", int(horizon), int(start_index))
+        size = chunk_size or self.chunk_size
+        n = self.sharded.num_nodes
+        w = bitops.words_for(n)
+        sources = list(source_nodes)
+        chunks: list[list[Node]] = []
+        plans: list[tuple] = []
+        for start in range(0, len(sources), size):
+            chunk = sources[start : start + size]
+            informed = np.zeros((len(chunk), w), dtype=np.uint64)
+            for col, source in enumerate(chunk):
+                vi = self._node_index.get(source)
+                if vi is not None:
+                    informed[col, vi >> 6] |= np.uint64(1) << np.uint64(vi & 63)
+            chunks.append(chunk)
+            plans.append((None, informed))
+        out: dict[Node, dict[Node, int]] = {}
+        for chunk, steps in zip(chunks, self._run_chunks(spec, "steps", plans)):
+            for col, source in enumerate(chunk):
+                vi = self._node_index.get(source)
+                if vi is not None:
+                    steps[vi, col] = 0
+                known = np.nonzero(steps[:, col] >= 0)[0]
+                out[source] = {
+                    self._labels[v]: int(steps[v, col]) for v in known.tolist()
+                }
+        return out
+
+    # ------------------------------------------------------------------ #
+    # decoding helpers (the serving layer's surface)                      #
+    # ------------------------------------------------------------------ #
+
+    def reached_dict(
+        self, dist: np.ndarray, col: int
+    ) -> dict[TemporalNodeTuple, int]:
+        """Decode one column of a global ``(T, N, R)`` block, as the kernel does."""
+        t_arr, v_arr = np.nonzero(dist[:, :, col] >= 0)
+        d_arr = dist[t_arr, v_arr, col]
+        return {
+            (self._labels[vi], self._times[ti]): int(d)
+            for ti, vi, d in zip(t_arr.tolist(), v_arr.tolist(), d_arr.tolist())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedSweepDriver backend={self.backend} "
+            f"shards={self.sharded.num_shards} workers={self.num_workers}>"
+        )

@@ -35,6 +35,7 @@ from repro.graph.converters import (
     to_triples,
 )
 from repro.graph.edge_list import TemporalEdgeList
+from repro.graph.sharded import ShardedTemporalGraph
 from repro.graph.snapshots import SnapshotSequenceEvolvingGraph
 from repro.graph.static_graph import StaticGraph, static_bfs
 from repro.graph.validation import (
@@ -48,6 +49,7 @@ from repro.graph.validation import (
 __all__ = [
     "BaseEvolvingGraph",
     "CompiledTemporalGraph",
+    "ShardedTemporalGraph",
     "AdjacencyListEvolvingGraph",
     "TemporalEdgeList",
     "MatrixSequenceEvolvingGraph",

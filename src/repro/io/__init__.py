@@ -1,9 +1,15 @@
-"""Input/output: temporal edge-list files and JSON (de)serialisation."""
+"""Input/output: edge-list files, JSON (de)serialisation, on-disk shard stores."""
 
 from repro.io.edge_list_io import (
     parse_temporal_edge_lines,
     read_temporal_edge_list,
     write_temporal_edge_list,
+)
+from repro.io.mmap_store import (
+    STORE_FORMAT,
+    ShardedStoreWriter,
+    load_sharded,
+    save_sharded,
 )
 from repro.io.serialization import (
     bfs_result_to_dict,
@@ -22,4 +28,8 @@ __all__ = [
     "save_evolving_graph",
     "load_evolving_graph",
     "bfs_result_to_dict",
+    "STORE_FORMAT",
+    "ShardedStoreWriter",
+    "save_sharded",
+    "load_sharded",
 ]

@@ -17,7 +17,11 @@ from repro.exceptions import IOFormatError
 from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.base import BaseEvolvingGraph, TemporalEdgeTuple
 
-__all__ = ["read_temporal_edge_list", "write_temporal_edge_list", "parse_temporal_edge_lines"]
+__all__ = [
+    "read_temporal_edge_list",
+    "write_temporal_edge_list",
+    "parse_temporal_edge_lines",
+]
 
 _COMMENT_PREFIXES = ("#", "%", "//")
 
@@ -54,7 +58,9 @@ def parse_temporal_edge_lines(
         parts = line.split(delimiter) if delimiter else line.replace(",", " ").split()
         if len(parts) < 3:
             raise IOFormatError(
-                f"line {line_number}: expected 'source destination timestamp', got {raw!r}")
+                f"line {line_number}: expected 'source destination timestamp', "
+                f"got {raw!r}"
+            )
         u, v, t = (_coerce(p) for p in parts[:3])
         triples.append((u, v, t))
     return triples
@@ -82,11 +88,15 @@ def write_temporal_edge_list(
     delimiter: str = "\t",
     header: bool = True,
 ) -> int:
-    """Write an evolving graph as a temporal edge list; returns the number of edges written."""
+    """Write an evolving graph as a temporal edge list; returns edges written."""
+
     def _write(handle: TextIO) -> int:
         count = 0
         if header:
-            handle.write(f"# temporal edge list: source{delimiter}destination{delimiter}timestamp\n")
+            handle.write(
+                f"# temporal edge list: "
+                f"source{delimiter}destination{delimiter}timestamp\n"
+            )
             handle.write(f"# directed={graph.is_directed}\n")
         for u, v, t in graph.temporal_edges():
             handle.write(f"{u}{delimiter}{v}{delimiter}{t}\n")

@@ -74,7 +74,9 @@ def evolving_graph_to_dict(graph: BaseEvolvingGraph) -> dict[str, Any]:
         "version": _VERSION,
         "directed": graph.is_directed,
         "timestamps": [_encode(t) for t in times],
-        "edges": [[_encode(u), _encode(v), _encode(t)] for u, v, t in graph.temporal_edges()],
+        "edges": [
+            [_encode(u), _encode(v), _encode(t)] for u, v, t in graph.temporal_edges()
+        ],
         "label_types": {"nodes": node_kind, "times": time_kind},
     }
 
@@ -94,7 +96,8 @@ def evolving_graph_from_dict(data: dict[str, Any]) -> AdjacencyListEvolvingGraph
         for u, v, t in data.get("edges", [])
     ]
     return AdjacencyListEvolvingGraph(
-        edges, directed=bool(data.get("directed", True)), timestamps=timestamps)
+        edges, directed=bool(data.get("directed", True)), timestamps=timestamps
+    )
 
 
 def save_evolving_graph(graph: BaseEvolvingGraph, path: str | Path | TextIO) -> None:
@@ -130,6 +133,8 @@ def bfs_result_to_dict(result: BFSResult) -> dict[str, Any]:
         "root": root_repr,
         "reached": [
             {"node": _encode(v), "time": _encode(t), "distance": d}
-            for (v, t), d in sorted(result.reached.items(), key=lambda kv: (kv[1], repr(kv[0])))
+            for (v, t), d in sorted(
+                result.reached.items(), key=lambda kv: (kv[1], repr(kv[0]))
+            )
         ],
     }

@@ -138,6 +138,7 @@ def batch_bfs(
     mp_context: str | None = None,
     compiled: CompiledTemporalGraph | None = None,
     sweep_mode: str | None = None,
+    shards: int | None = None,
 ) -> dict[TemporalNodeTuple, BFSResult]:
     """Run one evolving-graph BFS per root and collect the results.
 
@@ -163,8 +164,32 @@ def batch_bfs(
     vectorized and process backends — worker processes receive it through
     the pool initializer, so the parent's choice applies everywhere.  The
     python backends ignore it; results are bit-identical regardless.
+
+    ``shards`` (vectorized backend only) routes the batched sweeps through
+    the pipelined time-shard driver
+    (:func:`repro.engine.get_sharded_driver`) instead of the monolithic
+    kernel — ``num_workers``/``chunk_size`` become the driver's pipeline
+    parameters and the shard backend follows ``REPRO_SHARD_BACKEND`` —
+    with bit-identical results.
     """
     root_list = [tuple(r) for r in roots]
+    if shards is not None:
+        if backend != "vectorized":
+            raise GraphError(
+                "shards= requires backend='vectorized' (the shard driver "
+                "replaces the monolithic engine sweep)"
+            )
+        if compiled is not None:
+            raise GraphError(
+                "shards= resolves its artifact through the dispatch cache; "
+                "drop the compiled= argument"
+            )
+        from repro.engine import get_sharded_driver
+
+        driver = get_sharded_driver(
+            graph, shards, num_workers=num_workers, chunk_size=chunk_size
+        )
+        return driver.batch(root_list, chunk_size=chunk_size, sweep_mode=sweep_mode)
     if compiled is not None and backend in ("vectorized", "process"):
         if not compiled.is_current(graph):
             raise GraphError(

@@ -1,4 +1,4 @@
-"""Frontier and graph partitioning for parallel traversal (documented baseline).
+"""Frontier chunking and the weighted time partition behind the shard layout.
 
 The paper's experiment runs on a single core; parallel traversal is an
 extension this reproduction adds for completeness (and because the repro
@@ -8,13 +8,24 @@ BFS level, the frontier is split into chunks and each worker expands its
 chunk independently; the per-worker discoveries are then merged by the
 driver, which preserves the BFS level structure and therefore the distances.
 
-Like :mod:`repro.parallel.frontier`, this module is kept as the documented
-Python-parallel baseline — production batching goes through the engine via
-:func:`repro.parallel.batch.batch_bfs`.  The purely combinatorial pieces
-here (chunking strategies, the time-based partition the ablation benchmarks
-use) stay useful for both worlds; :func:`partition_timestamps` can weigh its
-partition straight off a compiled artifact's CSR stacks instead of walking
-Python edge iterators.
+The level-synchronous thread driver itself stayed a documented baseline
+(production batching goes through the engine via
+:func:`repro.parallel.batch.batch_bfs`), but since PR 8 the combinatorial
+pieces here are load-bearing for the sharded execution layer:
+
+* :func:`compiled_snapshot_weights` reads per-snapshot stored-entry counts
+  off a compiled artifact — including every *materialized* operator stack,
+  not just the forward one — and is the weighting both
+  :func:`partition_timestamps` and
+  :meth:`repro.graph.sharded.ShardedTemporalGraph.from_compiled` use to
+  choose shard boundaries;
+* :func:`weighted_contiguous_split` is the shared contiguous balanced
+  partition (time shards must be contiguous snapshot ranges — causal edges
+  only cross them forward in time);
+* :func:`chunk_by_weight` balances *non-contiguous* assignments, e.g. which
+  pipeline worker owns which shard in
+  :class:`repro.engine.sharded_sweep.ShardedSweepDriver` when there are
+  fewer workers than shards.
 """
 
 from __future__ import annotations
@@ -29,7 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 T = TypeVar("T")
 
-__all__ = ["chunk_evenly", "chunk_by_weight", "partition_timestamps"]
+__all__ = [
+    "chunk_evenly",
+    "chunk_by_weight",
+    "compiled_snapshot_weights",
+    "partition_timestamps",
+    "weighted_contiguous_split",
+]
 
 
 def chunk_evenly(items: Sequence[T], num_chunks: int) -> list[list[T]]:
@@ -80,6 +97,61 @@ def chunk_by_weight(
     return [c for c in chunk_items if c]
 
 
+def weighted_contiguous_split(
+    weights: Sequence[float], num_parts: int
+) -> list[tuple[int, int]]:
+    """Split positions ``0..len(weights)`` into contiguous ranges of balanced weight.
+
+    Returns at most ``num_parts`` half-open ``(start, stop)`` ranges covering
+    every position in order (fewer when there are fewer items than parts).
+    This is the partition rule time-sharding needs — shards must be
+    contiguous snapshot ranges — shared by :func:`partition_timestamps` and
+    the :class:`~repro.graph.sharded.ShardedTemporalGraph` layout.
+    """
+    if num_parts < 1:
+        raise GraphError("num_parts must be at least 1")
+    count = len(weights)
+    if not count:
+        return []
+    total = float(sum(weights))
+    target = total / min(num_parts, count)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += float(w)
+        if acc >= target and len(ranges) < num_parts - 1:
+            ranges.append((start, i + 1))
+            start = i + 1
+            acc = 0.0
+    if start < count:
+        ranges.append((start, count))
+    return ranges
+
+
+def compiled_snapshot_weights(compiled: "CompiledTemporalGraph") -> list[int]:
+    """Per-snapshot stored-entry weights over every *materialized* operator stack.
+
+    The forward stack always counts; the backward (transpose) stack counts
+    only when it has been materialized as distinct matrices (directed
+    graphs — the undirected backward stack aliases the forward one at zero
+    cost, and the symmetrized spectral stack always aliases one of the two).
+    The ``+ 1`` floor keeps empty snapshots from collapsing to zero weight,
+    so a run of empty snapshots still spreads across parts.  Counting all
+    materialized stacks matters twice: byte budgeting for the out-of-core
+    shard store scales with what is actually stored, and the constant floor
+    makes the balance between empty and heavy snapshots — hence the chosen
+    boundaries — sensitive to the per-snapshot byte multiplier.
+    """
+    stacks = [compiled.forward_operators]
+    if compiled.transposes_built and compiled.is_directed:
+        stacks.append(compiled.backward_operators)
+    return [
+        sum(int(stack[k].nnz) for stack in stacks) + 1
+        for k in range(compiled.num_snapshots)
+    ]
+
+
 def partition_timestamps(
     graph: BaseEvolvingGraph,
     num_parts: int,
@@ -94,11 +166,13 @@ def partition_timestamps(
 
     When a :class:`~repro.graph.compiled.CompiledTemporalGraph` for the
     graph is supplied (it must be current), the per-snapshot weights are
-    read off the compiled CSR operator stack (stored-entry counts) instead
-    of walking Python edge iterators — the engine-routed path for callers
-    that already hold the artifact.  Operator nnz differs from the raw edge
-    count by symmetrization and self-loop dropping, which leaves the
-    balancing heuristic unchanged.
+    read off the compiled CSR operator stacks via
+    :func:`compiled_snapshot_weights` — every materialized stack counts, so
+    backward-heavy workloads that forced the transposes into memory weigh
+    each snapshot by what it actually stores — instead of walking Python
+    edge iterators.  Operator nnz differs from the raw edge count by
+    symmetrization and self-loop dropping, which leaves the balancing
+    heuristic unchanged.
     """
     if num_parts < 1:
         raise GraphError("num_parts must be at least 1")
@@ -112,23 +186,12 @@ def partition_timestamps(
                 f"(artifact version {compiled.mutation_version}, graph "
                 f"version {graph.mutation_version})"
             )
-        operators = compiled.forward_operators
         position = compiled.time_index
-        weights = [int(operators[position[t]].nnz) + 1 for t in times]
+        by_position = compiled_snapshot_weights(compiled)
+        weights: list[float] = [by_position[position[t]] for t in times]
     else:
         weights = [sum(1 for _ in graph.edges_at(t)) + 1 for t in times]
-    total = sum(weights)
-    target = total / min(num_parts, len(times))
-    parts: list[list[Time]] = []
-    current: list[Time] = []
-    acc = 0.0
-    for t, w in zip(times, weights):
-        current.append(t)
-        acc += w
-        if acc >= target and len(parts) < num_parts - 1:
-            parts.append(current)
-            current = []
-            acc = 0.0
-    if current:
-        parts.append(current)
-    return parts
+    return [
+        times[start:stop]
+        for start, stop in weighted_contiguous_split(weights, num_parts)
+    ]

@@ -73,6 +73,7 @@ def execute_group(
     chunk_size: int = 128,
     num_workers: int = 1,
     sweep_mode: str | None = None,
+    driver=None,
 ) -> GroupOutcome:
     """Answer every query in one sweep-shape group with shared kernel work.
 
@@ -80,20 +81,30 @@ def execute_group(
     ``"classic"``; ``None`` follows the process-wide default) and is threaded
     to every batched kernel call below — results are bit-identical either
     way, so served answers never depend on the mode.
+
+    ``driver`` (a :class:`~repro.engine.sharded_sweep.ShardedSweepDriver`)
+    reroutes the frontier, zero-one, Tang and reach-count families through
+    the pipelined time-shard sweeps — served results stay bit-identical; the
+    driver's backend supplies the parallelism, so the ``num_workers`` thread
+    fan-out is bypassed.  The spectral family has no sharded formulation
+    (its resolvent chains are global in time) and always executes on the
+    monolithic kernel.
     """
     family = sweep_key[0]
     if family == "frontier":
         return _frontier_group(
-            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode
+            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode, driver
         )
     if family == "zero_one":
         return _zero_one_group(
-            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode
+            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode, driver
         )
     if family == "tang":
-        return _tang_group(graph, sweep_key, queries, chunk_size, sweep_mode)
+        return _tang_group(graph, sweep_key, queries, chunk_size, sweep_mode, driver)
     if family == "reach_counts":
-        return _reach_counts_group(graph, sweep_key, queries, chunk_size, sweep_mode)
+        return _reach_counts_group(
+            graph, sweep_key, queries, chunk_size, sweep_mode, driver
+        )
     if family == "spectral":
         return _spectral_group(graph, sweep_key, queries)
     raise GraphError(f"unknown sweep family {family!r}")
@@ -133,13 +144,21 @@ def _frontier_group(
     chunk_size: int,
     num_workers: int,
     sweep_mode: str | None,
+    driver=None,
 ) -> GroupOutcome:
     """BFS / reachability / earliest-arrival / latest-departure, one sweep."""
-    from repro.engine import get_kernel
-
     _, direction, reverse_edges = sweep_key
-    kernel = get_kernel(graph)
-    compiled = kernel.compiled
+    if driver is not None:
+        surface = driver.sharded
+        decode = driver.reached_dict
+        sweeper = driver
+    else:
+        from repro.engine import get_kernel
+
+        kernel = get_kernel(graph)
+        surface = kernel.compiled
+        decode = lambda dist, col: kernel._reached_dict(dist, col)  # noqa: E731
+        sweeper = kernel
     outcome = GroupOutcome(results=[None] * len(queries), errors=[None] * len(queries))
 
     # roots become sweep columns; inactive roots never enter the sweep —
@@ -150,7 +169,7 @@ def _frontier_group(
     pending: list[int] = []
     for i, query in enumerate(queries):
         root = _query_root(query)
-        if not compiled.is_active(*root):
+        if not surface.is_active(*root):
             if isinstance(query, (BFSQuery, ReachabilityQuery)):
                 outcome.errors[i] = InactiveNodeError(*root)
             else:
@@ -165,7 +184,7 @@ def _frontier_group(
 
     def run_chunk(chunk_roots):
         return list(
-            kernel.distance_blocks(
+            sweeper.distance_blocks(
                 chunk_roots,
                 direction=direction,
                 reverse_edges=reverse_edges,
@@ -174,23 +193,29 @@ def _frontier_group(
             )
         )
 
+    if driver is not None:
+        # the driver's shard backend supplies the parallelism (and, for the
+        # thread/process backends, pipelines the chunks through the shards)
+        block_iter = run_chunk(roots)
+    else:
+        block_iter = _chunked_blocks(run_chunk, roots, chunk_size, num_workers)
     blocks: dict[TemporalNodeTuple, tuple[np.ndarray, int]] = {}
-    for chunk, dist in _chunked_blocks(run_chunk, roots, chunk_size, num_workers):
+    for chunk, dist in block_iter:
         for col, root in enumerate(chunk):
             blocks[root] = (dist, col)
     outcome.columns = len(roots)
     outcome.sweeps = 1
 
-    labels = compiled.node_labels
-    times = compiled.times
-    t_count = compiled.num_snapshots
+    labels = surface.node_labels
+    times = surface.times
+    t_count = surface.num_snapshots
     for i in pending:
         query = queries[i]
         dist, col = blocks[_query_root(query)]
         if isinstance(query, BFSQuery):
-            outcome.results[i] = kernel._reached_dict(dist, col)
+            outcome.results[i] = decode(dist, col)
         elif isinstance(query, ReachabilityQuery):
-            slot = compiled.slot(*query.target)
+            slot = surface.slot(*query.target)
             if slot is None or dist[slot[0], slot[1], col] < 0:
                 outcome.results[i] = None
             else:
@@ -220,13 +245,18 @@ def _zero_one_group(
     chunk_size: int,
     num_workers: int,
     sweep_mode: str | None,
+    driver=None,
 ) -> GroupOutcome:
     """Fewest-spatial-hops sources packed into one 0/1-semiring sweep."""
-    from repro.engine import get_label_kernel
-
     _, spatial_cost, causal_cost = sweep_key
-    label_kernel = get_label_kernel(graph)
-    compiled = label_kernel.compiled
+    if driver is not None:
+        surface = driver.sharded
+        sweeper = driver
+    else:
+        from repro.engine import get_label_kernel
+
+        sweeper = get_label_kernel(graph)
+        surface = sweeper.compiled
     outcome = GroupOutcome(results=[None] * len(queries), errors=[None] * len(queries))
 
     roots: list[TemporalNodeTuple] = []
@@ -234,7 +264,7 @@ def _zero_one_group(
     pending: list[int] = []
     for i, query in enumerate(queries):
         source = query.source
-        if not compiled.is_active(*source):
+        if not surface.is_active(*source):
             outcome.results[i] = {}  # fewest_spatial_hops_from's inactive answer
             continue
         if source not in seen:
@@ -246,7 +276,7 @@ def _zero_one_group(
 
     def run_chunk(chunk_roots):
         return list(
-            label_kernel.zero_one_labels(
+            sweeper.zero_one_labels(
                 chunk_roots,
                 spatial_cost=spatial_cost,
                 causal_cost=causal_cost,
@@ -255,10 +285,14 @@ def _zero_one_group(
             )
         )
 
-    labels = compiled.node_labels
-    times = compiled.times
+    if driver is not None:
+        block_iter = run_chunk(roots)
+    else:
+        block_iter = _chunked_blocks(run_chunk, roots, chunk_size, num_workers)
+    labels = surface.node_labels
+    times = surface.times
     decoded: dict[TemporalNodeTuple, dict] = {}
-    for chunk, block in _chunked_blocks(run_chunk, roots, chunk_size, num_workers):
+    for chunk, block in block_iter:
         for col, root in enumerate(chunk):
             t_arr, v_arr = np.nonzero(block[:, :, col] >= 0)
             hops = block[t_arr, v_arr, col]
@@ -279,10 +313,9 @@ def _tang_group(
     queries: list[Query],
     chunk_size: int,
     sweep_mode: str | None,
+    driver=None,
 ) -> GroupOutcome:
     """Tang snapshot-count sources packed into one batched time sweep."""
-    from repro.engine import get_label_kernel
-
     _, start_time, horizon = sweep_key
     outcome = GroupOutcome(results=[None] * len(queries), errors=[None] * len(queries))
     times = list(graph.timestamps)
@@ -301,7 +334,13 @@ def _tang_group(
         if query.source_node not in seen:
             seen.add(query.source_node)
             sources.append(query.source_node)
-    steps = get_label_kernel(graph).tang_steps(
+    if driver is not None:
+        sweeper = driver
+    else:
+        from repro.engine import get_label_kernel
+
+        sweeper = get_label_kernel(graph)
+    steps = sweeper.tang_steps(
         sources,
         horizon=horizon,
         start_index=start_index,
@@ -323,16 +362,21 @@ def _reach_counts_group(
     queries: list[Query],
     chunk_size: int,
     sweep_mode: str | None,
+    driver=None,
 ) -> GroupOutcome:
     """One whole-graph reach-count sweep serves every top-k ranking in the group."""
-    from repro.engine import get_kernel
-
     _, direction = sweep_key
     outcome = GroupOutcome(results=[None] * len(queries), errors=[None] * len(queries))
     roots = graph.active_temporal_nodes()
     counts: dict[TemporalNodeTuple, int] = {}
     if roots:
-        counts = get_kernel(graph).identity_reach_counts(
+        if driver is not None:
+            sweeper = driver
+        else:
+            from repro.engine import get_kernel
+
+            sweeper = get_kernel(graph)
+        counts = sweeper.identity_reach_counts(
             roots, direction=direction, chunk_size=chunk_size, sweep_mode=sweep_mode
         )
         outcome.columns = len(roots)

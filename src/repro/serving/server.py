@@ -154,6 +154,19 @@ class QueryServer:
         byte-per-cell oracle loops), or ``None`` to follow the process-wide
         :func:`repro.engine.get_sweep_mode` default at execution time.
         Served results are bit-identical across modes.
+    sharded:
+        Serve the frontier, zero-one, Tang and reach-count families through
+        the pipelined time-shard driver instead of the monolithic kernels —
+        results stay bit-identical, and a store-backed sharded graph serves
+        out-of-core.  Pass a shard count (resolved once through
+        :func:`repro.engine.get_sharded_driver`) or a prebuilt
+        :class:`~repro.engine.sharded_sweep.ShardedSweepDriver` (e.g. over a
+        memory-mapped store from :func:`repro.io.load_sharded`).  A sharded
+        server is **read-only**: :meth:`mutate` raises
+        :class:`~repro.exceptions.GraphError`, and a graph mutated behind
+        the server's back fails each micro-batch with a staleness error
+        instead of serving results from the outdated shard layout.  The
+        spectral family keeps executing on the monolithic kernel.
     """
 
     def __init__(
@@ -166,6 +179,7 @@ class QueryServer:
         chunk_size: int = 128,
         num_workers: int = 1,
         sweep_mode: str | None = None,
+        sharded=None,
     ) -> None:
         if window_s < 0:
             raise GraphError(f"window_s must be >= 0, got {window_s}")
@@ -177,6 +191,13 @@ class QueryServer:
             resolve_sweep_mode(sweep_mode)  # validate eagerly, resolve at sweep time
         self._sweep_mode = sweep_mode
         self._graph = graph
+        if isinstance(sharded, int):
+            from repro.engine import get_sharded_driver
+
+            sharded = get_sharded_driver(graph, sharded, chunk_size=chunk_size)
+        self._sharded_driver = sharded
+        if sharded is not None:
+            sharded.require_current(graph)
         self._window = float(window_s)
         self._max_batch = int(max_batch)
         self._chunk_size = int(chunk_size)
@@ -265,6 +286,12 @@ class QueryServer:
         version-mismatched cache entry.  The future resolves to the graph's
         new ``mutation_version``.
         """
+        if self._sharded_driver is not None:
+            raise GraphError(
+                "a sharded QueryServer is read-only: its shard layout (and "
+                "any on-disk store behind it) is fixed at one mutation "
+                "version; serve mutations from a monolithic server instead"
+            )
         batch = [tuple(e) for e in edges]
         future: Future = Future()
         with self._lock:
@@ -375,6 +402,12 @@ class QueryServer:
             keys = [key for key, _ in members]
             queries = [query for _, query in members]
             try:
+                if self._sharded_driver is not None:
+                    # a read-only sharded server never mutates the graph
+                    # itself, so a version drift means someone edited the
+                    # graph behind the server's back — fail loudly rather
+                    # than serve from the outdated shard layout
+                    self._sharded_driver.require_current(self._graph)
                 outcome = execute_group(
                     self._graph,
                     sweep_key,
@@ -382,6 +415,7 @@ class QueryServer:
                     chunk_size=self._chunk_size,
                     num_workers=self._num_workers,
                     sweep_mode=self._sweep_mode,
+                    driver=self._sharded_driver,
                 )
                 results, errors = outcome.results, outcome.errors
             except Exception as exc:  # whole-group failure

@@ -1,0 +1,533 @@
+"""Bit-identity and unit tests for the time-sharded execution layer.
+
+The sharded stack (``repro.graph.sharded`` + ``repro.engine.sharded_sweep``
++ ``repro.io.mmap_store``) must be *observationally identical* to the
+monolithic kernels on every sweep family it serves: single-source and
+batched BFS (both directions, reversed edges), identity reach counts,
+harmonic closeness sums (to reduction-order rounding — the one float
+reduction), earliest arrival, latest departure, fewest hops, 0/1-semiring
+label blocks and Tang snapshot counts.  The property-based tests assert
+exact equality across shard counts (1, 2, 3, one-snapshot-per-shard and
+explicitly ragged boundaries) and backends, through the algorithm layer's
+``shards=`` flag and through a sharded :class:`~repro.serving.QueryServer`.
+
+The CI shard-stress job re-runs this module with ``REPRO_SHARD_BACKEND`` /
+``REPRO_SHARD_COUNT`` exported, which reroutes the env-driven tests below
+through the process pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.centrality import (
+    temporal_closeness,
+    temporal_in_reach,
+    temporal_out_reach,
+)
+from repro.algorithms.queries import (
+    BFSQuery,
+    EarliestArrivalQuery,
+    FewestHopsQuery,
+    LatestDepartureQuery,
+    ReachabilityQuery,
+    TangDistanceQuery,
+    TopKReachQuery,
+)
+from repro.algorithms.tang_distance import temporal_distances_tang_from
+from repro.algorithms.temporal_paths import (
+    earliest_arrival_times,
+    fewest_spatial_hops_from,
+    latest_departure_times,
+)
+from repro.engine import (
+    FrontierKernel,
+    LabelKernel,
+    get_compiled,
+    get_kernel,
+    get_label_kernel,
+    get_sharded_driver,
+    invalidate_kernel,
+)
+from repro.engine.sharded_sweep import BoundaryBlock, ShardedSweepDriver, _FAR
+from repro.exceptions import GraphError, InactiveNodeError
+from repro.graph import AdjacencyListEvolvingGraph, ShardedTemporalGraph
+from repro.graph.sharded import compute_shard_layout, operator_stack_bytes
+from repro.io.mmap_store import ShardedStoreWriter, load_sharded, save_sharded
+from repro.parallel.batch import batch_bfs
+from repro.parallel.partition import compiled_snapshot_weights, partition_timestamps
+from repro.serving import QueryServer
+
+node_labels = st.integers(min_value=0, max_value=12)
+time_labels = st.integers(min_value=0, max_value=5)
+
+#: The CI shard-stress job exports these to force every env-driven test
+#: through the process pipeline with a fixed shard count.
+ENV_BACKEND = os.environ.get("REPRO_SHARD_BACKEND", "serial")
+ENV_SHARDS = int(os.environ.get("REPRO_SHARD_COUNT", "3"))
+
+
+@st.composite
+def evolving_graphs(draw, *, directed: bool | None = None, min_edges: int = 1,
+                    max_edges: int = 25):
+    """A small random evolving graph as an adjacency-list representation."""
+    if directed is None:
+        directed = draw(st.booleans())
+    n_edges = draw(st.integers(min_value=min_edges, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(node_labels, node_labels, time_labels).filter(lambda e: e[0] != e[1]),
+            min_size=n_edges, max_size=n_edges,
+        )
+    )
+    return AdjacencyListEvolvingGraph(edges, directed=directed)
+
+
+@st.composite
+def graphs_with_roots(draw, **kwargs):
+    graph = draw(evolving_graphs(**kwargs))
+    active = graph.active_temporal_nodes()
+    if not active:
+        graph.add_edge(0, 1, 0)
+        active = graph.active_temporal_nodes()
+    root = draw(st.sampled_from(active))
+    return graph, root
+
+
+SHARD_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _shardings(compiled):
+    """Every shard layout a test should cover: 1, 2, per-snapshot, ragged."""
+    t = compiled.num_snapshots
+    layouts = [
+        ShardedTemporalGraph.from_compiled(compiled, 1),
+        ShardedTemporalGraph.from_compiled(compiled, 2),
+        ShardedTemporalGraph.from_compiled(compiled, t),
+    ]
+    if t > 1:
+        # deliberately unbalanced: a one-snapshot head shard + the rest
+        layouts.append(
+            ShardedTemporalGraph.from_compiled(compiled, boundaries=[(0, 1), (1, t)])
+        )
+    return layouts
+
+
+# --------------------------------------------------------------------------- #
+# property-based bit-identity: sharded driver == monolithic kernels            #
+# --------------------------------------------------------------------------- #
+
+@SHARD_SETTINGS
+@given(graphs_with_roots(), st.sampled_from(["serial", "thread"]))
+def test_sharded_frontier_family_bit_identical(graph_root, backend):
+    graph, root = graph_root
+    compiled = get_compiled(graph)
+    kernel = get_kernel(graph)
+    roots = graph.active_temporal_nodes()[:6]
+    expected_bfs = {
+        d: kernel.bfs(root, direction=d).reached for d in ("forward", "backward")
+    }
+    expected_batch = {r: res.reached for r, res in kernel.batch(roots).items()}
+    expected_multi = kernel.multi_source(roots).reached
+    expected_reach = kernel.identity_reach_counts(roots)
+    expected_harmonic = kernel.harmonic_closeness_sums(roots)
+    for sharded in _shardings(compiled):
+        driver = ShardedSweepDriver(sharded, backend=backend, chunk_size=3)
+        for direction in ("forward", "backward"):
+            assert driver.bfs(root, direction=direction).reached == \
+                expected_bfs[direction]
+        got = {r: res.reached for r, res in driver.batch(roots).items()}
+        assert got == expected_batch
+        assert driver.multi_source(roots).reached == expected_multi
+        assert driver.identity_reach_counts(roots) == expected_reach
+        got_harmonic = driver.harmonic_closeness_sums(roots)
+        assert set(got_harmonic) == set(expected_harmonic)
+        for r in expected_harmonic:
+            # the only non-bit-exact family: float sums associate per shard
+            assert np.isclose(
+                got_harmonic[r], expected_harmonic[r], rtol=1e-12, atol=1e-12
+            )
+
+
+@SHARD_SETTINGS
+@given(graphs_with_roots(directed=True), st.sampled_from(["serial", "thread"]))
+def test_sharded_reverse_edges_bit_identical(graph_root, backend):
+    graph, root = graph_root
+    compiled = get_compiled(graph)
+    expected = get_kernel(graph).bfs(root, reverse_edges=True).reached
+    for sharded in _shardings(compiled):
+        driver = ShardedSweepDriver(sharded, backend=backend, chunk_size=3)
+        assert driver.bfs(root, reverse_edges=True).reached == expected
+
+
+@SHARD_SETTINGS
+@given(graphs_with_roots(), st.sampled_from(["serial", "thread"]))
+def test_sharded_label_family_bit_identical(graph_root, backend):
+    graph, _ = graph_root
+    compiled = get_compiled(graph)
+    label_kernel = get_label_kernel(graph)
+    roots = graph.active_temporal_nodes()[:5]
+    sources = sorted({u for u, _, _ in graph.temporal_edges()})[:4] + [99]
+    t_count = compiled.num_snapshots
+    expected_earliest = label_kernel.earliest_arrivals(roots)
+    expected_latest = label_kernel.latest_departures(roots)
+    expected_hops = label_kernel.fewest_hops(roots)
+    expected_tang = {
+        (si, h): label_kernel.tang_steps(sources, horizon=h, start_index=si)
+        for si in (0, t_count - 1)
+        for h in (1, 2)
+    }
+    for sharded in _shardings(compiled):
+        driver = ShardedSweepDriver(sharded, backend=backend, chunk_size=3)
+        assert driver.earliest_arrivals(roots) == expected_earliest
+        assert driver.latest_departures(roots) == expected_latest
+        assert driver.fewest_hops(roots) == expected_hops
+        for (si, h), expected in expected_tang.items():
+            assert driver.tang_steps(sources, horizon=h, start_index=si) == expected
+
+
+@SHARD_SETTINGS
+@given(graphs_with_roots(), st.sampled_from([(1, 0), (1, 1), (0, 1)]))
+def test_sharded_zero_one_blocks_bit_identical(graph_root, costs):
+    graph, _ = graph_root
+    spatial_cost, causal_cost = costs
+    compiled = get_compiled(graph)
+    label_kernel = get_label_kernel(graph)
+    roots = graph.active_temporal_nodes()[:5]
+    expected = [
+        (chunk, block.copy())
+        for chunk, block in label_kernel.zero_one_labels(
+            roots, spatial_cost=spatial_cost, causal_cost=causal_cost, chunk_size=2
+        )
+    ]
+    for sharded in _shardings(compiled):
+        driver = ShardedSweepDriver(sharded, backend="serial", chunk_size=2)
+        got = list(
+            driver.zero_one_labels(
+                roots, spatial_cost=spatial_cost, causal_cost=causal_cost,
+                chunk_size=2,
+            )
+        )
+        assert len(got) == len(expected)
+        for (chunk_a, block_a), (chunk_b, block_b) in zip(expected, got):
+            assert chunk_a == chunk_b
+            assert np.array_equal(block_a, block_b)
+
+
+@SHARD_SETTINGS
+@given(graphs_with_roots())
+def test_algorithm_layer_shards_flag_bit_identical(graph_root):
+    graph, root = graph_root
+    assert temporal_out_reach(graph) == temporal_out_reach(graph, shards=2)
+    assert temporal_in_reach(graph) == temporal_in_reach(graph, shards=3)
+    mono, sharded = temporal_closeness(graph), temporal_closeness(graph, shards=2)
+    assert set(mono) == set(sharded)
+    for k in mono:
+        assert np.isclose(mono[k], sharded[k], rtol=1e-12, atol=1e-12)
+    assert earliest_arrival_times(graph, root) == \
+        earliest_arrival_times(graph, root, shards=2)
+    assert latest_departure_times(graph, root) == \
+        latest_departure_times(graph, root, shards=2)
+    assert fewest_spatial_hops_from(graph, root) == \
+        fewest_spatial_hops_from(graph, root, shards=3)
+    assert temporal_distances_tang_from(graph, root[0]) == \
+        temporal_distances_tang_from(graph, root[0], shards=2)
+    roots = graph.active_temporal_nodes()[:6]
+    mono_batch = {
+        r: res.reached
+        for r, res in batch_bfs(graph, roots, backend="vectorized").items()
+    }
+    sharded_batch = {
+        r: res.reached
+        for r, res in batch_bfs(
+            graph, roots, backend="vectorized", shards=2, chunk_size=3
+        ).items()
+    }
+    assert mono_batch == sharded_batch
+
+
+# --------------------------------------------------------------------------- #
+# mmap store: roundtrip, out-of-core accounting, versioning                    #
+# --------------------------------------------------------------------------- #
+
+@SHARD_SETTINGS
+@given(graphs_with_roots())
+def test_mmap_store_roundtrip_bit_identical(tmp_path_factory, graph_root):
+    graph, root = graph_root
+    compiled = get_compiled(graph)
+    if graph.is_directed:
+        compiled.backward_operators  # materialize, so the store keeps them
+    kernel = FrontierKernel(compiled)
+    label_kernel = LabelKernel(compiled, frontier=kernel)
+    roots = graph.active_temporal_nodes()[:5]
+    root_dir = str(tmp_path_factory.mktemp("store"))
+    save_sharded(compiled, root_dir, num_shards=3)
+    sharded = load_sharded(root_dir)
+    assert sharded.store_backed
+    assert sharded.mutation_version == compiled.mutation_version
+    assert sharded.is_directed == compiled.is_directed
+    driver = ShardedSweepDriver(sharded, backend="serial", chunk_size=3)
+    expected = {r: res.reached for r, res in kernel.batch(roots).items()}
+    assert {r: res.reached for r, res in driver.batch(roots).items()} == expected
+    assert driver.earliest_arrivals(roots) == label_kernel.earliest_arrivals(roots)
+    assert driver.fewest_hops(roots) == label_kernel.fewest_hops(roots)
+    sources = sorted({u for u, _, _ in graph.temporal_edges()})[:4]
+    assert driver.tang_steps(sources, horizon=2) == \
+        label_kernel.tang_steps(sources, horizon=2)
+    # reopened matrices equal the originals entry for entry
+    shard = sharded.shard(0)
+    start, stop = sharded.boundaries[0]
+    for local, k in enumerate(range(start, stop)):
+        orig = compiled.forward_operators[k]
+        got = shard.forward_operators[local]
+        assert np.array_equal(orig.toarray(), got.toarray())
+    assert list(shard.times) == list(compiled.times)[start:stop]
+
+
+def _banded_graph(num_nodes=40, snapshots=6, seed=3):
+    """A denser deterministic graph for store/bench-shaped tests."""
+    rng = random.Random(seed)
+    edges = []
+    for t in range(snapshots):
+        for _ in range(120):
+            u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+            if u != v:
+                edges.append((u, v, t))
+    return AdjacencyListEvolvingGraph(edges, directed=True)
+
+
+def test_out_of_core_sweep_bounds_open_bytes(tmp_path):
+    """Serial shard-major sweeps over a store never hold the whole stack."""
+    graph = _banded_graph()
+    compiled = get_compiled(graph)
+    total_bytes = operator_stack_bytes(compiled.forward_operators)
+    budget = total_bytes // 4
+    save_sharded(compiled, str(tmp_path), shard_byte_budget=budget)
+    sharded = load_sharded(str(tmp_path))
+    assert sharded.num_shards >= 3
+    assert max(sharded.stats()["shard_bytes"]) <= budget
+    driver = ShardedSweepDriver(sharded, backend="serial", chunk_size=16)
+    roots = graph.active_temporal_nodes()[:32]
+    expected = get_kernel(graph).identity_reach_counts(roots)
+    assert driver.identity_reach_counts(roots) == expected
+    # the out-of-core contract: peak open residency is one shard, not the stack
+    assert sharded.peak_open_bytes <= budget
+    assert sharded.peak_open_bytes < total_bytes
+    assert sharded.open_bytes == 0  # every shard was released after its turn
+
+
+def test_mmap_store_versioning_and_errors(tmp_path):
+    graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], directed=True)
+    compiled = get_compiled(graph)
+    save_sharded(compiled, str(tmp_path), num_shards=2)
+    v0 = compiled.mutation_version
+    with pytest.raises(GraphError):
+        load_sharded(str(tmp_path), version=v0 + 1000)
+    graph.add_edge(2, 3, 1)
+    compiled2 = get_compiled(graph)
+    save_sharded(compiled2, str(tmp_path), num_shards=2)
+    # default picks the newest version; explicit version pins the old one
+    assert load_sharded(str(tmp_path)).mutation_version == compiled2.mutation_version
+    assert load_sharded(str(tmp_path), version=v0).mutation_version == v0
+    with pytest.raises(GraphError):
+        load_sharded(str(tmp_path / "nowhere"))
+    with pytest.raises(GraphError):
+        ShardedStoreWriter(
+            str(tmp_path),
+            node_labels=[object()],  # not JSON-representable
+            is_directed=False,
+            mutation_version=0,
+        )
+    writer = ShardedStoreWriter(
+        str(tmp_path / "empty"),
+        node_labels=[0, 1],
+        is_directed=False,
+        mutation_version=0,
+    )
+    with pytest.raises(GraphError):
+        writer.finalize()  # no snapshots
+
+
+def test_sharded_driver_staleness_raises():
+    graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], directed=False)
+    driver = get_sharded_driver(graph, 2)
+    driver.require_current(graph)
+    graph.add_edge(0, 2, 0)
+    with pytest.raises(GraphError):
+        driver.require_current(graph)
+    # the dispatch cache heals: a fresh driver is built for the new version
+    fresh = get_sharded_driver(graph, 2)
+    assert fresh is not driver
+    fresh.require_current(graph)
+    invalidate_kernel(graph)
+
+
+# --------------------------------------------------------------------------- #
+# pipeline backends: process workers and the env-driven stress path            #
+# --------------------------------------------------------------------------- #
+
+def test_process_backend_bit_identical():
+    graph = _banded_graph(num_nodes=20, snapshots=5, seed=11)
+    compiled = get_compiled(graph)
+    kernel = get_kernel(graph)
+    label_kernel = get_label_kernel(graph)
+    roots = graph.active_temporal_nodes()[:10]
+    sharded = ShardedTemporalGraph.from_compiled(compiled, 3)
+    with ShardedSweepDriver(
+        sharded, backend="process", num_workers=2, chunk_size=4
+    ) as driver:
+        expected = {r: res.reached for r, res in kernel.batch(roots).items()}
+        assert {r: res.reached for r, res in driver.batch(roots).items()} == expected
+        assert driver.identity_reach_counts(roots) == \
+            kernel.identity_reach_counts(roots)
+        assert driver.earliest_arrivals(roots) == \
+            label_kernel.earliest_arrivals(roots)
+        assert driver.latest_departures(roots) == \
+            label_kernel.latest_departures(roots)
+        sources = list(range(6))
+        assert driver.tang_steps(sources, horizon=2) == \
+            label_kernel.tang_steps(sources, horizon=2)
+
+
+def test_env_driven_dispatch_bit_identical():
+    """The layout the CI stress job forces via env vars stays bit-identical."""
+    graph = _banded_graph(num_nodes=18, snapshots=6, seed=5)
+    roots = graph.active_temporal_nodes()[:12]
+    kernel = get_kernel(graph)
+    driver = get_sharded_driver(graph, ENV_SHARDS)  # backend: env or serial
+    assert driver.backend == ENV_BACKEND
+    expected = {r: res.reached for r, res in kernel.batch(roots).items()}
+    assert {r: res.reached for r, res in driver.batch(roots).items()} == expected
+    assert driver.identity_reach_counts(roots) == \
+        kernel.identity_reach_counts(roots)
+    tang = get_label_kernel(graph).tang_steps(list(range(5)), horizon=1)
+    assert driver.tang_steps(list(range(5)), horizon=1) == tang
+    invalidate_kernel(graph)  # close pipelines before the interpreter exits
+
+
+# --------------------------------------------------------------------------- #
+# serving through shards                                                       #
+# --------------------------------------------------------------------------- #
+
+def test_sharded_query_server_bit_identical_and_read_only():
+    graph = _banded_graph(num_nodes=16, snapshots=5, seed=7)
+    roots = graph.active_temporal_nodes()[:5]
+    queries = []
+    for r in roots:
+        queries += [
+            BFSQuery(root=r),
+            EarliestArrivalQuery(source=r),
+            LatestDepartureQuery(target=r),
+            FewestHopsQuery(source=r),
+            ReachabilityQuery(root=r, target=roots[0]),
+        ]
+    queries += [TangDistanceQuery(source_node=0), TopKReachQuery(k=5)]
+    with QueryServer(graph, window_s=0) as monolithic:
+        expected = monolithic.query_many(queries)
+    with QueryServer(graph, window_s=0, sharded=3) as server:
+        assert server.query_many(queries) == expected
+        with pytest.raises(GraphError):
+            server.mutate([(0, 9, 0)])
+    invalidate_kernel(graph)
+
+
+def test_sharded_query_server_fails_on_out_of_band_mutation():
+    graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], directed=False)
+    with QueryServer(graph, window_s=0, sharded=2) as server:
+        assert server.query(BFSQuery(root=(0, 0)))
+        graph.add_edge(0, 2, 1)  # behind the server's back
+        with pytest.raises(GraphError):
+            server.query(BFSQuery(root=(0, 0)))
+    invalidate_kernel(graph)
+
+
+# --------------------------------------------------------------------------- #
+# units: boundary blocks, layouts, validation, partition weighting             #
+# --------------------------------------------------------------------------- #
+
+def test_boundary_block_roundtrip_and_merge():
+    min_levels = np.array(
+        [[0, 2, _FAR, 1], [_FAR, _FAR, 3, 0]], dtype=np.int32
+    )
+    block = BoundaryBlock.from_min_levels(min_levels)
+    assert block.max_level == 3
+    assert np.array_equal(block.decode(), min_levels)
+    again = pickle.loads(pickle.dumps(block))
+    assert again == block
+    lower = np.array(
+        [[_FAR, 1, 2, _FAR], [0, _FAR, _FAR, _FAR]], dtype=np.int32
+    )
+    merged = block.merged_with(lower)
+    assert np.array_equal(merged.decode(), np.minimum(min_levels, lower))
+    empty = BoundaryBlock.empty(2, 4)
+    assert empty.max_level == -1
+    assert empty.words(0) is None
+    assert np.array_equal(empty.merged_with(lower).decode(), lower)
+
+
+def test_shard_layout_and_validation():
+    graph = _banded_graph(num_nodes=10, snapshots=6, seed=2)
+    compiled = get_compiled(graph)
+    layout = compute_shard_layout(compiled, 3)
+    assert layout[0][0] == 0 and layout[-1][1] == compiled.num_snapshots
+    for (_, stop), (start, _) in zip(layout, layout[1:]):
+        assert stop == start
+    sharded = ShardedTemporalGraph.from_compiled(compiled, 3)
+    assert sharded.num_shards == len(layout)
+    assert sum(sharded.shard_nnz) > 0
+    for k in range(compiled.num_snapshots):
+        idx = sharded.shard_of_snapshot(k)
+        start, stop = sharded.boundaries[idx]
+        assert start <= k < stop
+    with pytest.raises(GraphError):
+        ShardedTemporalGraph.from_compiled(compiled, boundaries=[(0, 2), (3, 6)])
+    with pytest.raises(GraphError):
+        ShardedTemporalGraph.from_compiled(compiled, boundaries=[(1, 6)])
+    with pytest.raises(GraphError):
+        ShardedTemporalGraph.from_compiled(compiled, 0)
+    driver = ShardedSweepDriver(sharded, backend="serial")
+    with pytest.raises(InactiveNodeError):
+        driver.bfs((999, 0))
+    with pytest.raises(GraphError):
+        driver.tang_steps([0], start_index=compiled.num_snapshots)
+    with pytest.raises(GraphError):
+        list(driver.zero_one_labels([(0, 0)], spatial_cost=2, causal_cost=0))
+    with pytest.raises(GraphError):
+        ShardedSweepDriver(sharded, backend="bogus")
+
+
+def test_batch_bfs_shards_flag_validation():
+    graph = AdjacencyListEvolvingGraph([(0, 1, 0)], directed=False)
+    with pytest.raises(GraphError):
+        batch_bfs(graph, [(0, 0)], backend="serial", shards=2)
+    with pytest.raises(GraphError):
+        batch_bfs(
+            graph, [(0, 0)], backend="vectorized", shards=2,
+            compiled=get_compiled(graph),
+        )
+
+
+def test_partition_weights_count_materialized_transposes():
+    """The PR-8 fix: backward stacks weigh in once they are materialized."""
+    # timestamp 0 is forward-heavy, timestamp 1 empty-ish, timestamp 2 light
+    edges = [(0, i, 0) for i in range(1, 8)] + [(8, 9, 1), (9, 10, 2)]
+    graph = AdjacencyListEvolvingGraph(edges, directed=True)
+    compiled = get_compiled(graph)
+    before = compiled_snapshot_weights(compiled)
+    compiled.backward_operators  # materialize the transpose stack
+    after = compiled_snapshot_weights(compiled)
+    assert after == [2 * (w - 1) + 1 for w in before]
+    parts = partition_timestamps(graph, 2, compiled=compiled)
+    assert [t for group in parts for t in group] == list(graph.timestamps)
+    invalidate_kernel(graph)
