@@ -27,12 +27,17 @@ mapping every baselined ``<report>/<workload>`` to its largest-size
 speedup, baseline, floor and status — which CI uploads as an artifact so a
 whole run's perf picture is one download instead of a report-by-report
 crawl.
+
+When ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions step), the same
+pass/fail table is also appended there as markdown, so the verdict shows on
+the run's summary page without opening the logs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -107,6 +112,7 @@ def check(baselines_path: Path, reports_dir: Path) -> int:
             f"{report_name + '/' + workload:<{name_width}} {baseline:>8.1f}x "
             f"{floor:>6.2f}x {measured:>8.2f}x {status:>11}"
         )
+    _write_step_summary(rows, failures)
     if failures:
         print("\nperf-regression gate FAILED:")
         for failure in failures:
@@ -114,6 +120,35 @@ def check(baselines_path: Path, reports_dir: Path) -> int:
         return 1
     print(f"\nperf-regression gate passed ({len(rows)} workloads checked)")
     return 0
+
+
+def _write_step_summary(
+    rows: list[tuple[str, str, float, float, float, str]],
+    failures: list[str],
+) -> None:
+    """Append the gate's table to ``$GITHUB_STEP_SUMMARY`` when CI sets it."""
+    summary_file = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_file:
+        return
+    verdict = "❌ FAILED" if failures else "✅ passed"
+    lines = [
+        f"### Perf-regression gate: {verdict}",
+        "",
+        "| workload | baseline | floor | measured | status |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for report_name, workload, baseline, floor, measured, status in rows:
+        lines.append(
+            f"| `{report_name}/{workload}` | {baseline:.1f}x | {floor:.2f}x "
+            f"| {measured:.2f}x | {status} |"
+        )
+    if failures:
+        lines.append("")
+        for failure in failures:
+            lines.append(f"- {failure}")
+    lines.append("")
+    with open(summary_file, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def main() -> int:

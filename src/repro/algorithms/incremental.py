@@ -331,13 +331,11 @@ class IncrementalBFS:
     def _apply_batch(self, batch: list[TemporalEdgeTuple]) -> None:
         """Fold one batch of new edges into the distance block.
 
-        Mirrors the oracle's per-edge seeding rule, batched: the temporal
-        slots whose in-neighbourhood changed are the edge endpoints at their
-        insertion times plus every *later* active appearance of those
-        endpoints (which may have gained a causal in-edge).  Each seed's
-        candidate distance is read straight off the compiled stacks (spatial
-        in-neighbours are one CSR row slice; causal predecessors are one
-        masked column minimum), then the engine propagates the improvements.
+        The seeding rule and its decrease-only propagation live on the
+        kernel (:meth:`~repro.engine.frontier.FrontierKernel.patch_distance_block`,
+        shared with the serving layer's warm-start invalidation); this
+        wrapper only keeps the block aligned with the delta-recompiled
+        artifact and pins the root slot at distance 0.
         """
         self._decoded = None
         graph = self._graph
@@ -353,89 +351,12 @@ class IncrementalBFS:
         compiled = kernel.compiled
         if compiled is not self._axes:
             self._remap(compiled)
-        dist = self._dist
-        active = compiled.active_mask
-        t_count = compiled.num_snapshots
-        time_index = compiled.time_index
-        node_index = compiled.node_index
-        endpoint_t: list[int] = []
-        endpoint_v: list[int] = []
-        for u, v, t in batch:
-            ti = time_index[t]
-            for endpoint in (u, v):
-                vi = node_index.get(endpoint)
-                if vi is not None:
-                    endpoint_t.append(ti)
-                    endpoint_v.append(vi)
-        if not endpoint_t:
-            return
-        # dirty slots, vectorized: each endpoint at its insertion time (if
-        # active) plus every later active appearance of that endpoint
-        ep_t = np.asarray(endpoint_t, dtype=np.int64)
-        ep_v = np.asarray(endpoint_v, dtype=np.int64)
-        columns = active[:, ep_v]  # (T, E)
-        touched = columns & (np.arange(t_count)[:, None] > ep_t[None, :])
-        touched[ep_t, np.arange(ep_t.size)] = columns[ep_t, np.arange(ep_t.size)]
-        tt, ee = np.nonzero(touched)
-        keys = np.unique(tt * compiled.num_nodes + ep_v[ee])
-        seed_t, seed_v = keys // compiled.num_nodes, keys % compiled.num_nodes
-        root_slot = compiled.slot(*self._root)
-        if root_slot is not None:  # the root's distance is pinned at 0
-            not_root = (seed_t != root_slot[0]) | (seed_v != root_slot[1])
-            seed_t, seed_v = seed_t[not_root], seed_v[not_root]
-        if not seed_t.size:
-            return
-        big = np.int32(2**30)  # matches the engine's unreached sentinel
-        # causal candidates in one masked prefix-min sweep — restricted to
-        # the seed columns, so this stays O(T * |batch|), not O(T * N):
-        # the best reached earlier appearance of each seeded node
-        seed_cols = np.unique(seed_v)
-        col_of = np.searchsorted(seed_cols, seed_v)
-        masked = np.where(
-            active[:, seed_cols] & (dist[:, seed_cols] >= 0), dist[:, seed_cols], big
+        kernel.patch_distance_block(
+            self._dist,
+            batch,
+            pinned=compiled.slot(*self._root),
+            sweep_mode=self._sweep_mode,
         )
-        run = np.minimum.accumulate(masked, axis=0)
-        causal = np.full(seed_t.shape, big, dtype=np.int32)
-        has_earlier = seed_t > 0
-        causal[has_earlier] = run[seed_t[has_earlier] - 1, col_of[has_earlier]]
-        # spatial candidates: one ragged gather over the CSR in-neighbour
-        # rows per touched snapshot (row v of F[t] lists v's in-neighbours)
-        spatial = np.full(seed_t.shape, big, dtype=np.int32)
-        forward = compiled.forward_operators
-        for t in np.unique(seed_t).tolist():
-            sel = np.nonzero(seed_t == t)[0]
-            operator = forward[t]
-            starts = operator.indptr[seed_v[sel]]
-            lens = operator.indptr[seed_v[sel] + 1] - starts
-            total = int(lens.sum())
-            if not total:
-                continue
-            offsets = np.concatenate(([0], np.cumsum(lens)))
-            gather = np.repeat(starts - offsets[:-1], lens) + np.arange(total)
-            vals = dist[t, operator.indices[gather]]
-            vals = np.where(vals >= 0, vals, big).astype(np.int32)
-            # reduceat over the non-empty segments only: empty segments would
-            # otherwise echo a neighbour's element (and, when trailing, clamp
-            # away the last value of the preceding segment)
-            mins = np.full(sel.shape, big, dtype=np.int32)
-            nonempty = lens > 0
-            mins[nonempty] = np.minimum.reduceat(vals, offsets[:-1][nonempty])
-            spatial[sel] = mins
-        candidate = np.minimum(spatial, causal).astype(np.int64) + 1
-        current = dist[seed_t, seed_v]
-        improvable = candidate < np.where(current < 0, int(big), current)
-        if improvable.any():
-            kernel.decrease_only_resweep(
-                dist,
-                list(
-                    zip(
-                        seed_t[improvable].tolist(),
-                        seed_v[improvable].tolist(),
-                        candidate[improvable].tolist(),
-                    )
-                ),
-                sweep_mode=self._sweep_mode,
-            )
 
     # ------------------------------------------------------------------ #
     # python-oracle internals                                             #

@@ -37,6 +37,7 @@ __all__ = [
     "Query",
     "ReachabilityQuery",
     "ReceiveCentralityQuery",
+    "Submission",
     "TangDistanceQuery",
     "TopKReachQuery",
     "describe",
@@ -65,6 +66,60 @@ class Query:
     def sweep_key(self) -> tuple:
         """Shape of the sweep answering it; equal keys coalesce into one sweep."""
         raise NotImplementedError
+
+    def with_deadline(
+        self, deadline_s: float | None, *, priority: int = 0
+    ) -> "Submission":
+        """Wrap this query in a :class:`Submission` carrying serving directives."""
+        return Submission(self, deadline_s=deadline_s, priority=priority)
+
+
+@dataclass(frozen=True)
+class Submission:
+    """A query plus its *serving* directives — deadline and priority.
+
+    Deadlines and priorities describe how urgently the caller wants the
+    answer, not what the answer is, so they deliberately live outside the
+    query's :meth:`~Query.cache_key`/:meth:`~Query.sweep_key`: two callers
+    asking the same question with different deadlines still share one cached
+    answer and one sweep column.  :meth:`repro.serving.QueryServer.submit`
+    accepts a bare :class:`Query` (no deadline, priority 0), a
+    :class:`Submission`, or the equivalent keyword arguments.
+
+    ``deadline_s`` is a *relative* budget in seconds from submission; the
+    server stamps the absolute deadline at admission.  A query whose deadline
+    expires before its micro-batch executes is dropped without spending sweep
+    columns and its future resolves with
+    :class:`~repro.exceptions.DeadlineExceededError`; ``deadline_s=0`` must
+    therefore always expire and never sweep.  ``None`` means no deadline.
+
+    ``priority`` orders load shedding under the ``"shed-oldest"`` admission
+    policy: the shed victim is the *lowest*-priority, oldest pending query,
+    so higher numbers survive overload longer.  It does not reorder service
+    within a micro-batch (coalesced queries share their sweep anyway).
+    """
+
+    query: Query
+    deadline_s: float | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, Query):
+            raise GraphError(
+                f"Submission wraps a Query descriptor, got {type(self.query).__name__}"
+            )
+        if self.deadline_s is not None and not self.deadline_s >= 0:
+            raise GraphError(
+                f"deadline_s must be >= 0 or None, got {self.deadline_s!r}"
+            )
+
+    def cache_key(self) -> tuple:
+        """The wrapped query's identity — directives never fragment the cache."""
+        return self.query.cache_key()
+
+    def sweep_key(self) -> tuple:
+        """The wrapped query's sweep shape — directives never split a sweep."""
+        return self.query.sweep_key()
 
 
 @dataclass(frozen=True)

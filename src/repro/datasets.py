@@ -114,7 +114,10 @@ def message_game_graph(
     the order ``(2, 3), (1, 2)`` makes message ``a`` unreachable for player 3,
     exactly as the introduction describes.
     """
-    edges = [(speaker, listener, turn) for turn, (speaker, listener) in enumerate(talk_order)]
+    edges = [
+        (speaker, listener, turn)
+        for turn, (speaker, listener) in enumerate(talk_order)
+    ]
     return AdjacencyListEvolvingGraph(
         edges,
         directed=True,

@@ -74,6 +74,7 @@ from repro.engine.dispatch import (
     get_spectral_kernel,
     invalidate_kernel,
     resolve_backend,
+    resweep_cached_block,
 )
 from repro.engine.frontier import FrontierKernel
 from repro.engine.labels import LabelKernel
@@ -104,6 +105,7 @@ __all__ = [
     "invalidate_kernel",
     "resolve_backend",
     "resolve_sweep_mode",
+    "resweep_cached_block",
     "set_sweep_mode",
     "use_sweep_mode",
 ]

@@ -61,6 +61,7 @@ __all__ = [
     "get_spectral_kernel",
     "invalidate_kernel",
     "resolve_backend",
+    "resweep_cached_block",
 ]
 
 #: Recognised values of the ``backend`` flag.
@@ -244,6 +245,33 @@ def get_sharded_driver(
         except TypeError:  # unhashable or non-weakrefable graph object
             pass
         return driver
+
+
+def resweep_cached_block(
+    graph: BaseEvolvingGraph,
+    dist,
+    insertions,
+    *,
+    pinned=None,
+    sweep_mode: str | None = None,
+) -> int:
+    """Patch a cached forward-search distance block for a pure-insertion batch.
+
+    The warm-start entry point of the serving layer (and any caller that
+    keeps decoded-on-demand ``(T, N)`` distance blocks across mutations):
+    resolves the version-exact cached kernel for ``graph`` — delta-recompiled
+    if the graph moved — and folds ``insertions`` into ``dist`` in place via
+    :meth:`~repro.engine.frontier.FrontierKernel.patch_distance_block`, the
+    same decrease-only re-sweep :class:`~repro.algorithms.incremental.IncrementalBFS`
+    maintains its state with.  ``dist`` must have been computed against an
+    artifact with the current artifact's axes (the delta recompile preserves
+    axes whenever insertions stay inside the node/timestamp universe; callers
+    must prune, not patch, when the universe changed).  Returns the number of
+    slots whose distance improved.
+    """
+    return get_kernel(graph).patch_distance_block(
+        dist, insertions, pinned=pinned, sweep_mode=sweep_mode
+    )
 
 
 def invalidate_kernel(graph: BaseEvolvingGraph) -> None:

@@ -344,6 +344,284 @@ class FrontierKernel:
         dist[:] = np.where(work >= _UNREACHED, -1, work)
         return changed
 
+    def patch_distance_block(
+        self,
+        dist: np.ndarray,
+        insertions: Sequence[tuple],
+        *,
+        pinned: tuple[int, int] | None = None,
+        sweep_mode: str | None = None,
+    ) -> int:
+        """Fold a pure-insertion edge batch into a ``(T, N)`` distance block.
+
+        ``dist`` is a writable forward-search distance block (``-1`` =
+        unreachable) computed against an artifact with *this* kernel's axes;
+        ``insertions`` are the ``(u, v, t)`` edges added since.  Edge
+        insertions only ever shorten distances, so the update is the
+        decrease-only relaxation of
+        :class:`repro.algorithms.incremental.IncrementalBFS`, batched: the
+        dirty temporal slots are the edge endpoints at their insertion times
+        plus every later active appearance of those endpoints (which may have
+        gained a causal in-edge); each seed's candidate distance is read
+        straight off the compiled stacks (spatial in-neighbours are one CSR
+        row slice, causal predecessors one masked column prefix-minimum), and
+        :meth:`decrease_only_resweep` propagates the improvements.  The
+        result is bit-identical to a fresh search on the post-insertion
+        artifact — the serving layer's warm-start invalidation and
+        ``IncrementalBFS`` both rely on exactly this contract.
+
+        ``pinned`` names one ``(t, v)`` slot whose distance is fixed (the
+        search root, at distance 0); it is excluded from seeding.  Endpoints
+        or timestamps outside the compiled universe contribute no seeds (the
+        caller guarantees axis compatibility; the delta recompile keeps axes
+        whenever insertions stay inside the universe).  Returns the number of
+        slots whose distance improved.
+        """
+        compiled = self.compiled
+        active = compiled.active_mask
+        t_count = compiled.num_snapshots
+        time_index = compiled.time_index
+        node_index = compiled.node_index
+        endpoint_t: list[int] = []
+        endpoint_v: list[int] = []
+        for u, v, t in insertions:
+            ti = time_index.get(t)
+            if ti is None:
+                continue
+            for endpoint in (u, v):
+                vi = node_index.get(endpoint)
+                if vi is not None:
+                    endpoint_t.append(ti)
+                    endpoint_v.append(vi)
+        if not endpoint_t:
+            return 0
+        # dirty slots, vectorized: each endpoint at its insertion time (if
+        # active) plus every later active appearance of that endpoint
+        ep_t = np.asarray(endpoint_t, dtype=np.int64)
+        ep_v = np.asarray(endpoint_v, dtype=np.int64)
+        columns = active[:, ep_v]  # (T, E)
+        touched = columns & (np.arange(t_count)[:, None] > ep_t[None, :])
+        touched[ep_t, np.arange(ep_t.size)] = columns[ep_t, np.arange(ep_t.size)]
+        tt, ee = np.nonzero(touched)
+        keys = np.unique(tt * compiled.num_nodes + ep_v[ee])
+        seed_t, seed_v = keys // compiled.num_nodes, keys % compiled.num_nodes
+        if pinned is not None:  # the root's distance is pinned at 0
+            not_root = (seed_t != pinned[0]) | (seed_v != pinned[1])
+            seed_t, seed_v = seed_t[not_root], seed_v[not_root]
+        if not seed_t.size:
+            return 0
+        big = _UNREACHED  # matches the re-sweep's unreached sentinel
+        # causal candidates in one masked prefix-min sweep — restricted to
+        # the seed columns, so this stays O(T * |batch|), not O(T * N):
+        # the best reached earlier appearance of each seeded node
+        seed_cols = np.unique(seed_v)
+        col_of = np.searchsorted(seed_cols, seed_v)
+        masked = np.where(
+            active[:, seed_cols] & (dist[:, seed_cols] >= 0), dist[:, seed_cols], big
+        )
+        run = np.minimum.accumulate(masked, axis=0)
+        causal = np.full(seed_t.shape, big, dtype=np.int32)
+        has_earlier = seed_t > 0
+        causal[has_earlier] = run[seed_t[has_earlier] - 1, col_of[has_earlier]]
+        # spatial candidates: one ragged gather over the CSR in-neighbour
+        # rows per touched snapshot (row v of F[t] lists v's in-neighbours)
+        spatial = np.full(seed_t.shape, big, dtype=np.int32)
+        forward = compiled.forward_operators
+        for t in np.unique(seed_t).tolist():
+            sel = np.nonzero(seed_t == t)[0]
+            operator = forward[t]
+            starts = operator.indptr[seed_v[sel]]
+            lens = operator.indptr[seed_v[sel] + 1] - starts
+            total = int(lens.sum())
+            if not total:
+                continue
+            offsets = np.concatenate(([0], np.cumsum(lens)))
+            gather = np.repeat(starts - offsets[:-1], lens) + np.arange(total)
+            vals = dist[t, operator.indices[gather]]
+            vals = np.where(vals >= 0, vals, big).astype(np.int32)
+            # reduceat over the non-empty segments only: empty segments would
+            # otherwise echo a neighbour's element (and, when trailing, clamp
+            # away the last value of the preceding segment)
+            mins = np.full(sel.shape, big, dtype=np.int32)
+            nonempty = lens > 0
+            mins[nonempty] = np.minimum.reduceat(vals, offsets[:-1][nonempty])
+            spatial[sel] = mins
+        candidate = np.minimum(spatial, causal).astype(np.int64) + 1
+        current = dist[seed_t, seed_v]
+        improvable = candidate < np.where(current < 0, int(big), current)
+        if not improvable.any():
+            return 0
+        return self.decrease_only_resweep(
+            dist,
+            list(
+                zip(
+                    seed_t[improvable].tolist(),
+                    seed_v[improvable].tolist(),
+                    candidate[improvable].tolist(),
+                )
+            ),
+            sweep_mode=sweep_mode,
+        )
+
+    def patch_distance_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        insertions: Sequence[tuple],
+        *,
+        pinned: Sequence[tuple[int, int] | None] | None = None,
+        sweep_mode: str | None = None,
+    ) -> list[int]:
+        """Fold one pure-insertion batch into many ``(T, N)`` blocks at once.
+
+        Group form of :meth:`patch_distance_block` for callers holding many
+        independent forward-search blocks against the same compiled axes —
+        the serving layer's warm-start invalidation patches its whole cache
+        generation through here.  The dirty-slot discovery runs once (it
+        depends only on the insertions), the candidate reads broadcast over
+        a stacked ``(T, N, R)`` work array, and every re-sweep round
+        advances all R columns with one CSR × ``(N, R)`` product per
+        touched snapshot — the same amortization the coalesced group sweeps
+        get, instead of R separate single-block relaxations.  Each block is
+        updated in place, bit-identical to patching it alone: the rounds pop
+        improvements in increasing *global* distance order, which per column
+        is the same Dial discipline with empty rounds interleaved, and every
+        column's frontier only ever expands into its own column.  ``pinned``
+        optionally names each block's root slot (excluded from seeding, as
+        in the single-block form).  ``sweep_mode`` is accepted for API
+        symmetry; the group rounds always advance as dense blocks — the
+        packed push path exists for the single-block form where frontiers
+        are one column wide.  Returns the improved-slot count per block.
+        """
+        del sweep_mode
+        compiled = self.compiled
+        active = compiled.active_mask
+        t_count, n = active.shape
+        r_count = len(blocks)
+        if not r_count:
+            return []
+        for block in blocks:
+            if block.shape != (t_count, n):
+                raise GraphError(
+                    f"distance block shape {block.shape} does not match the "
+                    f"compiled artifact's {(t_count, n)}"
+                )
+        if pinned is None:
+            pinned = [None] * r_count
+        time_index = compiled.time_index
+        node_index = compiled.node_index
+        endpoint_t: list[int] = []
+        endpoint_v: list[int] = []
+        for u, v, t in insertions:
+            ti = time_index.get(t)
+            if ti is None:
+                continue
+            for endpoint in (u, v):
+                vi = node_index.get(endpoint)
+                if vi is not None:
+                    endpoint_t.append(ti)
+                    endpoint_v.append(vi)
+        if not endpoint_t:
+            return [0] * r_count
+        ep_t = np.asarray(endpoint_t, dtype=np.int64)
+        ep_v = np.asarray(endpoint_v, dtype=np.int64)
+        columns = active[:, ep_v]  # (T, E)
+        touched = columns & (np.arange(t_count)[:, None] > ep_t[None, :])
+        touched[ep_t, np.arange(ep_t.size)] = columns[ep_t, np.arange(ep_t.size)]
+        tt, ee = np.nonzero(touched)
+        keys = np.unique(tt * n + ep_v[ee])
+        seed_t, seed_v = keys // n, keys % n
+        if not seed_t.size:
+            return [0] * r_count
+        big = _UNREACHED
+        dist = np.stack(blocks, axis=2).astype(np.int32)  # (T, N, R)
+        # causal candidates, broadcast over R: best reached earlier
+        # appearance of each seeded node, per column
+        seed_cols = np.unique(seed_v)
+        col_of = np.searchsorted(seed_cols, seed_v)
+        masked = np.where(
+            active[:, seed_cols, None] & (dist[:, seed_cols, :] >= 0),
+            dist[:, seed_cols, :],
+            big,
+        )
+        run = np.minimum.accumulate(masked, axis=0)
+        causal = np.full((seed_t.size, r_count), big, dtype=np.int32)
+        has_earlier = seed_t > 0
+        causal[has_earlier] = run[seed_t[has_earlier] - 1, col_of[has_earlier], :]
+        # spatial candidates: the same ragged CSR gather as the single-block
+        # form, with the segment minima reduced across all R columns at once
+        spatial = np.full((seed_t.size, r_count), big, dtype=np.int32)
+        forward = compiled.forward_operators
+        for t in np.unique(seed_t).tolist():
+            sel = np.nonzero(seed_t == t)[0]
+            operator = forward[t]
+            starts = operator.indptr[seed_v[sel]]
+            lens = operator.indptr[seed_v[sel] + 1] - starts
+            total = int(lens.sum())
+            if not total:
+                continue
+            offsets = np.concatenate(([0], np.cumsum(lens)))
+            gather = np.repeat(starts - offsets[:-1], lens) + np.arange(total)
+            vals = dist[t, operator.indices[gather], :]  # (total, R)
+            vals = np.where(vals >= 0, vals, big).astype(np.int32)
+            mins = np.full((sel.size, r_count), big, dtype=np.int32)
+            nonempty = lens > 0
+            mins[nonempty] = np.minimum.reduceat(vals, offsets[:-1][nonempty], axis=0)
+            spatial[sel] = mins
+        candidate = np.minimum(spatial, causal).astype(np.int64) + 1  # (S, R)
+        current = dist[seed_t, seed_v, :]
+        improvable = candidate < np.where(current < 0, int(big), current)
+        for col, pin in enumerate(pinned):
+            if pin is not None:  # each block's root distance is pinned at 0
+                improvable[(seed_t == pin[0]) & (seed_v == pin[1]), col] = False
+        if not improvable.any():
+            return [0] * r_count
+        work = np.where(dist < 0, _UNREACHED, dist)
+        improved = np.zeros((t_count, n, r_count), dtype=bool)
+        s_idx, r_idx = np.nonzero(improvable)
+        work[seed_t[s_idx], seed_v[s_idx], r_idx] = candidate[s_idx, r_idx]
+        improved[seed_t[s_idx], seed_v[s_idx], r_idx] = True
+        changed = self._resweep_group(work, improved, active)
+        for col, block in enumerate(blocks):
+            block[:] = np.where(work[:, :, col] >= _UNREACHED, -1, work[:, :, col])
+        return changed
+
+    def _resweep_group(
+        self, work: np.ndarray, improved: np.ndarray, active: np.ndarray
+    ) -> list[int]:
+        """Re-sweep rounds over a stacked ``(T, N, R)`` work array.
+
+        The ``(T, N)`` rounds of :meth:`_resweep_classic`, widened to R
+        independent columns: one round pops every improved slot at the
+        current global level across all columns, so each snapshot's spatial
+        step is one CSR × ``(N, R)`` product instead of R SpMVs spread over
+        R separate relaxations.
+        """
+        t_count, n, r_count = work.shape
+        mats = self.compiled.forward_operators
+        counter = self.counter
+        changed = np.zeros(r_count, dtype=np.int64)
+        while improved.any():
+            level = int(work[improved].min())
+            frontier = improved & (work == level)
+            changed += frontier.sum(axis=(0, 1))
+            improved &= ~frontier
+            reach = np.zeros((t_count, n, r_count), dtype=bool)
+            touched = np.flatnonzero(frontier.any(axis=(1, 2)))
+            for ti in touched.tolist():
+                reach[ti] = (mats[ti] @ frontier[ti].astype(np.int32)) > 0
+                if counter is not None:
+                    counter.multiply_adds += 2 * int(mats[ti].nnz) * r_count
+            if t_count > 1:
+                carried = np.logical_or.accumulate(frontier, axis=0)
+                reach[1:] |= carried[:-1]
+                if counter is not None:
+                    counter.column_checks += t_count * n * r_count
+            better = reach & active[:, :, None] & (work > level + 1)
+            if better.any():
+                work[better] = level + 1
+                improved |= better
+        return changed.tolist()
+
     def _resweep_classic(
         self, work: np.ndarray, improved: np.ndarray, active: np.ndarray
     ) -> int:

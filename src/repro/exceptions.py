@@ -17,6 +17,9 @@ __all__ = [
     "RepresentationError",
     "ConvergenceError",
     "IOFormatError",
+    "ServingError",
+    "ServerOverloadedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -83,3 +86,51 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class IOFormatError(ReproError, ValueError):
     """An input file or stream does not conform to the expected format."""
+
+
+class ServingError(ReproError):
+    """Base class for query-serving failures (:mod:`repro.serving`).
+
+    Serving errors describe the *admission* of a query rather than the
+    computation itself: the question was well-formed but the server declined
+    (or abandoned) answering it under its current load or deadline rules.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """A query was refused (or shed) because the submission queue is full.
+
+    Raised synchronously from :meth:`repro.serving.QueryServer.submit` under
+    the ``"reject"`` admission policy, and delivered through the future of a
+    previously admitted query that the ``"shed-oldest"`` policy evicted to
+    make room for a newer one.
+    """
+
+    def __init__(self, pending: int, max_pending: int, *, shed: bool = False):
+        self.pending = pending
+        self.max_pending = max_pending
+        self.shed = shed
+        verb = "shed from" if shed else "rejected by"
+        super().__init__(
+            f"query {verb} a full submission queue "
+            f"({pending}/{max_pending} pending)"
+        )
+
+
+class DeadlineExceededError(ServingError):
+    """A query's deadline passed before the server produced its answer.
+
+    Delivered through the query's future: before any kernel work when the
+    deadline had already expired at micro-batch planning time (the query
+    never costs a sweep column), or after the shared sweep when the deadline
+    passed while the sweep ran (the computed result still warms the cache,
+    but the caller asked not to wait this long).
+    """
+
+    def __init__(self, deadline_s: float, *, swept: bool = False):
+        self.deadline_s = deadline_s
+        self.swept = swept
+        phase = "after its shared sweep" if swept else "before any sweep"
+        super().__init__(
+            f"query deadline of {deadline_s:.6g}s exceeded {phase}"
+        )

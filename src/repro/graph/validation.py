@@ -42,11 +42,13 @@ def validate_evolving_graph(graph: BaseEvolvingGraph) -> None:
         if active != incident:
             raise GraphError(
                 f"active-node bookkeeping inconsistent at time {t!r}: "
-                f"{sorted(map(repr, active ^ incident))}")
+                f"{sorted(map(repr, active ^ incident))}"
+            )
 
 
-def is_temporal_path(graph: BaseEvolvingGraph,
-                     path: Sequence[TemporalNodeTuple]) -> bool:
+def is_temporal_path(
+    graph: BaseEvolvingGraph, path: Sequence[TemporalNodeTuple]
+) -> bool:
     """Whether ``path`` is a valid temporal path on ``graph`` (Definition 4)."""
     try:
         validate_temporal_path(graph, path)
@@ -55,8 +57,9 @@ def is_temporal_path(graph: BaseEvolvingGraph,
     return True
 
 
-def validate_temporal_path(graph: BaseEvolvingGraph,
-                           path: Sequence[TemporalNodeTuple]) -> None:
+def validate_temporal_path(
+    graph: BaseEvolvingGraph, path: Sequence[TemporalNodeTuple]
+) -> None:
     """Raise :class:`InvalidTemporalPathError` unless ``path`` is a temporal path.
 
     The empty sequence is a valid (trivial) temporal path, per the remark
@@ -70,28 +73,32 @@ def validate_temporal_path(graph: BaseEvolvingGraph,
     for v, t in path:
         if not graph.has_timestamp(t):
             raise InvalidTemporalPathError(
-                f"temporal node ({v!r}, {t!r}) references unknown timestamp {t!r}")
+                f"temporal node ({v!r}, {t!r}) references unknown timestamp {t!r}"
+            )
         if not graph.is_active(v, t):
             raise InvalidTemporalPathError(
                 f"temporal node ({v!r}, {t!r}) is not active; temporal paths "
-                "may only traverse active nodes")
+                "may only traverse active nodes"
+            )
     for (v1, t1), (v2, t2) in zip(path, path[1:]):
         if t2 < t1:
-            raise InvalidTemporalPathError(
-                f"time ordering violated: {t2!r} < {t1!r}")
+            raise InvalidTemporalPathError(f"time ordering violated: {t2!r} < {t1!r}")
         if v1 == v2:
             if t1 == t2:
                 raise InvalidTemporalPathError(
-                    f"repeated temporal node ({v1!r}, {t1!r})")
+                    f"repeated temporal node ({v1!r}, {t1!r})"
+                )
             # causal edge (v, t1) -> (v, t2): both endpoints active, t1 < t2 — already checked.
         else:
             if t1 != t2:
                 raise InvalidTemporalPathError(
                     f"step ({v1!r}, {t1!r}) -> ({v2!r}, {t2!r}) changes both node and "
-                    "time; temporal paths may change only one per step")
+                    "time; temporal paths may change only one per step"
+                )
             if not graph.has_edge(v1, v2, t1):
                 raise InvalidTemporalPathError(
-                    f"no static edge {v1!r} -> {v2!r} at time {t1!r}")
+                    f"no static edge {v1!r} -> {v2!r} at time {t1!r}"
+                )
 
 
 def snapshot_is_acyclic(graph: BaseEvolvingGraph, time) -> bool:

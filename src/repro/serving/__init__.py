@@ -15,7 +15,20 @@ between micro-batches through the delta-recompile path.
 ...     server.mutate([("a", "b", 1)]).result()
 """
 
-from repro.serving.coalesce import GroupOutcome, execute_group
-from repro.serving.server import QueryServer, ServingStats
+from repro.serving.coalesce import GroupOutcome, decode_warm_block, execute_group
+from repro.serving.server import (
+    ADMISSION_POLICIES,
+    LatencyHistogram,
+    QueryServer,
+    ServingStats,
+)
 
-__all__ = ["GroupOutcome", "QueryServer", "ServingStats", "execute_group"]
+__all__ = [
+    "ADMISSION_POLICIES",
+    "GroupOutcome",
+    "LatencyHistogram",
+    "QueryServer",
+    "ServingStats",
+    "decode_warm_block",
+    "execute_group",
+]

@@ -45,7 +45,7 @@ from repro.algorithms.queries import (
 from repro.exceptions import GraphError, InactiveNodeError
 from repro.graph.base import BaseEvolvingGraph, TemporalNodeTuple
 
-__all__ = ["GroupOutcome", "execute_group"]
+__all__ = ["GroupOutcome", "decode_warm_block", "execute_group"]
 
 
 @dataclass
@@ -57,12 +57,24 @@ class GroupOutcome:
     ``columns`` counts the distinct roots packed into the shared sweep
     (``1`` for whole-graph groups), ``sweeps`` the number of batched kernel
     executions (one per group unless the group was empty).
+
+    When the caller requested warm-start state (``execute_group(...,
+    warm_blocks=True)``) and the group ran the plain-forward monolithic
+    frontier sweep, ``warm[i]`` is the ``(root, block)`` pair backing query
+    ``i`` — ``block`` a contiguous writable ``(T, N)`` int32 distance copy of
+    the root's sweep column, shared between queries with equal roots — and
+    ``surface`` is the compiled artifact the sweep ran on (the axes a later
+    patch must match).  Other families, backward/reversed sweeps and sharded
+    executions have no decrease-only patch rule, so their ``warm`` stays
+    ``None``-filled.
     """
 
     results: list = field(default_factory=list)
     errors: list = field(default_factory=list)
     columns: int = 0
     sweeps: int = 0
+    warm: list | None = None
+    surface: object | None = None
 
 
 def execute_group(
@@ -74,6 +86,7 @@ def execute_group(
     num_workers: int = 1,
     sweep_mode: str | None = None,
     driver=None,
+    warm_blocks: bool = False,
 ) -> GroupOutcome:
     """Answer every query in one sweep-shape group with shared kernel work.
 
@@ -89,11 +102,23 @@ def execute_group(
     fan-out is bypassed.  The spectral family has no sharded formulation
     (its resolvent chains are global in time) and always executes on the
     monolithic kernel.
+
+    ``warm_blocks`` asks the plain-forward monolithic frontier path to also
+    return the per-root distance blocks (``GroupOutcome.warm``) so the caller
+    can keep them for decrease-only re-sweeps across pure-insertion
+    mutations; every other path ignores the flag.
     """
     family = sweep_key[0]
     if family == "frontier":
         return _frontier_group(
-            graph, sweep_key, queries, chunk_size, num_workers, sweep_mode, driver
+            graph,
+            sweep_key,
+            queries,
+            chunk_size,
+            num_workers,
+            sweep_mode,
+            driver,
+            warm_blocks,
         )
     if family == "zero_one":
         return _zero_one_group(
@@ -137,6 +162,53 @@ def _chunked_blocks(run_chunk, roots, chunk_size, num_workers):
         yield from part
 
 
+def _decode_frontier(query: Query, dist: np.ndarray, col: int, *, surface, bfs_decode):
+    """Decode one frontier-family query from its ``(T, N, R)`` sweep column.
+
+    The single decode used both for fresh coalesced sweeps and for
+    warm-start blocks patched across mutations
+    (:func:`decode_warm_block`) — sharing it is what makes patched answers
+    bit-identical to fresh ones by construction.  ``bfs_decode`` is the
+    sweeper's ``{(node, time): distance}`` readout (kernel or shard driver).
+    """
+    if isinstance(query, BFSQuery):
+        return bfs_decode(dist, col)
+    if isinstance(query, ReachabilityQuery):
+        slot = surface.slot(*query.target)
+        if slot is None or dist[slot[0], slot[1], col] < 0:
+            return None
+        return int(dist[slot[0], slot[1], col])
+    labels = surface.node_labels
+    times = surface.times
+    reached = dist[:, :, col] >= 0
+    hit = reached.any(axis=0)
+    if isinstance(query, EarliestArrivalQuery):
+        # the running-minimum readout of LabelKernel.earliest_arrivals
+        first = reached.argmax(axis=0)
+        return {labels[vi]: times[first[vi]] for vi in np.nonzero(hit)[0].tolist()}
+    # LatestDepartureQuery: the mirrored running maximum
+    last = surface.num_snapshots - 1 - reached[::-1].argmax(axis=0)
+    return {labels[vi]: times[last[vi]] for vi in np.nonzero(hit)[0].tolist()}
+
+
+def decode_warm_block(kernel, query: Query, block: np.ndarray):
+    """Re-decode a warm-start ``(T, N)`` distance block into ``query``'s answer.
+
+    Used by the server after :meth:`FrontierKernel.patch_distance_block`
+    folded a pure-insertion batch into ``block``: wraps the block as a
+    one-column sweep and runs the exact same decode as a fresh coalesced
+    sweep, so patched answers cannot drift from recomputed ones.
+    """
+    dist = block[:, :, None]
+    return _decode_frontier(
+        query,
+        dist,
+        0,
+        surface=kernel.compiled,
+        bfs_decode=lambda d, c: kernel._reached_dict(d, c),
+    )
+
+
 def _frontier_group(
     graph: BaseEvolvingGraph,
     sweep_key: tuple,
@@ -145,6 +217,7 @@ def _frontier_group(
     num_workers: int,
     sweep_mode: str | None,
     driver=None,
+    warm_blocks: bool = False,
 ) -> GroupOutcome:
     """BFS / reachability / earliest-arrival / latest-departure, one sweep."""
     _, direction, reverse_edges = sweep_key
@@ -206,35 +279,25 @@ def _frontier_group(
     outcome.columns = len(roots)
     outcome.sweeps = 1
 
-    labels = surface.node_labels
-    times = surface.times
-    t_count = surface.num_snapshots
     for i in pending:
         query = queries[i]
         dist, col = blocks[_query_root(query)]
-        if isinstance(query, BFSQuery):
-            outcome.results[i] = decode(dist, col)
-        elif isinstance(query, ReachabilityQuery):
-            slot = surface.slot(*query.target)
-            if slot is None or dist[slot[0], slot[1], col] < 0:
-                outcome.results[i] = None
-            else:
-                outcome.results[i] = int(dist[slot[0], slot[1], col])
-        elif isinstance(query, EarliestArrivalQuery):
-            # the running-minimum readout of LabelKernel.earliest_arrivals
-            reached = dist[:, :, col] >= 0
-            hit = reached.any(axis=0)
-            first = reached.argmax(axis=0)
-            outcome.results[i] = {
-                labels[vi]: times[first[vi]] for vi in np.nonzero(hit)[0].tolist()
-            }
-        else:  # LatestDepartureQuery: the mirrored running maximum
-            reached = dist[:, :, col] >= 0
-            hit = reached.any(axis=0)
-            last = t_count - 1 - reached[::-1].argmax(axis=0)
-            outcome.results[i] = {
-                labels[vi]: times[last[vi]] for vi in np.nonzero(hit)[0].tolist()
-            }
+        outcome.results[i] = _decode_frontier(
+            query, dist, col, surface=surface, bfs_decode=decode
+        )
+
+    # warm-start state only exists for the plain-forward monolithic sweep —
+    # the only shape patch_distance_block's decrease-only rule applies to
+    if warm_blocks and driver is None and direction == "forward" and not reverse_edges:
+        copies = {
+            root: np.ascontiguousarray(dist[:, :, col])
+            for root, (dist, col) in blocks.items()
+        }
+        outcome.warm = [None] * len(queries)
+        for i in pending:
+            root = _query_root(queries[i])
+            outcome.warm[i] = (root, copies[root])
+        outcome.surface = surface
     return outcome
 
 

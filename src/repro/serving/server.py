@@ -21,8 +21,35 @@ server answers them with far less kernel work than one sweep per query:
    compiled artifact is refreshed through the PR-4 delta path
    (:meth:`~repro.graph.compiled.CompiledTemporalGraph.recompile` — only
    touched snapshots rebuild), and every cache entry whose version no longer
-   matches is invalidated.  Queries therefore always execute against a
-   consistent ``(graph, artifact)`` pair.
+   matches is either **warm-start patched** forward or invalidated.  Queries
+   therefore always execute against a consistent ``(graph, artifact)`` pair.
+
+Overload robustness (this PR) adds three mechanisms on the admission side:
+
+* **admission control** — ``max_pending`` bounds the submission queue; the
+  ``admission`` policy decides what happens at the bound: ``"reject"``
+  raises :class:`~repro.exceptions.ServerOverloadedError` synchronously,
+  ``"shed-oldest"`` evicts the lowest-priority oldest pending query (its
+  future fails with the same error, ``shed=True``) to make room, and
+  ``"block"`` parks the submitting thread until the dispatcher drains.
+* **per-query deadlines** — ``submit(query, deadline_s=...)`` stamps an
+  absolute deadline at admission.  The dispatcher drops queries whose every
+  attached future has already expired *before* spending sweep columns on
+  them (futures fail with :class:`~repro.exceptions.DeadlineExceededError`),
+  and the micro-batch gathering window never waits past the earliest
+  pending deadline.  A query that expires while its sweep runs still fails,
+  flagged ``swept=True``.
+* **warm-start invalidation** — a mutation batch that is *pure insertion*
+  (detected through the graph's insertion journal,
+  :meth:`~repro.graph.base.BaseEvolvingGraph.edge_insertions_since`) does
+  not prune the forward frontier-family cache entries: their retained
+  ``(T, N)`` distance blocks are folded forward with the engine's
+  decrease-only re-sweep
+  (:meth:`~repro.engine.frontier.FrontierKernel.patch_distance_block`) and
+  re-decoded through the exact coalesce readouts, so patched answers are
+  bit-identical to recomputation at the new version.  Removal or mixed
+  batches — and any entry whose artifact axes changed (new node or
+  timestamp) — keep the exact prune semantics.
 
 Freshness contract: a query is answered at *some* mutation version at least
 as new as the one current when it was submitted (the usual serving model);
@@ -39,6 +66,7 @@ lock-safe since this PR, so readers can also keep calling the plain
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from collections import OrderedDict
@@ -46,13 +74,77 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field, fields
 from typing import Iterable, Sequence
 
-from repro.algorithms.queries import Query
+from repro.algorithms.queries import Query, Submission
 from repro.engine.bitops import resolve_sweep_mode
-from repro.exceptions import GraphError
+from repro.exceptions import (
+    DeadlineExceededError,
+    GraphError,
+    ServerOverloadedError,
+)
 from repro.graph.base import BaseEvolvingGraph, TemporalEdgeTuple
-from repro.serving.coalesce import execute_group
+from repro.serving.coalesce import decode_warm_block, execute_group
 
-__all__ = ["QueryServer", "ServingStats"]
+__all__ = ["ADMISSION_POLICIES", "LatencyHistogram", "QueryServer", "ServingStats"]
+
+#: Recognised values of the ``admission`` policy flag.
+ADMISSION_POLICIES = ("reject", "shed-oldest", "block")
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency histogram (stdlib only, O(1) per record).
+
+    Buckets are powers of two from 10 µs to ~10.5 s plus one overflow
+    bucket; bucket ``i`` counts samples in ``(BOUNDS[i-1], BOUNDS[i]]``.
+    Quantiles are read as the *upper bound* of the bucket containing the
+    rank, so they over-estimate by at most one octave — plenty for the
+    load-shedding reports this backs, with no per-sample storage.
+    """
+
+    #: Upper bucket bounds in seconds: 1e-5 * 2**i for i in 0..20.
+    BOUNDS = tuple(1e-5 * 2.0**i for i in range(21))
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        self.counts[bisect.bisect_left(self.BOUNDS, seconds)] += 1
+
+    def quantile(self, q: float) -> float | None:
+        """Upper bound of the bucket holding the ``q``-quantile (``None`` if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise GraphError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.BOUNDS[i] if i < len(self.BOUNDS) else self.max_s
+        return self.max_s
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (reports and assertions)."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+            "max_s": self.max_s,
+            "p50_s": self.quantile(0.50),
+            "p99_s": self.quantile(0.99),
+            "counts": list(self.counts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LatencyHistogram n={self.count} max={self.max_s:.6f}s>"
 
 
 @dataclass
@@ -65,11 +157,38 @@ class ServingStats:
     ``R`` columns, not ``R`` sweeps.  ``coalesced_queries`` counts queries
     that shared their sweep with at least one other query or rode an
     in-flight duplicate.
+
+    Admission accounting: ``submitted`` counts every well-formed ``submit``
+    call; ``admitted`` those that entered the serving pipeline (cache hit,
+    in-flight join, enqueue, or expired-at-admission); ``rejected`` those
+    refused synchronously by the ``"reject"`` policy; ``shed`` every future
+    failed by ``"shed-oldest"`` eviction (queue victims, their in-flight
+    joiners, and newcomers that out-prioritized nothing).  Deadline
+    accounting: ``expired_before_sweep`` counts futures dropped without
+    kernel work, ``expired_after_sweep`` those whose deadline passed while
+    their shared sweep ran.  Every future that resolves exceptionally —
+    group errors, shedding, expiry — also counts in ``failed``, so every
+    non-rejected submission resolves exactly once:
+    ``served + failed == submitted - rejected`` (self-shed newcomers fail
+    without ever counting as ``admitted``).
+
+    ``queue_depth_high_water`` is the deepest the submission queue has ever
+    been; ``batch_queue_depths`` records the per-micro-batch high-water
+    marks (most recent :data:`_DEPTH_SAMPLES` kept).  ``wait_latency``
+    (admission → drain) and ``service_latency`` (drain → resolution) are
+    :class:`LatencyHistogram` instances.  ``entries_patched`` counts cache
+    entries carried across a mutation by the warm-start decrease-only
+    re-sweep instead of being pruned (``entries_invalidated``).
     """
 
     submitted: int = 0
+    admitted: int = 0
     served: int = 0
     failed: int = 0
+    rejected: int = 0
+    shed: int = 0
+    expired_before_sweep: int = 0
+    expired_after_sweep: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     inflight_joins: int = 0
@@ -80,14 +199,78 @@ class ServingStats:
     mutations: int = 0
     edges_streamed: int = 0
     entries_invalidated: int = 0
+    entries_patched: int = 0
+    queue_depth_high_water: int = 0
+    batch_queue_depths: list = field(default_factory=list)
+    wait_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    service_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
-    def snapshot(self) -> dict[str, int]:
-        """A plain-dict copy (reports and assertions)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    def snapshot(self) -> dict:
+        """A plain-dict copy (reports and assertions); histograms nest as dicts."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, list):
+                out[f.name] = list(value)
+            elif hasattr(value, "snapshot"):
+                out[f.name] = value.snapshot()
+            else:
+                out[f.name] = value
+        return out
+
+
+#: Retained per-micro-batch queue-depth samples (oldest dropped beyond this).
+_DEPTH_SAMPLES = 4096
+
+
+@dataclass
+class _Waiter:
+    """One future attached to a pending computation, with its deadline stamps."""
+
+    future: Future
+    deadline: float | None  # absolute time.monotonic() deadline, None = none
+    budget: float | None  # the submitted relative deadline_s (error text)
+    submitted: float  # time.monotonic() admission stamp
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and self.deadline <= now
+
+
+@dataclass
+class _Ticket(_Waiter):
+    """A queued query: the owning waiter plus its identity and priority."""
+
+    query: Query = None
+    key: tuple = None
+    priority: int = 0
+    live: list = field(default_factory=list)  # waiters kept past the drain gate
+
+
+@dataclass
+class _WarmState:
+    """Warm-start sidecar of a cached frontier answer.
+
+    ``block`` is the contiguous writable ``(T, N)`` int32 distance block the
+    answer decodes from (shared between entries with equal roots, so a
+    mutation patches each block once); ``surface`` the compiled artifact the
+    block currently matches — a patch is legal only while the new artifact
+    keeps those axes.
+    """
+
+    query: Query
+    root: tuple
+    block: object
+    surface: object
+
+
+@dataclass
+class _CacheEntry:
+    value: object
+    warm: _WarmState | None = None
 
 
 class _VersionedLRU:
-    """Bounded LRU of ``(mutation_version, cache_key) -> result``.
+    """Bounded LRU of ``(mutation_version, cache_key) -> _CacheEntry``.
 
     Not itself locked — the server serializes access under its own lock.
     ``get`` double-checks the version so a stale entry is never served even
@@ -98,24 +281,40 @@ class _VersionedLRU:
         if capacity < 1:
             raise GraphError(f"cache capacity must be at least 1, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, version: int, key: tuple):
         full_key = (version, key)
-        if full_key not in self._entries:
+        entry = self._entries.get(full_key)
+        if entry is None:
             return None, False
         self._entries.move_to_end(full_key)
-        return self._entries[full_key], True
+        return entry.value, True
 
-    def put(self, version: int, key: tuple, value) -> None:
+    def put(self, version: int, key: tuple, value, warm: _WarmState | None = None):
         full_key = (version, key)
-        self._entries[full_key] = value
+        self._entries[full_key] = _CacheEntry(value, warm)
         self._entries.move_to_end(full_key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    def warm_entries(self, version: int) -> list[tuple[tuple, _CacheEntry]]:
+        """The ``(cache_key, entry)`` pairs at ``version`` carrying warm state."""
+        return [
+            (full_key[1], entry)
+            for full_key, entry in self._entries.items()
+            if full_key[0] == version and entry.warm is not None
+        ]
+
+    def rekey(
+        self, old_version: int, new_version: int, key: tuple, value, warm
+    ) -> None:
+        """Move one entry forward across a mutation (warm-start patching)."""
+        self._entries.pop((old_version, key), None)
+        self.put(new_version, key, value, warm=warm)
 
     def prune_stale(self, version: int) -> int:
         """Drop every entry whose version no longer matches; returns the count."""
@@ -136,9 +335,25 @@ class QueryServer:
     window_s:
         Micro-batch gathering window.  After the first query of a batch
         arrives the dispatcher waits up to this long for more queries to
-        coalesce with it (a mutation or a full batch cuts the wait short).
+        coalesce with it (a mutation, a full batch, or the earliest pending
+        deadline cuts the wait short — a query is never *held* past its own
+        deadline just to gather batchmates).
     max_batch:
         Upper bound on queries drained into one micro-batch.
+    max_pending:
+        Bound on the submission queue (``None`` = unbounded, the previous
+        behaviour).  With the queue at the bound, the ``admission`` policy
+        decides the fate of the next enqueue-path query; cache hits and
+        in-flight joins cost no queue slot and are always admitted.
+    admission:
+        Overload policy at the ``max_pending`` bound: ``"reject"`` (default)
+        raises :class:`~repro.exceptions.ServerOverloadedError` to the
+        submitter; ``"shed-oldest"`` evicts the oldest pending query of the
+        lowest priority not exceeding the newcomer's (the victim's future —
+        and its in-flight joiners — fail with ``shed=True``; a newcomer that
+        out-prioritizes nothing is itself shed); ``"block"`` parks the
+        submitting thread until the dispatcher frees a slot (or the server
+        closes, which raises).
     cache_entries:
         LRU capacity of the version-keyed result cache.
     chunk_size:
@@ -154,6 +369,14 @@ class QueryServer:
         byte-per-cell oracle loops), or ``None`` to follow the process-wide
         :func:`repro.engine.get_sweep_mode` default at execution time.
         Served results are bit-identical across modes.
+    warm_start:
+        Retain the ``(T, N)`` distance block behind every plain-forward
+        frontier-family answer (one int32 block per distinct root, bounded
+        by the cache capacity) so pure-insertion mutations can patch cached
+        entries forward with the engine's decrease-only re-sweep instead of
+        pruning them.  Patched answers are re-decoded through the exact
+        coalesce readouts, hence bit-identical to recomputation.  Disable to
+        trade the warm-restart hit rate for the block memory.
     sharded:
         Serve the frontier, zero-one, Tang and reach-count families through
         the pipelined time-shard driver instead of the monolithic kernels —
@@ -175,16 +398,28 @@ class QueryServer:
         *,
         window_s: float = 0.002,
         max_batch: int = 1024,
+        max_pending: int | None = None,
+        admission: str = "reject",
         cache_entries: int = 1024,
         chunk_size: int = 128,
         num_workers: int = 1,
         sweep_mode: str | None = None,
+        warm_start: bool = True,
         sharded=None,
     ) -> None:
         if window_s < 0:
             raise GraphError(f"window_s must be >= 0, got {window_s}")
         if max_batch < 1:
             raise GraphError(f"max_batch must be at least 1, got {max_batch}")
+        if max_pending is not None and max_pending < 1:
+            raise GraphError(
+                f"max_pending must be at least 1 or None, got {max_pending}"
+            )
+        if admission not in ADMISSION_POLICIES:
+            raise GraphError(
+                f"unsupported admission policy {admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
         if chunk_size < 1:
             raise GraphError(f"chunk_size must be at least 1, got {chunk_size}")
         if sweep_mode is not None:
@@ -200,16 +435,22 @@ class QueryServer:
             sharded.require_current(graph)
         self._window = float(window_s)
         self._max_batch = int(max_batch)
+        self._max_pending = None if max_pending is None else int(max_pending)
+        self._admission = admission
         self._chunk_size = int(chunk_size)
         self._num_workers = max(1, int(num_workers))
+        # warm-start blocks only exist on the monolithic forward path
+        self._warm_start = bool(warm_start) and sharded is None
         self.stats = ServingStats()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)  # "block" admission waits
         self._cache = _VersionedLRU(cache_entries)
-        self._pending: list[tuple[Query, Future]] = []
-        self._inflight: dict[tuple, list[Future]] = {}
-        self._mutations: list[tuple[list[TemporalEdgeTuple], Future]] = []
+        self._pending: list[_Ticket] = []
+        self._depth_peak = 0  # queue high-water since the last drain
+        self._inflight: dict[tuple, list[_Waiter]] = {}
+        self._mutations: list[tuple[list, list, Future]] = []
         self._executing = False
         self._closed = False
         self._dispatcher = threading.Thread(
@@ -232,59 +473,199 @@ class QueryServer:
         with self._lock:
             return len(self._cache)
 
-    def submit(self, query: Query) -> Future:
+    def stats_snapshot(self) -> dict:
+        """A consistent plain-dict copy of :attr:`stats`, taken under the lock."""
+        with self._lock:
+            return self.stats.snapshot()
+
+    def submit(
+        self,
+        query: Query | Submission,
+        *,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> Future:
         """Enqueue one query; the returned future resolves to its result.
 
-        Cache hits resolve immediately; in-flight duplicates attach to the
-        pending computation; everything else joins the next micro-batch.
+        Accepts a bare :class:`~repro.algorithms.queries.Query` (optionally
+        with the ``deadline_s``/``priority`` keywords) or a prebuilt
+        :class:`~repro.algorithms.queries.Submission`.  Cache hits resolve
+        immediately; in-flight duplicates attach to the pending computation;
+        everything else must win a queue slot under the admission policy and
+        joins the next micro-batch.  A query whose (relative) ``deadline_s``
+        budget is already zero at admission expires immediately — it never
+        sweeps, by contract.  Under ``admission="reject"`` a full queue
+        raises :class:`~repro.exceptions.ServerOverloadedError` here; every
+        other failure mode is delivered through the future.
         """
-        if not isinstance(query, Query):
+        if isinstance(query, Submission):
+            if deadline_s is not None or priority != 0:
+                raise GraphError(
+                    "pass deadline_s/priority either inside the Submission or "
+                    "as submit keywords, not both"
+                )
+            submission = query
+        elif isinstance(query, Query):
+            submission = Submission(query, deadline_s=deadline_s, priority=priority)
+        else:
             raise GraphError(
                 f"submit expects a Query descriptor, got {type(query).__name__}"
             )
-        key = query.cache_key()
+        query = submission.query
+        key = submission.cache_key()
         future: Future = Future()
+        now = time.monotonic()
+        deadline = None if submission.deadline_s is None else now + submission.deadline_s
+        failure: Exception | None = None
+        value = None
+        resolve = False
         with self._lock:
             if self._closed:
                 raise GraphError("QueryServer is closed")
             self.stats.submitted += 1
-            value, hit = self._cache.get(self._graph.mutation_version, key)
-            if hit:
-                self.stats.cache_hits += 1
-                self.stats.served += 1
+            if deadline is not None and deadline <= now:
+                # zero-budget admission: expired before any serving work —
+                # by contract it must never sweep, so it never enqueues
+                self.stats.admitted += 1
+                self.stats.expired_before_sweep += 1
+                self.stats.failed += 1
+                failure = DeadlineExceededError(submission.deadline_s, swept=False)
             else:
-                waiters = self._inflight.get(key)
-                if waiters is not None:
-                    waiters.append(future)
-                    self.stats.inflight_joins += 1
-                    self.stats.coalesced_queries += 1
-                    return future
-                self.stats.cache_misses += 1
-                self._inflight[key] = []
-                self._pending.append((query, future))
-                self._wake.notify()
-                return future
-        future.set_result(value)
+                value, hit = self._cache.get(self._graph.mutation_version, key)
+                if hit:
+                    self.stats.admitted += 1
+                    self.stats.cache_hits += 1
+                    self.stats.served += 1
+                    resolve = True
+                else:
+                    waiters = self._inflight.get(key)
+                    if waiters is not None:
+                        waiters.append(
+                            _Waiter(future, deadline, submission.deadline_s, now)
+                        )
+                        self.stats.admitted += 1
+                        self.stats.inflight_joins += 1
+                        self.stats.coalesced_queries += 1
+                        return future
+                    shed_failures = self._admit(submission, future)
+                    if shed_failures is None:
+                        return future  # the newcomer itself was shed
+                    self.stats.admitted += 1
+                    self.stats.cache_misses += 1
+                    self._inflight[key] = []
+                    ticket = _Ticket(
+                        future,
+                        deadline,
+                        submission.deadline_s,
+                        now,
+                        query=query,
+                        key=key,
+                        priority=submission.priority,
+                    )
+                    self._pending.append(ticket)
+                    depth = len(self._pending)
+                    if depth > self._depth_peak:
+                        self._depth_peak = depth
+                    if depth > self.stats.queue_depth_high_water:
+                        self.stats.queue_depth_high_water = depth
+                    self._wake.notify()
+        if failure is not None:
+            future.set_exception(failure)
+            return future
+        if resolve:
+            future.set_result(value)
+            return future
+        # shed-oldest evictions: fail the victims outside the lock
+        for victim_future, exc in shed_failures:
+            victim_future.set_exception(exc)
         return future
 
-    def query(self, query: Query, *, timeout: float | None = 30.0):
+    def _admit(self, submission: Submission, future: Future):
+        """Win a queue slot under the admission policy (caller holds the lock).
+
+        Returns the list of ``(future, exception)`` shed-victim failures to
+        deliver outside the lock (usually empty), or ``None`` when the
+        newcomer itself was shed (its future already carries the error to
+        set; the caller returns it without enqueueing).  Raises
+        :class:`ServerOverloadedError` under ``"reject"`` and
+        :class:`GraphError` when a ``"block"`` wait ends in :meth:`close`.
+        """
+        if self._max_pending is None or len(self._pending) < self._max_pending:
+            return []
+        depth = len(self._pending)
+        if self._admission == "reject":
+            self.stats.rejected += 1
+            raise ServerOverloadedError(depth, self._max_pending)
+        if self._admission == "block":
+            while len(self._pending) >= self._max_pending and not self._closed:
+                self._space.wait()
+            if self._closed:
+                raise GraphError("QueryServer is closed")
+            return []
+        # shed-oldest: evict the oldest pending query among the lowest
+        # priority not exceeding the newcomer's; an out-prioritized
+        # newcomer is its own victim
+        victim = None
+        for ticket in self._pending:
+            if ticket.priority > submission.priority:
+                continue
+            if victim is None or (ticket.priority, ticket.submitted) < (
+                victim.priority,
+                victim.submitted,
+            ):
+                victim = ticket
+        if victim is None:
+            self.stats.shed += 1
+            self.stats.failed += 1
+            future.set_exception(
+                ServerOverloadedError(depth, self._max_pending, shed=True)
+            )
+            return None
+        self._pending.remove(victim)
+        waiters = self._inflight.pop(victim.key, [])
+        exc = ServerOverloadedError(depth, self._max_pending, shed=True)
+        failures = [(victim.future, exc)]
+        failures.extend((w.future, exc) for w in waiters)
+        self.stats.shed += len(failures)
+        self.stats.failed += len(failures)
+        return failures
+
+    def query(
+        self,
+        query: Query | Submission,
+        *,
+        timeout: float | None = 30.0,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ):
         """Submit and wait: the blocking convenience form of :meth:`submit`."""
-        return self.submit(query).result(timeout=timeout)
+        return self.submit(query, deadline_s=deadline_s, priority=priority).result(
+            timeout=timeout
+        )
 
     def query_many(
-        self, queries: Iterable[Query], *, timeout: float | None = 60.0
+        self, queries: Iterable[Query | Submission], *, timeout: float | None = 60.0
     ) -> list:
         """Submit a burst of queries and gather their results in order."""
         futures = [self.submit(q) for q in queries]
         return [f.result(timeout=timeout) for f in futures]
 
-    def mutate(self, edges: Sequence[TemporalEdgeTuple]) -> Future:
+    def mutate(
+        self,
+        edges: Sequence[TemporalEdgeTuple],
+        *,
+        removals: Sequence[TemporalEdgeTuple] = (),
+    ) -> Future:
         """Enqueue an edge batch for the single writer.
 
-        Applied between micro-batches: ``graph.add_edges_from(edges)``, a
-        delta recompile of the shared artifact, and invalidation of every
-        version-mismatched cache entry.  The future resolves to the graph's
-        new ``mutation_version``.
+        Applied between micro-batches: ``removals`` are removed, ``edges``
+        added, the shared artifact is delta-recompiled, and the result cache
+        is reconciled — a pure-insertion batch (no ``removals``, confirmed by
+        the graph's insertion journal) *patches* warm frontier entries
+        forward to the new version with the decrease-only re-sweep; anything
+        else, and every entry without (still-valid) warm state, is
+        invalidated.  The future resolves to the graph's new
+        ``mutation_version``.
         """
         if self._sharded_driver is not None:
             raise GraphError(
@@ -293,11 +674,12 @@ class QueryServer:
                 "version; serve mutations from a monolithic server instead"
             )
         batch = [tuple(e) for e in edges]
+        dropped = [tuple(e) for e in removals]
         future: Future = Future()
         with self._lock:
             if self._closed:
                 raise GraphError("QueryServer is closed")
-            self._mutations.append((batch, future))
+            self._mutations.append((batch, dropped, future))
             self._wake.notify()
         return future
 
@@ -312,10 +694,16 @@ class QueryServer:
                 self._idle.wait(remaining)
 
     def close(self, *, timeout: float | None = 60.0) -> None:
-        """Serve everything already enqueued, then stop the dispatcher."""
+        """Serve everything already enqueued, then stop the dispatcher.
+
+        Submitters parked by the ``"block"`` admission policy are woken and
+        raise :class:`~repro.exceptions.GraphError` instead of waiting on a
+        server that will never drain for them.
+        """
         with self._lock:
             self._closed = True
             self._wake.notify_all()
+            self._space.notify_all()
         self._dispatcher.join(timeout=timeout)
 
     def __enter__(self) -> "QueryServer":
@@ -336,38 +724,61 @@ class QueryServer:
                 if self._closed and not self._pending and not self._mutations:
                     return
                 # micro-batch window: let a burst accumulate before sweeping
-                # (mutations and full batches cut the wait short)
+                # (mutations, full batches and the earliest pending deadline
+                # cut the wait short — deadline headroom is never spent on
+                # waiting for batchmates)
                 if self._window > 0 and self._pending and not self._mutations:
-                    deadline = time.monotonic() + self._window
+                    cut = time.monotonic() + self._window
                     while (
                         len(self._pending) < self._max_batch
                         and not self._mutations
                         and not self._closed
                     ):
-                        remaining = deadline - time.monotonic()
+                        wait_until = cut
+                        for ticket in self._pending:
+                            if ticket.deadline is not None:
+                                wait_until = min(wait_until, ticket.deadline)
+                        remaining = wait_until - time.monotonic()
                         if remaining <= 0:
                             break
                         self._wake.wait(remaining)
                 mutations, self._mutations = self._mutations, []
                 tickets = self._pending[: self._max_batch]
                 del self._pending[: len(tickets)]
-                self._executing = True
-            try:
-                for batch, future in mutations:
-                    self._apply_mutation(batch, future)
                 if tickets:
-                    self._execute_micro_batch(tickets)
+                    depths = self.stats.batch_queue_depths
+                    depths.append(self._depth_peak)
+                    if len(depths) > _DEPTH_SAMPLES:
+                        del depths[: len(depths) - _DEPTH_SAMPLES]
+                    self._depth_peak = len(self._pending)
+                    self._space.notify_all()  # "block" admissions may proceed
+                self._executing = True
+            drained_at = time.monotonic()
+            try:
+                for batch, dropped, future in mutations:
+                    self._apply_mutation(batch, dropped, future)
+                if tickets:
+                    self._execute_micro_batch(tickets, drained_at)
             finally:
                 with self._lock:
                     self._executing = False
                     self._idle.notify_all()
 
-    def _apply_mutation(self, batch: list[TemporalEdgeTuple], future: Future) -> None:
+    def _apply_mutation(
+        self,
+        batch: list[TemporalEdgeTuple],
+        removals: list[TemporalEdgeTuple],
+        future: Future,
+    ) -> None:
         """Single-writer admission of one streamed edge batch."""
         from repro.engine import get_compiled
 
         try:
-            self._graph.add_edges_from(batch)
+            before = self._graph.mutation_version
+            for u, v, t in removals:
+                self._graph.remove_edge(u, v, t)
+            if batch:
+                self._graph.add_edges_from(batch)
             # refresh the artifact now through the delta path, so the next
             # micro-batch pays nothing; snapshots the batch did not touch
             # are shared with the previous artifact
@@ -376,31 +787,147 @@ class QueryServer:
         except Exception as exc:
             future.set_exception(exc)
             return
+        patched = 0
+        if self._warm_start and version != before and not removals:
+            insertions = self._graph.edge_insertions_since(before)
+            if insertions is not None:
+                try:
+                    patched = self._patch_warm_entries(before, version, insertions)
+                except Exception:
+                    # a failed patch must never wedge the writer: the prune
+                    # below restores the exact invalidation semantics
+                    patched = 0
         with self._lock:
             self.stats.mutations += 1
-            self.stats.edges_streamed += len(batch)
+            self.stats.edges_streamed += len(batch) + len(removals)
+            self.stats.entries_patched += patched
             self.stats.entries_invalidated += self._cache.prune_stale(version)
         future.set_result(version)
 
-    def _execute_micro_batch(self, tickets: list[tuple[Query, Future]]) -> None:
-        version = self._graph.mutation_version
-        # dedupe on canonical identity, then group by sweep shape
-        unique: "OrderedDict[tuple, Query]" = OrderedDict()
-        holders: dict[tuple, list[Future]] = {}
-        for query, future in tickets:
-            key = query.cache_key()
-            unique.setdefault(key, query)
-            holders.setdefault(key, []).append(future)
-        groups: "OrderedDict[tuple, list[tuple[tuple, Query]]]" = OrderedDict()
-        for key, query in unique.items():
-            groups.setdefault(query.sweep_key(), []).append((key, query))
+    def _patch_warm_entries(
+        self, before: int, version: int, insertions: list[TemporalEdgeTuple]
+    ) -> int:
+        """Carry warm cache entries across a pure-insertion mutation.
 
+        The retained ``(T, N)`` distance blocks are folded forward in one
+        grouped decrease-only re-sweep
+        (:meth:`~repro.engine.frontier.FrontierKernel.patch_distance_blocks`
+        stacks them into a single ``(T, N, R)`` relaxation, and blocks
+        shared between entries with equal roots are deduplicated by
+        identity), then every owning entry is re-decoded through the exact
+        coalesce readouts and rekeyed to the new version — so a later cache
+        hit serves a value bit-identical to recomputation.  Entries whose
+        artifact axes changed (the insertion introduced a node or timestamp)
+        are left behind for the pruning pass.  Returns the number of entries
+        carried forward.
+        """
+        from repro.engine import get_compiled, get_kernel
+
+        compiled = get_compiled(self._graph)
+        kernel = get_kernel(self._graph)
+        with self._lock:
+            entries = self._cache.warm_entries(before)
+        if not entries:
+            return 0
+        axes_ok: dict[int, bool] = {}
+        block_ids: set[int] = set()
+        blocks: list = []
+        pins: list = []
+        carried = []
+        for key, entry in entries:
+            warm = entry.warm
+            surface = warm.surface
+            ok = axes_ok.get(id(surface))
+            if ok is None:
+                ok = surface is compiled or (
+                    surface.num_nodes == compiled.num_nodes
+                    and surface.num_snapshots == compiled.num_snapshots
+                    and list(surface.node_labels) == list(compiled.node_labels)
+                    and tuple(surface.times) == tuple(compiled.times)
+                )
+                axes_ok[id(surface)] = ok
+            if not ok:
+                continue
+            slot = compiled.slot(*warm.root)
+            if slot is None:  # pragma: no cover - axes match implies a slot
+                continue
+            if id(warm.block) not in block_ids:
+                block_ids.add(id(warm.block))
+                blocks.append(warm.block)
+                pins.append(slot)
+            carried.append((key, warm))
+        if not carried:
+            return 0
+        kernel.patch_distance_blocks(
+            blocks, insertions, pinned=pins, sweep_mode=self._sweep_mode
+        )
+        moves = [
+            (key, decode_warm_block(kernel, warm.query, warm.block), warm)
+            for key, warm in carried
+        ]
+        for _key, warm in carried:
+            warm.surface = compiled
+        with self._lock:
+            for key, value, warm in moves:
+                self._cache.rekey(before, version, key, value, warm)
+        return len(moves)
+
+    def _execute_micro_batch(self, tickets: list[_Ticket], drained_at: float) -> None:
+        version = self._graph.mutation_version
+
+        # deadline gate: fail every already-expired future *before* any
+        # kernel work, and drop a query entirely when nothing attached to it
+        # is still live (its sweep column would be pure waste)
+        kept: list[_Ticket] = []
+        to_fail: list[tuple[Future, Exception]] = []
         with self._lock:
             self.stats.micro_batches += 1
+            for ticket in tickets:
+                attached = [ticket, *self._inflight.get(ticket.key, [])]
+                live: list[_Waiter] = []
+                for waiter in attached:
+                    self.stats.wait_latency.record(drained_at - waiter.submitted)
+                    if waiter.expired(drained_at):
+                        self.stats.expired_before_sweep += 1
+                        self.stats.failed += 1
+                        to_fail.append(
+                            (
+                                waiter.future,
+                                DeadlineExceededError(waiter.budget, swept=False),
+                            )
+                        )
+                    else:
+                        live.append(waiter)
+                if live:
+                    ticket.live = live
+                    # joiners arriving between this gate and the scatter
+                    # accumulate in a fresh in-flight list
+                    self._inflight[ticket.key] = []
+                    kept.append(ticket)
+                else:
+                    # fully expired: late joiners must re-enqueue, not
+                    # attach to a computation that will never run
+                    self._inflight.pop(ticket.key, None)
+        for expired_future, exc in to_fail:
+            expired_future.set_exception(exc)
+        if not kept:
+            return
+
+        # dedupe on canonical identity (defensive — the in-flight map makes
+        # duplicate keys in one batch impossible), then group by sweep shape
+        unique: "OrderedDict[tuple, _Ticket]" = OrderedDict()
+        for ticket in kept:
+            first = unique.get(ticket.key)
+            if first is None:
+                unique[ticket.key] = ticket
+            else:  # pragma: no cover - unreachable by construction
+                first.live.extend(ticket.live)
+        groups: "OrderedDict[tuple, list[_Ticket]]" = OrderedDict()
+        for ticket in unique.values():
+            groups.setdefault(ticket.query.sweep_key(), []).append(ticket)
 
         for sweep_key, members in groups.items():
-            keys = [key for key, _ in members]
-            queries = [query for _, query in members]
+            queries = [ticket.query for ticket in members]
             try:
                 if self._sharded_driver is not None:
                     # a read-only sharded server never mutates the graph
@@ -416,6 +943,7 @@ class QueryServer:
                     num_workers=self._num_workers,
                     sweep_mode=self._sweep_mode,
                     driver=self._sharded_driver,
+                    warm_blocks=self._warm_start,
                 )
                 results, errors = outcome.results, outcome.errors
             except Exception as exc:  # whole-group failure
@@ -426,27 +954,51 @@ class QueryServer:
             # a query is "coalesced" when its sweep was shared with at least
             # one other distinct query (in-flight joins are counted at submit)
             shared = len(queries) > 1
+            scattered_at = time.monotonic()
+            resolutions: list[tuple[Future, object, Exception | None]] = []
             with self._lock:
                 if outcome is not None:
                     self.stats.sweeps += outcome.sweeps
                     self.stats.sweep_columns += outcome.columns
-                waiters = {key: self._inflight.pop(key, []) for key in keys}
-                for key, result, error in zip(keys, results, errors):
-                    count = len(holders[key]) + len(waiters[key])
+                for i, (ticket, result, error) in enumerate(
+                    zip(members, results, errors, strict=True)
+                ):
                     if error is None:
-                        self._cache.put(version, key, result)
-                        self.stats.served += count
-                    else:
-                        self.stats.failed += count
+                        warm = None
+                        if outcome is not None and outcome.warm is not None:
+                            pair = outcome.warm[i]
+                            if pair is not None:
+                                warm = _WarmState(
+                                    ticket.query, pair[0], pair[1], outcome.surface
+                                )
+                        self._cache.put(version, ticket.key, result, warm=warm)
+                    waiters = ticket.live + self._inflight.pop(ticket.key, [])
+                    for waiter in waiters:
+                        self.stats.service_latency.record(scattered_at - drained_at)
+                        if error is not None:
+                            self.stats.failed += 1
+                            resolutions.append((waiter.future, None, error))
+                        elif waiter.expired(scattered_at):
+                            self.stats.expired_after_sweep += 1
+                            self.stats.failed += 1
+                            resolutions.append(
+                                (
+                                    waiter.future,
+                                    None,
+                                    DeadlineExceededError(waiter.budget, swept=True),
+                                )
+                            )
+                        else:
+                            self.stats.served += 1
+                            resolutions.append((waiter.future, result, None))
                     if shared:
                         self.stats.coalesced_queries += 1
 
-            for key, result, error in zip(keys, results, errors, strict=True):
-                for future in holders[key] + waiters[key]:
-                    if error is None:
-                        future.set_result(result)
-                    else:
-                        future.set_exception(error)
+            for waiter_future, result, error in resolutions:
+                if error is None:
+                    waiter_future.set_result(result)
+                else:
+                    waiter_future.set_exception(error)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

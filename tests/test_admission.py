@@ -1,0 +1,381 @@
+"""Admission control, deadlines and load-shedding observability (ISSUE 9).
+
+Contracts, per policy:
+
+* ``"reject"`` — a full submission queue raises
+  :class:`~repro.exceptions.ServerOverloadedError` synchronously; cache hits
+  and in-flight joins cost no slot and are always admitted;
+* ``"shed-oldest"`` — the lowest-priority oldest pending query (and every
+  in-flight joiner riding it) is evicted with ``shed=True`` to make room; a
+  newcomer that out-prioritizes nothing sheds itself;
+* ``"block"`` — the submitter parks until the dispatcher drains, and
+  :meth:`~repro.serving.QueryServer.close` wakes it with an error instead of
+  leaving it stranded;
+* deadlines — a query whose budget expires before its micro-batch executes
+  is dropped *without* kernel work (``swept=False``); ``deadline_s=0`` must
+  always expire and never sweep, even when the answer is cached; a deadline
+  crossed while the shared sweep runs fails the future afterwards
+  (``swept=True``) but still populates the cache;
+* observability — the admission/expiry counters, per-batch queue-depth
+  high-water marks and wait/service latency histograms account for all of
+  the above.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.algorithms.queries import BFSQuery, ReachabilityQuery, Submission
+from repro.core.bfs import evolving_bfs
+from repro.exceptions import (
+    DeadlineExceededError,
+    GraphError,
+    ServerOverloadedError,
+)
+from repro.graph import AdjacencyListEvolvingGraph
+from repro.serving import LatencyHistogram, QueryServer
+
+
+def _ring_graph(n: int = 12, times: int = 4) -> AdjacencyListEvolvingGraph:
+    edges = [(i, (i + 1) % n, t) for i in range(n) for t in range(times)]
+    return AdjacencyListEvolvingGraph(edges, directed=True)
+
+
+# --------------------------------------------------------------------------- #
+# submission descriptors                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def test_submission_validation():
+    query = BFSQuery(root=(0, 0))
+    assert query.with_deadline(0.5, priority=3) == Submission(
+        query, deadline_s=0.5, priority=3
+    )
+    # directives never fragment the cache or split a sweep
+    assert Submission(query, deadline_s=0.5).cache_key() == query.cache_key()
+    assert Submission(query, deadline_s=0.5).sweep_key() == query.sweep_key()
+    with pytest.raises(GraphError):
+        Submission("not a query")
+    with pytest.raises(GraphError):
+        Submission(query, deadline_s=-0.1)
+    with pytest.raises(GraphError):
+        Submission(query, deadline_s=float("nan"))
+
+
+def test_submit_rejects_conflicting_directives():
+    with QueryServer(_ring_graph()) as server:
+        submission = BFSQuery(root=(0, 0)).with_deadline(5.0)
+        with pytest.raises(GraphError):
+            server.submit(submission, deadline_s=1.0)
+        with pytest.raises(GraphError):
+            server.submit(submission, priority=1)
+        # the submission itself (and the plain keyword form) both serve
+        direct = evolving_bfs(_ring_graph(), (0, 0)).reached
+        assert server.submit(submission).result(timeout=10) == direct
+        assert server.query(BFSQuery(root=(1, 0)), deadline_s=5.0) is not None
+
+
+def test_server_validates_admission_parameters():
+    graph = _ring_graph(4, 2)
+    with pytest.raises(GraphError):
+        QueryServer(graph, max_pending=0)
+    with pytest.raises(GraphError):
+        QueryServer(graph, admission="drop-newest")
+
+
+# --------------------------------------------------------------------------- #
+# admission policies                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def test_reject_policy_raises_when_queue_full():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0, max_pending=2, admission="reject")
+    try:
+        first = server.submit(BFSQuery(root=(0, 0)))
+        second = server.submit(BFSQuery(root=(1, 0)))
+        with pytest.raises(ServerOverloadedError) as exc_info:
+            server.submit(BFSQuery(root=(2, 0)))
+        assert exc_info.value.pending == 2
+        assert exc_info.value.max_pending == 2
+        assert exc_info.value.shed is False
+        stats = server.stats_snapshot()
+        assert stats["rejected"] == 1
+        assert stats["admitted"] == 2
+        assert stats["submitted"] == 3
+    finally:
+        server.close()
+    # close() still serves everything that won a slot
+    assert first.result(timeout=10) == evolving_bfs(graph, (0, 0)).reached
+    assert second.result(timeout=10) == evolving_bfs(graph, (1, 0)).reached
+
+
+def test_full_queue_still_admits_joins_and_cache_hits():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0, max_pending=1, admission="reject")
+    try:
+        holder = server.submit(BFSQuery(root=(0, 0)))
+        # an identical query joins in-flight: no queue slot, no rejection
+        joiner = server.submit(BFSQuery(root=(0, 0)))
+        with pytest.raises(ServerOverloadedError):
+            server.submit(BFSQuery(root=(1, 0)))
+        stats = server.stats_snapshot()
+        assert stats["inflight_joins"] == 1
+        assert stats["rejected"] == 1
+    finally:
+        server.close()
+    direct = evolving_bfs(graph, (0, 0)).reached
+    assert holder.result(timeout=10) == joiner.result(timeout=10) == direct
+
+
+def test_shed_oldest_evicts_lowest_priority_and_its_joiners():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0, max_pending=2, admission="shed-oldest")
+    try:
+        victim = server.submit(BFSQuery(root=(0, 0)), priority=0)
+        joiner = server.submit(BFSQuery(root=(0, 0)))  # rides the victim
+        survivor = server.submit(BFSQuery(root=(1, 0)), priority=1)
+        newcomer = server.submit(BFSQuery(root=(2, 0)), priority=0)
+        for shed_future in (victim, joiner):
+            with pytest.raises(ServerOverloadedError) as exc_info:
+                shed_future.result(timeout=5)
+            assert exc_info.value.shed is True
+        stats = server.stats_snapshot()
+        assert stats["shed"] == 2
+        assert stats["failed"] >= 2
+    finally:
+        server.close()
+    assert survivor.result(timeout=10) == evolving_bfs(graph, (1, 0)).reached
+    assert newcomer.result(timeout=10) == evolving_bfs(graph, (2, 0)).reached
+
+
+def test_shed_oldest_sheds_outprioritized_newcomer():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0, max_pending=2, admission="shed-oldest")
+    try:
+        kept = [
+            server.submit(BFSQuery(root=(0, 0)), priority=5),
+            server.submit(BFSQuery(root=(1, 0)), priority=5),
+        ]
+        newcomer = server.submit(BFSQuery(root=(2, 0)), priority=1)
+        with pytest.raises(ServerOverloadedError) as exc_info:
+            newcomer.result(timeout=5)
+        assert exc_info.value.shed is True
+        stats = server.stats_snapshot()
+        assert stats["shed"] == 1
+    finally:
+        server.close()
+    for i, future in enumerate(kept):
+        assert future.result(timeout=10) == evolving_bfs(graph, (i, 0)).reached
+
+
+def test_block_policy_waits_for_a_drain():
+    graph = _ring_graph()
+    with QueryServer(
+        graph, window_s=0.02, max_pending=1, admission="block"
+    ) as server:
+        first = server.submit(BFSQuery(root=(0, 0)))
+        # blocks until the dispatcher drains the first query, then enqueues
+        second = server.submit(BFSQuery(root=(1, 0)))
+        assert first.result(timeout=10) == evolving_bfs(graph, (0, 0)).reached
+        assert second.result(timeout=10) == evolving_bfs(graph, (1, 0)).reached
+        stats = server.stats_snapshot()
+        assert stats["rejected"] == 0 and stats["shed"] == 0
+
+
+def test_close_while_overloaded_wakes_blocked_submitters():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0, max_pending=1, admission="block")
+    held = server.submit(BFSQuery(root=(0, 0)))
+    outcomes: list = []
+    started = threading.Event()
+
+    def blocked_submit():
+        started.set()
+        try:
+            outcomes.append(server.submit(BFSQuery(root=(1, 0))))
+        except Exception as exc:  # noqa: BLE001 - the outcome under test
+            outcomes.append(exc)
+
+    thread = threading.Thread(target=blocked_submit)
+    thread.start()
+    started.wait(5)
+    time.sleep(0.05)  # let the submitter reach the block wait
+    server.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert len(outcomes) == 1
+    assert isinstance(outcomes[0], GraphError)
+    # the query that held the slot was still served on close
+    assert held.result(timeout=10) == evolving_bfs(graph, (0, 0)).reached
+
+
+# --------------------------------------------------------------------------- #
+# deadlines                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+def test_zero_deadline_expires_and_never_sweeps():
+    graph = _ring_graph()
+    with QueryServer(graph, window_s=0.001) as server:
+        cached = server.query(BFSQuery(root=(0, 0)))
+        server.join()
+        before = server.stats_snapshot()
+        future = server.submit(BFSQuery(root=(0, 0)), deadline_s=0.0)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            future.result(timeout=5)
+        assert exc_info.value.swept is False
+        server.join()
+        stats = server.stats_snapshot()
+        # by contract it never swept — even though the answer was cached
+        assert stats["sweeps"] == before["sweeps"]
+        assert stats["sweep_columns"] == before["sweep_columns"]
+        assert stats["expired_before_sweep"] == before["expired_before_sweep"] + 1
+        assert stats["cache_hits"] == before["cache_hits"]
+        # the cache entry itself is untouched
+        assert server.query(BFSQuery(root=(0, 0))) == cached
+
+
+def test_expired_queries_drop_before_spending_sweep_columns():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0)
+    try:
+        doomed = server.submit(BFSQuery(root=(0, 0)), deadline_s=0.02)
+        alive = server.submit(BFSQuery(root=(1, 0)))
+        # the dispatcher wakes at the earliest pending deadline, not at the
+        # end of the 5 s window: the expired query is dropped, the live one
+        # sweeps alone
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            doomed.result(timeout=5)
+        assert exc_info.value.swept is False
+        assert alive.result(timeout=10) == evolving_bfs(graph, (1, 0)).reached
+        server.join()
+        stats = server.stats_snapshot()
+        assert stats["expired_before_sweep"] == 1
+        assert stats["sweep_columns"] == 1
+    finally:
+        server.close()
+
+
+def test_deadline_crossed_during_sweep_flags_swept(monkeypatch):
+    import repro.serving.server as server_mod
+
+    graph = _ring_graph()
+    real_execute = server_mod.execute_group
+
+    def slow_execute(*args, **kwargs):
+        time.sleep(0.15)
+        return real_execute(*args, **kwargs)
+
+    monkeypatch.setattr(server_mod, "execute_group", slow_execute)
+    with QueryServer(graph, window_s=0.0) as server:
+        future = server.submit(BFSQuery(root=(0, 0)), deadline_s=0.05)
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            future.result(timeout=10)
+        assert exc_info.value.swept is True
+        server.join()
+        stats = server.stats_snapshot()
+        assert stats["expired_after_sweep"] == 1
+        assert stats["sweeps"] == 1
+        # the sweep was paid, so its answer is cached for later traffic
+        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
+            graph, (0, 0)
+        ).reached
+        assert server.stats_snapshot()["cache_hits"] == 1
+
+
+def test_generous_deadlines_serve_normally():
+    graph = _ring_graph()
+    with QueryServer(graph, window_s=0.002) as server:
+        results = [
+            server.submit(BFSQuery(root=(i, 0)), deadline_s=30.0, priority=i)
+            for i in range(4)
+        ]
+        for i, future in enumerate(results):
+            assert future.result(timeout=10) == evolving_bfs(graph, (i, 0)).reached
+        stats = server.stats_snapshot()
+        assert stats["expired_before_sweep"] == 0
+        assert stats["expired_after_sweep"] == 0
+        assert stats["served"] == 4
+
+
+# --------------------------------------------------------------------------- #
+# observability                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_latency_histogram_buckets_and_quantiles():
+    hist = LatencyHistogram()
+    assert hist.quantile(0.5) is None
+    for seconds in (1e-6, 1e-5, 3e-4, 0.1, 100.0):
+        hist.record(seconds)
+    assert hist.count == 5
+    assert hist.max_s == 100.0
+    assert sum(hist.counts) == 5
+    assert hist.counts[-1] == 1  # the 100 s sample overflows the last bound
+    assert hist.quantile(0.0) is not None
+    assert hist.quantile(1.0) == 100.0
+    snap = hist.snapshot()
+    assert snap["count"] == 5
+    assert snap["p50_s"] <= snap["p99_s"]
+    assert snap["mean_s"] == pytest.approx(hist.total_s / 5)
+    with pytest.raises(GraphError):
+        hist.quantile(1.5)
+
+
+def test_stats_snapshot_accounts_admission_and_latency():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=5.0, max_pending=3, admission="reject")
+    try:
+        futures = [server.submit(BFSQuery(root=(i, 0))) for i in range(3)]
+        with pytest.raises(ServerOverloadedError):
+            server.submit(BFSQuery(root=(3, 0)))
+    finally:
+        server.close()
+    for future in futures:
+        assert future.result(timeout=10) is not None
+    stats = server.stats_snapshot()
+    assert stats["queue_depth_high_water"] == 3
+    assert stats["batch_queue_depths"] and max(stats["batch_queue_depths"]) == 3
+    assert stats["wait_latency"]["count"] == 3
+    assert stats["service_latency"]["count"] == 3
+    assert stats["wait_latency"]["p99_s"] is not None
+    # every admitted future resolved: served + failed == admitted
+    assert stats["served"] + stats["failed"] == stats["admitted"]
+    assert stats["submitted"] == stats["admitted"] + stats["rejected"]
+
+
+def test_mixed_overload_traffic_accounts_every_future():
+    graph = _ring_graph()
+    server = QueryServer(graph, window_s=0.001, max_pending=4, admission="shed-oldest")
+    futures = []
+    try:
+        for burst in range(6):
+            for i in range(6):
+                futures.append(
+                    server.submit(
+                        ReachabilityQuery(root=(i, 0), target=((i + 3) % 12, 3)),
+                        deadline_s=None if i % 2 else 10.0,
+                        priority=i,
+                    )
+                )
+        server.join()
+    finally:
+        server.close()
+    outcomes = {"served": 0, "failed": 0}
+    for future in futures:
+        try:
+            future.result(timeout=10)
+            outcomes["served"] += 1
+        except (ServerOverloadedError, DeadlineExceededError):
+            outcomes["failed"] += 1
+    stats = server.stats_snapshot()
+    assert stats["submitted"] == len(futures)
+    # every non-rejected submission resolved exactly once (self-shed
+    # newcomers fail without ever being admitted, so compare to submitted)
+    assert stats["served"] + stats["failed"] == stats["submitted"] - stats["rejected"]
+    assert stats["admitted"] <= stats["submitted"] - stats["rejected"]
+    assert outcomes["served"] == stats["served"]

@@ -323,6 +323,52 @@ class TestResweepKernel:
         assert changed > 0
         assert np.array_equal(degraded, full)
 
+    def test_group_patch_matches_single_block_patch(self):
+        edges = random_temporal_edges(20, 4, 90, seed=23)
+        graph = AdjacencyListEvolvingGraph(edges, timestamps=[0, 1, 2, 3])
+        kernel = get_kernel(graph)
+        roots = [(v, 0) for v in sorted(graph.active_nodes_at(0))[:6]]
+        insertions = [(0, 13, 1), (5, 17, 2), (2, 9, 0)]
+        insertions = [
+            (u, v, t) for u, v, t in insertions if not graph.has_edge(u, v, t)
+        ]
+        assert insertions
+
+        grouped = [kernel.distance_block(r) for r in roots]
+        singles = [b.copy() for b in grouped]
+
+        # the patch contract: old blocks, folded forward by the
+        # *post-insertion* kernel (whose axes the insertions preserved)
+        for u, v, t in insertions:
+            graph.add_edge(u, v, t)
+        kernel = get_kernel(graph)
+        pins = [kernel.compiled.slot(*r) for r in roots]
+
+        group_changed = kernel.patch_distance_blocks(
+            grouped, insertions, pinned=pins
+        )
+        single_changed = [
+            kernel.patch_distance_block(block, insertions, pinned=pin)
+            for block, pin in zip(singles, pins)
+        ]
+        assert group_changed == single_changed
+        for g, s in zip(grouped, singles):
+            assert np.array_equal(g, s)
+
+        # and both agree with a fresh sweep on the post-insertion graph
+        for root, block in zip(roots, grouped):
+            assert np.array_equal(block, kernel.distance_block(root))
+
+    def test_group_patch_edge_cases(self):
+        graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], timestamps=[0, 1])
+        kernel = get_kernel(graph)
+        assert kernel.patch_distance_blocks([], [(0, 2, 1)]) == []
+        block = kernel.distance_block((0, 0))
+        # out-of-universe endpoints and timestamps contribute no seeds
+        assert kernel.patch_distance_blocks([block], [(7, 8, 0), (0, 1, 9)]) == [0]
+        with pytest.raises(GraphError):
+            kernel.patch_distance_blocks([np.zeros((1, 1), dtype=np.int32)], [(0, 2, 1)])
+
 
 class TestApplyStreamCompiled:
     def test_callback_receives_current_artifact(self):

@@ -488,3 +488,130 @@ def test_coalescing_stats_unchanged_by_sweep_mode():
     assert fused_results == classic_results
     assert fused_sweeps == classic_sweeps == 1
     assert fused_cols == classic_cols == len(roots)
+
+
+# --------------------------------------------------------------------------- #
+# warm-start invalidation                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def _warm_graph() -> AdjacencyListEvolvingGraph:
+    """A directed ring over nodes 0..9 at times 0..2 with room for in-universe
+    insertions (chords between existing nodes at existing timestamps)."""
+    edges = [(i, (i + 1) % 10, t) for i in range(10) for t in (0, 1, 2)]
+    return AdjacencyListEvolvingGraph(edges, directed=True)
+
+
+def test_warm_start_patches_pure_insertion_mutations():
+    graph = _warm_graph()
+    forward = [
+        BFSQuery(root=(0, 0)),
+        BFSQuery(root=(3, 1)),
+        ReachabilityQuery(root=(0, 0), target=(5, 2)),
+        EarliestArrivalQuery(source=(2, 0)),
+    ]
+    backward = LatestDepartureQuery(target=(5, 2))
+    with QueryServer(graph, window_s=0.002) as server:
+        server.query_many(forward + [backward])
+        server.join()
+
+        # first pure-insertion batch: forward entries are patched forward,
+        # the backward entry (no decrease-only rule) is pruned
+        server.mutate([(0, 5, 1), (2, 7, 0)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == len(forward)
+        assert stats["entries_invalidated"] == 1
+
+        # patched entries hit the cache at the new version, bit-identical to
+        # the direct functions on the mutated graph; only the pruned
+        # backward entry costs a recompute
+        misses_before = stats["cache_misses"]
+        for query, got in zip(forward + [backward], _direct_answers(
+            graph, forward + [backward]
+        )):
+            assert server.query(query) == got, describe(query)
+        stats = server.stats.snapshot()
+        assert stats["cache_misses"] == misses_before + 1
+
+        # a second insertion batch patches the already-patched blocks again
+        server.mutate([(4, 9, 2)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == 2 * len(forward)
+        for query, got in zip(forward, _direct_answers(graph, forward)):
+            assert server.query(query) == got, describe(query)
+
+
+def test_warm_start_disabled_prunes_on_insertions():
+    graph = _warm_graph()
+    with QueryServer(graph, window_s=0.002, warm_start=False) as server:
+        server.query(BFSQuery(root=(0, 0)))
+        server.mutate([(0, 5, 1)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == 0
+        assert stats["entries_invalidated"] == 1
+        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
+            graph, (0, 0), backend="vectorized"
+        ).reached
+
+
+def test_warm_start_removal_batches_keep_prune_semantics():
+    graph = _warm_graph()
+    with QueryServer(graph, window_s=0.002) as server:
+        server.query(BFSQuery(root=(0, 0)))
+        # a removal (even inside a mixed batch) has no decrease-only patch
+        # rule: exact pruning, then recomputation against the edited graph
+        server.mutate([(0, 5, 1)], removals=[(3, 4, 1)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == 0
+        assert stats["entries_invalidated"] == 1
+        assert not graph.has_edge(3, 4, 1)
+        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
+            graph, (0, 0), backend="vectorized"
+        ).reached
+
+
+def test_warm_start_out_of_universe_insertion_prunes():
+    graph = _warm_graph()
+    with QueryServer(graph, window_s=0.002) as server:
+        server.query(BFSQuery(root=(0, 0)))
+        # a brand-new node changes the artifact axes: the retained block is
+        # unpatchable and the entry must fall back to exact pruning
+        server.mutate([(0, 99, 1)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == 0
+        assert stats["entries_invalidated"] == 1
+        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
+            graph, (0, 0), backend="vectorized"
+        ).reached
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(served_graphs(), st.sampled_from(["fused", "classic"]))
+def test_warm_start_served_answers_bit_identical(case, sweep_mode):
+    """Across arbitrary insertion batches — patched or pruned — every re-served
+    answer equals the direct function on the mutated graph."""
+    graph, batches = case
+    roots = graph.active_temporal_nodes()[:4]
+    queries = [BFSQuery(root=r) for r in roots] + [
+        EarliestArrivalQuery(source=roots[0]),
+        ReachabilityQuery(root=roots[0], target=roots[-1]),
+    ]
+    with QueryServer(graph, window_s=0.005, sweep_mode=sweep_mode) as server:
+        server.query_many(queries)
+        for batch in batches:
+            server.mutate(batch).result(timeout=30)
+            server.join()
+            served = server.query_many(queries)
+            for query, got, want in zip(
+                queries, served, _direct_answers(graph, queries)
+            ):
+                assert got == want, describe(query)
