@@ -117,7 +117,8 @@ def temporal_closeness(
     Harmonic (rather than classic) closeness is used so unreachable nodes
     contribute zero instead of making the measure undefined.  ``shards``
     routes the sweep through the pipelined time-shard driver; the per-root
-    sums match the monolithic kernel to reduction-order rounding.
+    sums are bit-identical to the monolithic kernel (per-snapshot partial
+    rows are folded in canonical global snapshot order).
     """
     from repro.engine import get_kernel, get_sharded_driver, resolve_backend
 

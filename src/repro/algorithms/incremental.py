@@ -14,6 +14,17 @@ nodes — the endpoints of the new edge at its timestamp, plus any later
 appearance of those nodes that gained a causal in-edge — recompute their best
 distance from their backward neighbours, and propagate improvements forward.
 
+Edge *removals* can only lengthen temporal paths, so :meth:`IncrementalBFS.apply`
+handles a mixed batch in two sound phases: first the removals are folded in
+with an increase-aware invalidate-and-redescend
+(:meth:`~repro.engine.frontier.FrontierKernel.shrink_distance_block` — every
+distance below the cut level is provably still exact, everything at or above
+it is re-derived from the cut frontier), then the insertions run the usual
+decrease-only relaxation against the post-insertion artifact.  Interleaving
+the two phases would be unsound — a slot can land on its *insertion*-shortened
+value during the redescend and then never propagate — which is why the batch
+is split, not fused.
+
 Backends
 --------
 Like every ported search, the class accepts ``backend="python" | "vectorized"``:
@@ -51,7 +62,7 @@ from repro.graph.adjacency_list import AdjacencyListEvolvingGraph
 from repro.graph.base import TemporalEdgeTuple, TemporalNodeTuple
 from repro.graph.compiled import CompiledTemporalGraph
 
-__all__ = ["IncrementalBFS"]
+__all__ = ["IncrementalBFS", "IncrementalEarliestArrival"]
 
 
 class IncrementalBFS:
@@ -228,6 +239,96 @@ class IncrementalBFS:
                 self._apply_batch(new_edges)
         return len(new_edges)
 
+    def remove_edge(self, u: Hashable, v: Hashable, time) -> bool:
+        """Remove the static edge ``u -> v`` at ``time`` and update distances.
+
+        Returns ``True`` when the edge existed (removing an absent edge
+        leaves both the graph and the distance map untouched).
+        """
+        _, removed = self.apply(removals=[(u, v, time)])
+        return bool(removed)
+
+    def remove_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
+        """Remove many edges; returns the number that existed.
+
+        The whole batch is folded into one delta recompile and one
+        increase-aware shrink re-sweep.
+        """
+        _, removed = self.apply(removals=edges)
+        return removed
+
+    def apply(
+        self,
+        insertions: Iterable[TemporalEdgeTuple] = (),
+        removals: Iterable[TemporalEdgeTuple] = (),
+    ) -> tuple[int, int]:
+        """Fold one mixed insert/remove batch; returns ``(added, removed)``.
+
+        The two mutation kinds are applied in separate sound phases —
+        removals first (increase-aware shrink against the mid-batch
+        artifact), then insertions (decrease-only patch against the final
+        artifact) — so the maintained distances stay bit-identical to a
+        fresh search after every batch, for any mix.  The python oracle
+        backend recomputes from scratch whenever a batch removes edges.
+        """
+        ins = self._validate_triples(insertions)
+        rem = self._validate_triples(removals)
+        graph = self._graph
+        if self._backend == "python":
+            removed = 0
+            for u, v, t in rem:
+                if graph.remove_edge(u, v, t):
+                    removed += 1
+            if not removed:
+                return (self.add_edges_from(ins) if ins else 0), 0
+            added = 0
+            for u, v, t in ins:
+                if graph.add_edge(u, v, t):
+                    added += 1
+            self._updates += added + removed
+            self.recompute()
+            return added, removed
+        # phase 1 — removals: capture the pre-removal activeness (the mask
+        # the maintained block was computed under), mutate, shrink
+        prev_active = (
+            self._axes.active_mask
+            if self._axes is not None and self._dist is not None
+            else None
+        )
+        removed_edges: list[TemporalEdgeTuple] = []
+        for edge in rem:
+            if graph.remove_edge(*edge):
+                removed_edges.append(edge)
+        if removed_edges:
+            self._updates += len(removed_edges)
+            self._shrink_batch(removed_edges, prev_active)
+        # phase 2 — insertions: the usual decrease-only relaxation
+        added_edges: list[TemporalEdgeTuple] = []
+        try:
+            for edge in ins:
+                if graph.add_edge(*edge):
+                    added_edges.append(edge)
+        finally:
+            if added_edges:
+                self._updates += len(added_edges)
+                self._apply_batch(added_edges)
+        return len(added_edges), len(removed_edges)
+
+    @staticmethod
+    def _validate_triples(
+        edges: Iterable[TemporalEdgeTuple],
+    ) -> list[TemporalEdgeTuple]:
+        items: list[TemporalEdgeTuple] = []
+        for item in edges:
+            try:
+                u, v, t = item
+            except (TypeError, ValueError) as exc:
+                raise GraphError(
+                    f"temporal edges must be (u, v, t) triples, got {item!r}"
+                ) from exc
+            items.append((u, v, t))
+        return items
+
     def recompute(self) -> dict[TemporalNodeTuple, int]:
         """Recompute from scratch (used for verification); also resyncs the state."""
         active = self._graph.is_active(*self._root)
@@ -358,6 +459,56 @@ class IncrementalBFS:
             sweep_mode=self._sweep_mode,
         )
 
+    def _shrink_batch(
+        self,
+        removals: list[TemporalEdgeTuple],
+        prev_active: np.ndarray | None,
+    ) -> None:
+        """Fold one batch of removed edges into the distance block.
+
+        Runs against the *mid-batch* artifact (post-removal, pre-insertion).
+        Falls back to a fresh search when the maintained block cannot be
+        proven exact: no block yet, a shrunken universe (stale values are
+        not upper bounds under removals, so remapping is unsound), or a
+        deactivated root (the block is simply dropped until the root
+        reactivates).
+        """
+        self._decoded = None
+        graph = self._graph
+        if self._dist is None or self._axes is None or prev_active is None:
+            if graph.is_active(*self._root):
+                self._initial_search()
+            else:
+                self._dist = None
+                self._axes = None
+            return
+        from repro.engine import get_kernel
+
+        kernel = get_kernel(graph)  # delta-recompiled on version mismatch
+        compiled = kernel.compiled
+        old = self._axes
+        if (
+            compiled.num_nodes != old.num_nodes
+            or compiled.times != old.times
+            or compiled.node_labels != old.node_labels
+        ):
+            if graph.is_active(*self._root):
+                self._initial_search()
+            else:
+                self._dist = None
+                self._axes = None
+            return
+        self._axes = compiled
+        slot = compiled.slot(*self._root)
+        if slot is None or not compiled.active_mask[slot]:
+            # the batch deactivated the root: nothing is reachable anymore
+            self._dist = None
+            self._axes = None
+            return
+        kernel.shrink_distance_block(
+            self._dist, removals, prev_active, sweep_mode=self._sweep_mode
+        )
+
     # ------------------------------------------------------------------ #
     # python-oracle internals                                             #
     # ------------------------------------------------------------------ #
@@ -411,3 +562,92 @@ class IncrementalBFS:
                 if existing is None or candidate < existing:
                     self._reached[neighbor] = candidate
                     queue.append(neighbor)
+
+
+class IncrementalEarliestArrival:
+    """Maintain earliest-arrival labels from a fixed root under mixed batches.
+
+    The journal-driven incremental form of
+    :meth:`repro.engine.labels.LabelKernel.earliest_arrivals` for one root:
+    node ``v``'s earliest arrival is the first snapshot whose maintained
+    distance is non-negative, a pure readout of the ``(T, N)`` block that
+    :class:`IncrementalBFS` already keeps exact.  Insertions and removals
+    therefore ride the same two-phase decrease/shrink maintenance, and
+    :attr:`arrivals` stays bit-identical to a fresh
+    ``LabelKernel.earliest_arrivals`` sweep after every batch (asserted by
+    the mixed-stream hypothesis suite).
+    """
+
+    def __init__(
+        self,
+        graph: AdjacencyListEvolvingGraph,
+        root: TemporalNodeTuple,
+        *,
+        backend: str = "vectorized",
+        sweep_mode: str | None = None,
+    ) -> None:
+        self._inner = IncrementalBFS(
+            graph, root, backend=backend, sweep_mode=sweep_mode
+        )
+
+    @property
+    def root(self) -> TemporalNodeTuple:
+        """The search root."""
+        return self._inner.root
+
+    @property
+    def graph(self) -> AdjacencyListEvolvingGraph:
+        """The underlying evolving graph (do not mutate it directly)."""
+        return self._inner.graph
+
+    @property
+    def num_updates(self) -> int:
+        """Number of edge mutations processed since construction."""
+        return self._inner.num_updates
+
+    def add_edge(self, u: Hashable, v: Hashable, time) -> bool:
+        """Insert one edge; see :meth:`IncrementalBFS.add_edge`."""
+        return self._inner.add_edge(u, v, time)
+
+    def add_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
+        """Insert many edges; see :meth:`IncrementalBFS.add_edges_from`."""
+        return self._inner.add_edges_from(edges)
+
+    def remove_edge(self, u: Hashable, v: Hashable, time) -> bool:
+        """Remove one edge; see :meth:`IncrementalBFS.remove_edge`."""
+        return self._inner.remove_edge(u, v, time)
+
+    def remove_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
+        """Remove many edges; see :meth:`IncrementalBFS.remove_edges_from`."""
+        return self._inner.remove_edges_from(edges)
+
+    def apply(
+        self,
+        insertions: Iterable[TemporalEdgeTuple] = (),
+        removals: Iterable[TemporalEdgeTuple] = (),
+    ) -> tuple[int, int]:
+        """Fold one mixed batch; see :meth:`IncrementalBFS.apply`."""
+        return self._inner.apply(insertions, removals)
+
+    @property
+    def arrivals(self) -> dict[Hashable, Hashable]:
+        """Current ``{node: earliest reachable time}`` map (a copy)."""
+        inner = self._inner
+        if inner.backend == "python":
+            position = {t: i for i, t in enumerate(inner.graph.timestamps)}
+            out: dict[Hashable, Hashable] = {}
+            for v, t in inner._reached:
+                current = out.get(v)
+                if current is None or position[t] < position[current]:
+                    out[v] = t
+            return out
+        if inner._dist is None or inner._axes is None:
+            return {}
+        reached = inner._dist >= 0
+        hit = reached.any(axis=0)
+        first = reached.argmax(axis=0)
+        labels = inner._axes.node_labels
+        times = inner._axes.times
+        return {
+            labels[vi]: times[first[vi]] for vi in np.nonzero(hit)[0].tolist()
+        }

@@ -39,6 +39,7 @@ reader threads) compiles each ``(graph, mutation_version)`` exactly once.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import weakref
@@ -122,6 +123,12 @@ def _entry(
         kernel = FrontierKernel(compiled)
         label_kernel = LabelKernel(compiled, frontier=kernel)
         spectral_kernel = SpectralKernel(compiled)
+        if cached is not None and compiled is not cached[1]:
+            # a delta recompile shares every untouched snapshot's operator
+            # object, so the stale spectral kernel's LU factorizations,
+            # float/int casts and radius bounds carry over — only the
+            # (snapshot, alpha) pairs the batch touched refactorize
+            spectral_kernel.adopt_caches(cached[4])
         if graph.mutation_version == version:
             # only publish an entry whose stamp still matches the graph; a
             # writer that mutated mid-compile forces the next reader to
@@ -181,6 +188,28 @@ _SHARD_CACHE: "weakref.WeakKeyDictionary[BaseEvolvingGraph, tuple]" = (
 )
 
 
+def _close_cached_drivers() -> None:
+    """Close every cached shard driver's worker pipeline, for interpreter exit.
+
+    Close-on-evict only fires when a graph *mutates*; a process that exits
+    with entries still cached would otherwise leave persistent
+    process-backend workers blocked on their task queues (their ``__del__``
+    is not guaranteed to run during teardown).  Registered with
+    :mod:`atexit` so the sentinel/join shutdown always happens while the
+    interpreter is still able to do it.
+    """
+    with _CACHE_LOCK:
+        for cached in list(_SHARD_CACHE.values()):
+            for driver in cached[1].values():
+                try:
+                    driver.close()
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+
+
+atexit.register(_close_cached_drivers)
+
+
 def get_sharded_driver(
     graph: BaseEvolvingGraph,
     shards: int,
@@ -199,7 +228,11 @@ def get_sharded_driver(
     ``(mutation_version, shard layout, backend, workers, chunk size)`` so
     repeated algorithm calls with the same routing reuse the shard slices
     (and, for the process backend, the persistent worker pipeline); a graph
-    mutation evicts and closes every stale driver for that graph.
+    mutation evicts and closes every stale driver for that graph — but only
+    after delta re-sharding the replacement artifact
+    (:meth:`~repro.graph.sharded.ShardedTemporalGraph.recompile`), which
+    carries every clean shard object and its warmed kernel over from the
+    evicted driver, so streamed mutations rebuild O(dirty shards) only.
     """
     if backend is None:
         backend = os.environ.get("REPRO_SHARD_BACKEND", "serial")
@@ -223,21 +256,33 @@ def get_sharded_driver(
             cached = _SHARD_CACHE.get(graph)
         except TypeError:
             cached = None
+        stale_map: dict | None = None
         if cached is not None and cached[0] != version:
-            for stale in cached[1].values():
-                stale.close()
+            # keep the stale drivers around until the replacement is built:
+            # a delta re-shard reuses every clean shard object (and its
+            # warmed kernel) from the driver this mutation is evicting
+            stale_map = cached[1]
             cached = None
         if cached is not None:
             driver = cached[1].get(key)
             if driver is not None:
                 return driver
-        sharded = ShardedTemporalGraph.from_compiled(compiled, shards)
+        stale = stale_map.get(key) if stale_map else None
+        if stale is not None and stale.sharded.num_shards == int(shards):
+            sharded = ShardedTemporalGraph.recompile(compiled, stale.sharded)
+        else:
+            sharded = ShardedTemporalGraph.from_compiled(compiled, shards)
         driver = ShardedSweepDriver(
             sharded,
             backend=backend,
             num_workers=num_workers,
             chunk_size=chunk_size,
         )
+        if stale is not None:
+            driver.adopt_kernels(stale)
+        if stale_map is not None:
+            for old in stale_map.values():
+                old.close()
         entry = cached if cached is not None else (version, {})
         entry[1][key] = driver
         try:

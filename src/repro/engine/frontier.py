@@ -93,6 +93,35 @@ _DIRECTIONS = ("forward", "backward")
 _UNREACHED = np.int32(2**30)
 
 
+def _harmonic_rows(dist: np.ndarray) -> np.ndarray:
+    """Per-snapshot harmonic partial rows of a ``(T, N, R)`` distance block.
+
+    The canonical first reduction stage of the harmonic-closeness sum: for
+    each snapshot, ``sum(1/d)`` over its nodes as ONE contiguous pairwise
+    reduction along the node axis.  Both the monolithic kernel and the
+    sharded driver reduce through this function, so a shard boundary never
+    changes which floats meet inside the node-axis reduction — the remaining
+    time-axis accumulation (:func:`_harmonic_accumulate`) is then performed
+    in explicit global snapshot order by both, making the two bit-identical.
+    """
+    inverse = np.where(dist > 0, 1.0 / np.maximum(dist, 1), 0.0)
+    # (T, R, N) C-contiguous so the node-axis sum is a flat pairwise pass
+    return np.ascontiguousarray(inverse.transpose(0, 2, 1)).sum(axis=2)
+
+
+def _harmonic_accumulate(rows: np.ndarray) -> np.ndarray:
+    """Fold ``(T, R)`` per-snapshot harmonic rows in time order, sequentially.
+
+    Plain left-to-right float addition over the time axis — deliberately NOT
+    ``rows.sum(axis=0)``, whose pairwise tree would depend on T and therefore
+    on shard boundaries when partials are folded shard by shard.
+    """
+    sums = np.zeros(rows.shape[1:], dtype=np.float64)
+    for row in rows:
+        sums = sums + row
+    return sums
+
+
 class FrontierKernel:
     """Sparse execution engine for frontier expansion over one evolving graph.
 
@@ -585,6 +614,196 @@ class FrontierKernel:
             block[:] = np.where(work[:, :, col] >= _UNREACHED, -1, work[:, :, col])
         return changed
 
+    def shrink_distance_block(
+        self,
+        dist: np.ndarray,
+        removals: Sequence[tuple],
+        previous_active: np.ndarray,
+        *,
+        sweep_mode: str | None = None,
+    ) -> int:
+        """Fold a pure-removal edge batch into a ``(T, N)`` distance block.
+
+        The increase-aware counterpart of :meth:`patch_distance_block`:
+        ``dist`` was computed against the *pre-removal* graph,
+        ``previous_active`` is that graph's ``(T, N)`` activeness mask, and
+        this kernel's compiled artifact already reflects the removals.
+        Removals only ever lengthen temporal shortest paths, so the update is
+        invalidate-and-redescend: compute the cut level ``dmin`` — the
+        smallest distance any removed tight edge or deactivated reachable
+        slot carried — below which every recorded distance is provably still
+        exact (a shortest path to a ``< dmin`` slot can only use slots at
+        smaller distances, none of which a removal touched); invalidate every
+        slot at ``>= dmin``; then rediscover the true ``dmin`` frontier with
+        ONE masked spatial+causal step from the complete ``dmin - 1`` level
+        and let :meth:`decrease_only_resweep` redescend from there.  The
+        result is bit-identical to a fresh search on the post-removal
+        artifact — ``IncrementalBFS`` and the serving layer's warm-start
+        patching rely on exactly this contract for the removal phase of a
+        mixed batch.
+
+        Raises :class:`~repro.exceptions.GraphError` when a removal
+        deactivated the search root itself (``dmin == 0``) — the caller must
+        drop the block and recompute.  Returns the number of slots whose
+        distance changed.
+        """
+        active = self.compiled.active_mask
+        t_count, n = active.shape
+        if dist.shape != (t_count, n):
+            raise GraphError(
+                f"distance block shape {dist.shape} does not match the "
+                f"compiled artifact's {(t_count, n)}"
+            )
+        if previous_active.shape != (t_count, n):
+            raise GraphError(
+                f"previous_active shape {previous_active.shape} does not "
+                f"match the compiled artifact's {(t_count, n)}"
+            )
+        old = dist.copy()
+        prepared = self._shrink_levels(dist[:, :, None], removals, previous_active)
+        if prepared is None:
+            return 0
+        dmin, seeds_mask = prepared
+        level = int(dmin[0])
+        tt, vv, _ = np.nonzero(seeds_mask)
+        if tt.size:
+            seeds = [(ti, vi, level) for ti, vi in zip(tt.tolist(), vv.tolist())]
+            self.decrease_only_resweep(dist, seeds, sweep_mode=sweep_mode)
+        return int((dist != old).sum())
+
+    def shrink_distance_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        removals: Sequence[tuple],
+        previous_active: np.ndarray,
+        *,
+        sweep_mode: str | None = None,
+    ) -> list[int]:
+        """Fold one pure-removal batch into many ``(T, N)`` blocks at once.
+
+        Group form of :meth:`shrink_distance_block` for callers holding many
+        independent forward-search blocks against the same compiled axes
+        (the serving layer's warm cache).  The cut levels are computed per
+        column in one vectorized pass, the redescent frontier is discovered
+        with one CSR × ``(N, R)`` step per touched snapshot, and the
+        redescent itself runs through the same grouped rounds as
+        :meth:`patch_distance_blocks` — bit-identical per block to shrinking
+        it alone.  ``sweep_mode`` is accepted for API symmetry; the group
+        rounds always advance as dense blocks.  Raises when any column's
+        root was deactivated (drop those blocks first).  Returns the
+        changed-slot count per block.
+        """
+        del sweep_mode
+        compiled = self.compiled
+        active = compiled.active_mask
+        t_count, n = active.shape
+        r_count = len(blocks)
+        if not r_count:
+            return []
+        for block in blocks:
+            if block.shape != (t_count, n):
+                raise GraphError(
+                    f"distance block shape {block.shape} does not match the "
+                    f"compiled artifact's {(t_count, n)}"
+                )
+        if previous_active.shape != (t_count, n):
+            raise GraphError(
+                f"previous_active shape {previous_active.shape} does not "
+                f"match the compiled artifact's {(t_count, n)}"
+            )
+        dist = np.stack(blocks, axis=2).astype(np.int32)  # (T, N, R)
+        old = np.stack(blocks, axis=2)
+        prepared = self._shrink_levels(dist, removals, previous_active)
+        if prepared is not None:
+            dmin, seeds_mask = prepared
+            work = np.where(dist < 0, _UNREACHED, dist)
+            work = np.where(
+                seeds_mask, dmin[None, None, :].astype(np.int32), work
+            )
+            if seeds_mask.any():
+                self._resweep_group(work, seeds_mask, active)
+            dist = np.where(work >= _UNREACHED, -1, work)
+        changed = (dist != old).sum(axis=(0, 1))
+        for col, block in enumerate(blocks):
+            block[:] = dist[:, :, col]
+        return [int(c) for c in changed]
+
+    def _shrink_levels(
+        self,
+        dist: np.ndarray,
+        removals: Sequence[tuple],
+        previous_active: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Shared shrink preamble over a stacked ``(T, N, R)`` block.
+
+        Computes each column's cut level ``dmin`` (the smallest distance a
+        removed *tight* edge delivered or a deactivated reachable slot
+        held — non-tight edges lie on no shortest path, so removing them
+        changes nothing), invalidates every slot at ``>= dmin`` in place,
+        and discovers the redescent seeds with one masked spatial+causal
+        step from the complete ``dmin - 1`` frontier: every slot whose true
+        post-removal distance is ``dmin`` has a predecessor at ``dmin - 1``,
+        and the ``< dmin`` region is exact, so that single step finds the
+        full ``dmin`` level.  Returns ``(dmin, seeds_mask)``, or ``None``
+        when no column is affected.
+        """
+        compiled = self.compiled
+        active = compiled.active_mask
+        t_count, n = active.shape
+        r_count = dist.shape[2]
+        big = int(_UNREACHED)
+        dmin = np.full(r_count, big, dtype=np.int64)
+        time_index = compiled.time_index
+        node_index = compiled.node_index
+        directed = compiled.is_directed
+        for u, v, t in removals:
+            ti = time_index.get(t)
+            iu = node_index.get(u)
+            iv = node_index.get(v)
+            if ti is None or iu is None or iv is None or iu == iv:
+                continue  # outside the universe, or a self-loop (never tight)
+            pairs = ((iu, iv),) if directed else ((iu, iv), (iv, iu))
+            for a, b in pairs:
+                tail = dist[ti, a, :].astype(np.int64)
+                head = dist[ti, b, :].astype(np.int64)
+                tight = (tail >= 0) & (head == tail + 1)
+                dmin = np.where(tight, np.minimum(dmin, head), dmin)
+        deactivated = previous_active & ~active
+        if deactivated.any():
+            vals = dist[deactivated].astype(np.int64)  # (K, R)
+            vals = np.where(vals >= 0, vals, big)
+            dmin = np.minimum(dmin, vals.min(axis=0))
+        if (dmin >= big).all():
+            return None
+        if (dmin == 0).any():
+            raise GraphError(
+                "a removal batch deactivated a search root; drop the block "
+                "and recompute it from scratch"
+            )
+        invalid = dist >= dmin[None, None, :]
+        frontier = dist == (dmin - 1)[None, None, :]
+        dist[invalid] = -1
+        mats = compiled.forward_operators
+        counter = self.counter
+        reach = np.zeros((t_count, n, r_count), dtype=bool)
+        touched = np.flatnonzero(frontier.any(axis=(1, 2)))
+        for ti in touched.tolist():
+            reach[ti] = (mats[ti] @ frontier[ti].astype(np.int32)) > 0
+            if counter is not None:
+                counter.multiply_adds += 2 * int(mats[ti].nnz) * r_count
+        if t_count > 1:
+            carried = np.logical_or.accumulate(frontier, axis=0)
+            reach[1:] |= carried[:-1]
+            if counter is not None:
+                counter.column_checks += t_count * n * r_count
+        seeds_mask = (
+            reach
+            & active[:, :, None]
+            & (dist < 0)
+            & (dmin < big)[None, None, :]
+        )
+        return dmin, seeds_mask
+
     def _resweep_group(
         self, work: np.ndarray, improved: np.ndarray, active: np.ndarray
     ) -> list[int]:
@@ -757,14 +976,17 @@ class FrontierKernel:
 
         The unnormalized harmonic-closeness numerator of
         :func:`repro.algorithms.centrality.temporal_closeness`, reduced
-        straight off the distance block.
+        straight off the distance block in the *canonical* order: one
+        pairwise reduction over nodes per snapshot, then a sequential
+        accumulation of the per-snapshot rows in global time order.  The
+        sharded driver reduces its per-shard partials identically, so
+        monolithic and sharded sums are bit-identical on every backend.
         """
         out: dict[TemporalNodeTuple, float] = {}
         for chunk, dist in self._chunked_distances(
             roots, direction=direction, chunk_size=chunk_size, sweep_mode=sweep_mode
         ):
-            inverse = np.where(dist > 0, 1.0 / np.maximum(dist, 1), 0.0)
-            sums = inverse.sum(axis=(0, 1))
+            sums = _harmonic_accumulate(_harmonic_rows(dist))
             for col, root in enumerate(chunk):
                 out[root] = float(sums[col])
         return out

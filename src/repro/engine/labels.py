@@ -388,6 +388,89 @@ class LabelKernel:
                 }
         return out
 
+    def tang_steps_block(
+        self,
+        source_nodes: Iterable[Node],
+        *,
+        horizon: int = 1,
+        start_index: int = 0,
+        sweep_mode: str | None = None,
+    ) -> np.ndarray:
+        """Raw ``(N, R)`` Tang step block for one chunk of sources.
+
+        The array form of :meth:`tang_steps` (one column per source, ``-1``
+        = never informed) that incremental callers keep as mutable state
+        between stream batches and repair with :meth:`tang_patch`.
+        """
+        if start_index < 0 or start_index >= self.compiled.num_snapshots:
+            raise GraphError(f"start_index {start_index} out of range")
+        mode = bitops.resolve_sweep_mode(sweep_mode)
+        run = self._tang_chunk_fused if mode == "fused" else self._tang_chunk_classic
+        return run(list(source_nodes), horizon, start_index)
+
+    def tang_patch(
+        self,
+        steps: np.ndarray,
+        touched_times: Iterable[Time],
+        *,
+        horizon: int = 1,
+        start_index: int = 0,
+    ) -> int:
+        """Repair a Tang step block after a mutation batch, in place.
+
+        ``steps`` is a :meth:`tang_steps_block` result computed against the
+        pre-batch artifact; ``touched_times`` are the timestamps the batch's
+        insertions/removals touched (the dirty snapshots of the delta
+        recompile — read them off the signed journal).  The Tang recurrence
+        is purely forward in time — the informed set entering snapshot ``i``
+        depends only on snapshots before ``i`` — so the patch is
+        truncate-and-resweep: every label at or beyond the earliest touched
+        step is invalidated (labels below it were derived exclusively from
+        untouched snapshots and stay exact, for removals as much as
+        insertions), and the sweep loop re-runs from the earliest touched
+        snapshot on this kernel's post-batch operators.  Bit-identical to
+        recomputing the block from scratch; costs only the suffix the batch
+        could have affected.  Returns the number of entries that changed.
+        """
+        compiled = self.compiled
+        n = compiled.num_nodes
+        t_count = compiled.num_snapshots
+        if start_index < 0 or start_index >= t_count:
+            raise GraphError(f"start_index {start_index} out of range")
+        if steps.ndim != 2 or steps.shape[0] != n:
+            raise GraphError(
+                f"step block shape {steps.shape} does not match the "
+                f"compiled artifact's {n} nodes"
+            )
+        time_index = compiled.time_index
+        touched = [
+            ti
+            for ti in (time_index.get(t) for t in touched_times)
+            if ti is not None and ti >= start_index
+        ]
+        if not touched:
+            return 0  # every touched snapshot predates the sweep window
+        ti_min = min(touched)
+        s0 = ti_min - start_index + 1
+        old = steps.copy()
+        steps[steps >= s0] = -1
+        informed = steps >= 0
+        mats = compiled.forward_operators
+        for step, ti in enumerate(range(ti_min, t_count), start=s0):
+            if not mats[ti].nnz:
+                continue
+            for _ in range(max(1, horizon)):
+                spread = (mats[ti] @ informed.astype(np.int32)) > 0
+                newly = spread & ~informed
+                if not newly.any():
+                    break
+                informed |= newly
+            fresh = informed & (steps < 0)
+            steps[fresh] = step
+            if informed.all():
+                break
+        return int((steps != old).sum())
+
     def _tang_chunk_classic(
         self, chunk: Sequence[Node], horizon: int, start_index: int
     ) -> np.ndarray:

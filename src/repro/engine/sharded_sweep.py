@@ -41,10 +41,12 @@ and :class:`~repro.engine.labels.LabelKernel` shardable *bit-identically*:
   :func:`~repro.parallel.partition.chunk_by_weight` over shard nnz.
 
 Every public method mirrors its monolithic kernel twin — same arguments,
-same decoded shapes, bit-identical integer results (``tests/test_sharded.py``
-hypothesis-asserts this across families, shard counts and backends; the
-float harmonic sums agree to reduction-order rounding).  Obtain a cached
-driver via :func:`repro.engine.get_sharded_driver`.
+same decoded shapes, bit-identical results (``tests/test_sharded.py``
+hypothesis-asserts this across families, shard counts and backends).  Even
+the float harmonic sums are exact: shards ship per-snapshot partial rows
+and the driver folds them in canonical global snapshot order, replaying
+the monolithic reduction addition-for-addition.  Obtain a cached driver
+via :func:`repro.engine.get_sharded_driver`.
 """
 
 from __future__ import annotations
@@ -56,7 +58,11 @@ import numpy as np
 
 from repro.core.bfs import BFSResult
 from repro.engine import bitops
-from repro.engine.frontier import FrontierKernel
+from repro.engine.frontier import (
+    FrontierKernel,
+    _harmonic_accumulate,
+    _harmonic_rows,
+)
 from repro.exceptions import GraphError, InactiveNodeError
 from repro.graph.base import Node, TemporalNodeTuple, Time
 from repro.graph.sharded import ShardedTemporalGraph
@@ -436,8 +442,10 @@ def _reduce_block(
     if kind == "reach":
         return (block >= 0).any(axis=0)  # (N, R) identity-hit mask
     if kind == "harmonic":
-        inverse = np.where(block > 0, 1.0 / np.maximum(block, 1), 0.0)
-        return inverse.sum(axis=(0, 1))  # (R,)
+        # per-snapshot (T_i, R) rows via the monolithic kernel's canonical
+        # reduction; the driver folds them in global snapshot order, so the
+        # float sums are bit-identical to the monolithic readout
+        return _harmonic_rows(block)
     if kind in ("first", "last"):
         reached = block >= 0
         hit = reached.any(axis=0)
@@ -464,10 +472,11 @@ def _merge_partials(kind: str, parts: Sequence) -> object:
             merged |= part
         return merged
     if kind == "harmonic":
-        merged = parts[0].copy()
-        for part in parts[1:]:
-            merged += part
-        return merged
+        # concatenating ascending-shard partials restores global snapshot
+        # order; the sequential fold then performs the exact same float
+        # additions, in the exact same order, as the monolithic kernel —
+        # run it even for a single part so one-shard layouts match too
+        return _harmonic_accumulate(np.concatenate(parts, axis=0))
     if kind in ("first", "last"):
         merged = parts[0].copy()
         combine = np.minimum if kind == "first" else np.maximum
@@ -641,6 +650,29 @@ class ShardedSweepDriver:
             kernel = FrontierKernel(self.sharded.shard(shard_index))
             self._kernels[shard_index] = kernel
         return kernel
+
+    def adopt_kernels(self, previous: "ShardedSweepDriver") -> int:
+        """Carry over per-shard kernels whose shard artifact is unchanged.
+
+        After a delta re-shard (:meth:`ShardedTemporalGraph.recompile
+        <repro.graph.sharded.ShardedTemporalGraph.recompile>`) every clean
+        shard is the *same object* as in the previous artifact, so the old
+        driver's lazily-warmed :class:`FrontierKernel` for it — packed
+        activeness words, operator degrees — stays exact and is reused
+        verbatim.  Returns the number of kernels adopted.  (Serial/thread
+        backends only: process workers own their kernels remotely.)
+        """
+        adopted = 0
+        for index, kernel in previous._kernels.items():
+            if (
+                index < self.sharded.num_shards
+                and self.sharded.materialized(index)
+                and kernel.compiled is self.sharded.shard(index)
+                and index not in self._kernels
+            ):
+                self._kernels[index] = kernel
+                adopted += 1
+        return adopted
 
     def _chain(self, spec: tuple) -> list[int]:
         """Shard processing order for a sweep family (the pipeline order)."""
@@ -998,8 +1030,10 @@ class ShardedSweepDriver:
         """Per root: ``sum(1/d)`` over reached slots at distance > 0.
 
         Each shard reduces its own slice of the (bit-identical) distance
-        block; the driver adds the per-shard float partials, so sums match
-        the monolithic kernel to reduction-order rounding.
+        block to per-snapshot ``(T_i, R)`` rows via the monolithic kernel's
+        canonical reduction; the driver concatenates them back into global
+        snapshot order and folds sequentially, so the float sums are
+        *bit-identical* to the monolithic kernel — not merely close.
         """
         spec = ("bfs", direction == "forward", False)
         out: dict[TemporalNodeTuple, float] = {}

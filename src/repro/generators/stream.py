@@ -5,18 +5,22 @@ adding new random static edges".  More generally, evolving graphs are often
 consumed from a stream of timestamped edge events.  This module provides a
 small streaming layer:
 
-* :class:`EdgeStream` — an iterator of ``(u, v, t)`` events with optional
-  batching, built from a list, a generator function or a random source.
+* :class:`EdgeStream` — an iterator of edge events with optional batching,
+  built from a list, a generator function or a random source.  Events are
+  *signed*: a plain ``(u, v, t)`` triple inserts, and a ``("+", u, v, t)`` /
+  ``("-", u, v, t)`` quadruple inserts/removes explicitly, so one stream can
+  carry the mixed insert/remove traffic of a live feed.
 * :func:`apply_stream` — fold a stream into an
   :class:`~repro.graph.adjacency_list.AdjacencyListEvolvingGraph`, optionally
   invoking a callback after each batch (used by the incremental-BFS example
   and the ablation benchmarks).  With ``compiled=True`` the fold also
   maintains the shared compiled artifact
   (:class:`~repro.graph.compiled.CompiledTemporalGraph`) across batches via
-  *delta recompilation* — only the snapshots each batch touched are rebuilt —
-  and hands it to the callback, so streaming workloads (Figure-5 growth,
-  random edge streams, batched event replay) run end-to-end on compiled
-  artifacts instead of recompiling from scratch per batch.
+  *delta recompilation* — only the snapshots each batch touched are rebuilt,
+  for removals exactly as for insertions, thanks to the signed mutation
+  journal — and hands it to the callback, so streaming workloads (Figure-5
+  growth, random edge streams, batched event replay) run end-to-end on
+  compiled artifacts instead of recompiling from scratch per batch.
 """
 
 from __future__ import annotations
@@ -36,6 +40,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["EdgeStream", "apply_stream"]
 
+#: An edge event: ``(u, v, t)`` inserts; ``(sign, u, v, t)`` with sign
+#: ``"+"`` / ``"-"`` inserts or removes explicitly.
+EdgeEvent = tuple
+
+
+def _apply_event(graph: AdjacencyListEvolvingGraph, event: EdgeEvent) -> None:
+    """Apply one signed event to ``graph`` (arrival order is preserved)."""
+    if len(event) == 4:
+        sign, u, v, t = event
+        if sign == "+":
+            graph.add_edge(u, v, t)
+        elif sign == "-":
+            graph.remove_edge(u, v, t)
+        else:
+            raise GraphError(
+                f"signed edge events must start with '+' or '-', got {sign!r}"
+            )
+        return
+    try:
+        u, v, t = event
+    except (TypeError, ValueError) as exc:
+        raise GraphError(
+            f"edge events must be (u, v, t) or (sign, u, v, t), got {event!r}"
+        ) from exc
+    graph.add_edge(u, v, t)
+
 
 @dataclass
 class EdgeStream:
@@ -44,12 +74,13 @@ class EdgeStream:
     Attributes
     ----------
     events:
-        The ``(u, v, t)`` triples in arrival order.
+        The events in arrival order: ``(u, v, t)`` insertion triples and/or
+        signed ``("+"/"-", u, v, t)`` quadruples (mixed freely).
     batch_size:
         Number of events yielded per batch by :meth:`batches`.
     """
 
-    events: Sequence[TemporalEdgeTuple]
+    events: Sequence[EdgeEvent]
     batch_size: int = 1
 
     def __post_init__(self) -> None:
@@ -113,8 +144,11 @@ def apply_stream(
     Parameters
     ----------
     stream:
-        An :class:`EdgeStream` (its batches are respected) or any iterable of
-        ``(u, v, t)`` triples (treated as one event per batch).
+        An :class:`EdgeStream` (its batches are respected) or any iterable
+        of events (treated as one event per batch).  Events are ``(u, v, t)``
+        insertion triples or signed ``("+"/"-", u, v, t)`` quadruples;
+        within a batch they apply in arrival order, so a remove-then-re-add
+        of the same edge lands in the graph exactly as streamed.
     graph:
         Graph to extend in place; a fresh one is created when omitted.
     directed:
@@ -137,7 +171,7 @@ def apply_stream(
     if graph is None:
         graph = AdjacencyListEvolvingGraph(directed=directed)
     if isinstance(stream, EdgeStream):
-        batch_iter: Iterable[list[TemporalEdgeTuple]] = stream.batches()
+        batch_iter: Iterable[list[EdgeEvent]] = stream.batches()
     else:
         batch_iter = ([event] for event in stream)
     if compiled:
@@ -145,7 +179,8 @@ def apply_stream(
 
     artifact: "CompiledTemporalGraph | None" = None
     for batch in batch_iter:
-        graph.add_edges_from(batch)
+        for event in batch:
+            _apply_event(graph, event)
         if compiled:
             artifact = get_compiled(graph)  # delta recompile of the touched snapshots
         if on_batch is not None:

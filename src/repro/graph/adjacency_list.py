@@ -25,9 +25,11 @@ from repro.graph.base import (
 
 __all__ = ["AdjacencyListEvolvingGraph"]
 
-#: Insertion-journal size cap; when exceeded, the oldest half is dropped and
-#: the completeness floor advances (delta consumers older than the floor
-#: simply fall back to per-snapshot rebuilds).
+#: Mutation-journal size cap.  Trimming only ever drops entries a delta
+#: consumer has already consumed (see ``_journal_append``), so a single
+#: batch larger than the cap stays complete until the next recompile reads
+#: it — the journal grows past the cap instead of dropping entries the next
+#: delta compilation still needs.
 _JOURNAL_LIMIT = 65536
 
 
@@ -71,13 +73,18 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
         # time -> mutation_version at the last edit touching that snapshot
         # (delta compilation diffs these stamps to find dirty snapshots)
         self._snapshot_versions: dict[Time, int] = {}
-        # insertion journal: parallel (version, edge) logs of recent add_edge
-        # calls, complete for versions > _journal_floor.  Lets delta
-        # compilation patch a snapshot's operator with one sparse addition
-        # (see edge_insertions_since); removals invalidate it wholesale.
+        # signed mutation journal: parallel (version, edge, sign) logs of
+        # recent add_edge (+1) and remove_edge (-1) calls, complete for
+        # versions > _journal_floor.  Lets delta compilation patch a dirty
+        # snapshot's operator with one sparse addition and one sparse
+        # subtraction (see edge_mutations_since).  _journal_consumed is the
+        # newest version a delta consumer has read through; trimming never
+        # drops entries beyond it.
         self._journal_versions: list[int] = []
         self._journal_edges: list[TemporalEdgeTuple] = []
+        self._journal_signs: list[int] = []
         self._journal_floor = 0
+        self._journal_consumed = 0
 
         if timestamps is not None:
             for t in timestamps:
@@ -124,13 +131,7 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
             self._mark_active(v, time)
         self._bump_mutation_version()
         self._snapshot_versions[time] = self._mutation_version
-        self._journal_versions.append(self._mutation_version)
-        self._journal_edges.append((u, v, time))
-        if len(self._journal_versions) > _JOURNAL_LIMIT:
-            drop = len(self._journal_versions) // 2
-            self._journal_floor = self._journal_versions[drop - 1]
-            del self._journal_versions[:drop]
-            del self._journal_edges[:drop]
+        self._journal_append((u, v, time), 1)
         return True
 
     def remove_edge(self, u: Node, v: Node, time: Time) -> bool:
@@ -168,12 +169,27 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
                         times.pop(idx)
         self._bump_mutation_version()
         self._snapshot_versions[time] = self._mutation_version
-        # a removal breaks the "edge sets = old edge sets + insertions"
-        # guarantee, so the journal restarts from here
-        self._journal_versions.clear()
-        self._journal_edges.clear()
-        self._journal_floor = self._mutation_version
+        self._journal_append((u, v, time), -1)
         return True
+
+    def _journal_append(self, edge: TemporalEdgeTuple, sign: int) -> None:
+        """Log one signed mutation, trimming only already-consumed entries.
+
+        The trim respects ``_journal_consumed``: entries no delta consumer
+        has read yet are never dropped, so a single batch larger than
+        ``_JOURNAL_LIMIT`` stays journal-complete until the next recompile
+        consumes it (the journal grows past the cap in the meantime).
+        """
+        self._journal_versions.append(self._mutation_version)
+        self._journal_edges.append(edge)
+        self._journal_signs.append(sign)
+        if len(self._journal_versions) > _JOURNAL_LIMIT:
+            cut = bisect.bisect_right(self._journal_versions, self._journal_consumed)
+            if cut:
+                self._journal_floor = self._journal_versions[cut - 1]
+                del self._journal_versions[:cut]
+                del self._journal_edges[:cut]
+                del self._journal_signs[:cut]
 
     def _has_incident_edge(self, node: Node, time: Time) -> bool:
         """Whether ``node`` still touches an edge to *another* node at ``time``."""
@@ -197,6 +213,24 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
                 ) from exc
             added += self.add_edge(u, v, t)
         return added
+
+    def remove_edges_from(self, edges: Iterable[TemporalEdgeTuple]) -> int:
+        """Remove many ``(u, v, t)`` edges; return the number actually removed.
+
+        Absent edges are skipped (``remove_edge`` semantics), and every
+        effective removal lands in the signed mutation journal, so a removal
+        batch stays on the O(batch) delta-compilation path.
+        """
+        removed = 0
+        for item in edges:
+            try:
+                u, v, t = item
+            except (TypeError, ValueError) as exc:
+                raise GraphError(
+                    f"temporal edges must be (u, v, t) triples, got {item!r}"
+                ) from exc
+            removed += self.remove_edge(u, v, t)
+        return removed
 
     def _mark_active(self, node: Node, time: Time) -> None:
         times = self._active_times.setdefault(node, [])
@@ -247,14 +281,53 @@ class AdjacencyListEvolvingGraph(BaseEvolvingGraph):
     def edge_insertions_since(self, version: int) -> list[TemporalEdgeTuple] | None:
         """Edges inserted since ``version`` (``None`` when the journal can't tell).
 
-        Streaming hot path: with a non-``None`` answer, delta compilation
-        patches each dirty snapshot's CSR operator with one sparse addition
-        of just these edges instead of re-walking the snapshot.
+        Pure-insertion fast path: a non-``None`` answer certifies that *only*
+        insertions happened in the window, so consumers may patch forward
+        without removal handling.  Any removal in the window returns ``None``
+        — use :meth:`edge_mutations_since` for the signed view.
         """
         if version < self._journal_floor:
             return None
         idx = bisect.bisect_right(self._journal_versions, version)
+        if any(sign < 0 for sign in self._journal_signs[idx:]):
+            return None
+        self._journal_consumed = max(self._journal_consumed, self._mutation_version)
         return list(self._journal_edges[idx:])
+
+    def edge_mutations_since(
+        self, version: int
+    ) -> tuple[list[TemporalEdgeTuple], list[TemporalEdgeTuple]] | None:
+        """Net ``(insertions, removals)`` since ``version``, from the signed journal.
+
+        Entries are netted per ``(canonical edge, time)`` — an edge inserted
+        and removed (in either order) inside the window cancels out — so the
+        current edge sets are exactly the old edge sets plus ``insertions``
+        minus ``removals``.  Both lists hold canonical-orientation triples.
+        Returns ``None`` when the journal was trimmed past ``version``.
+
+        Streaming hot path: with a non-``None`` answer, delta compilation
+        patches each dirty snapshot's CSR operator with one sparse addition
+        and one sparse subtraction instead of re-walking the snapshot.
+        Reading the window marks it consumed, which licenses the journal
+        trim (see ``_journal_append``).
+        """
+        if version < self._journal_floor:
+            return None
+        idx = bisect.bisect_right(self._journal_versions, version)
+        net: dict[tuple, int] = {}
+        for edge, sign in zip(self._journal_edges[idx:], self._journal_signs[idx:]):
+            u, v, t = edge
+            net_key = (self._canonical_edge(u, v), t)
+            net[net_key] = net.get(net_key, 0) + sign
+        insertions: list[TemporalEdgeTuple] = []
+        removals: list[TemporalEdgeTuple] = []
+        for ((a, b), t), count in net.items():
+            if count > 0:
+                insertions.append((a, b, t))
+            elif count < 0:
+                removals.append((a, b, t))
+        self._journal_consumed = max(self._journal_consumed, self._mutation_version)
+        return insertions, removals
 
     def edges_at_unordered(self, time: Time) -> Iterator[EdgeTuple]:
         """Dump one snapshot's edge set without the repr-sort of edges_at."""

@@ -133,10 +133,29 @@ class BaseEvolvingGraph(ABC):
         registrations may also have happened; they change no edge set).
         Delta compilation uses this to patch a snapshot's CSR operator with
         one sparse addition instead of re-walking the whole snapshot.
-        Representations without an insertion journal — or whose journal was
-        invalidated by a removal or trimmed past ``version`` — return
-        ``None``, and consumers rebuild the dirty snapshots from
-        :meth:`edges_at_unordered` instead.
+        Representations without a mutation journal — or whose journal saw a
+        removal in the window or was trimmed past ``version`` — return
+        ``None``; mixed-batch consumers should try
+        :meth:`edge_mutations_since`, and rebuild the dirty snapshots from
+        :meth:`edges_at_unordered` as the last resort.
+        """
+        return None
+
+    def edge_mutations_since(
+        self, version: int
+    ) -> tuple[list[TemporalEdgeTuple], list[TemporalEdgeTuple]] | None:
+        """Net ``(insertions, removals)`` since ``version``, or ``None``.
+
+        The signed generalization of :meth:`edge_insertions_since`: a
+        non-``None`` return value guarantees the edge sets at the current
+        :attr:`mutation_version` equal the edge sets at ``version`` plus the
+        ``insertions`` minus the ``removals`` (netted per edge and time, so
+        an edge inserted and removed inside the window appears in neither
+        list).  Delta compilation uses this to patch a dirty snapshot's CSR
+        operator with one sparse addition and one sparse subtraction.
+        Representations without a signed journal return ``None``, and
+        consumers fall back to :meth:`edge_insertions_since` or a
+        per-snapshot rebuild.
         """
         return None
 

@@ -49,7 +49,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import GraphError
 from repro.graph.adjacency_matrix import MatrixSequenceEvolvingGraph
-from repro.graph.base import BaseEvolvingGraph, Node, Time
+from repro.graph.base import BaseEvolvingGraph, EdgeTuple, Node, Time
 
 __all__ = ["CompiledTemporalGraph"]
 
@@ -178,6 +178,15 @@ class CompiledTemporalGraph:
         the hypothesis suite in ``tests/test_delta_streaming.py``), and its
         :attr:`delta_stats` records how many snapshots were rebuilt vs reused.
 
+        When the source graph keeps a *signed* mutation journal
+        (:meth:`BaseEvolvingGraph.edge_mutations_since
+        <repro.graph.base.BaseEvolvingGraph.edge_mutations_since>`), mixed
+        insert/remove batches stay on the delta path: each dirty operator is
+        patched with one sparse addition and one sparse subtraction, its
+        activeness row is recomputed off the patched operator, and presence
+        is maintained by probing only removal endpoints — O(batch + touched
+        nnz), never a full rebuild.
+
         Every situation the delta path cannot prove safe falls back to a full
         :meth:`from_graph` build (``delta_stats`` stays ``None``): missing
         per-snapshot tracking, a changed node universe (a new label appeared,
@@ -219,55 +228,99 @@ class CompiledTemporalGraph:
         directed = previous._directed
         dirty_set = set(dirty)
         rebuilt: dict[Time, tuple[sp.csr_matrix, np.ndarray, np.ndarray]] = {}
-        insertions = graph.edge_insertions_since(previous._version)
-        if insertions is not None:
-            # streaming fast path: the mutations since `previous` were pure
-            # insertions, so each dirty operator is patched with ONE sparse
-            # addition of exactly the inserted edges — cost proportional to
-            # the snapshot's nnz at C speed, never a Python edge walk
+        shared_dirty: set[Time] = set()
+        mutations = graph.edge_mutations_since(previous._version)
+        if mutations is None:
+            legacy = graph.edge_insertions_since(previous._version)
+            mutations = None if legacy is None else (legacy, [])
+        if mutations is not None:
+            # streaming fast path: the signed journal nets the window to
+            # per-snapshot insertion and removal sets, so each dirty operator
+            # is patched with ONE sparse addition and (for mixed batches) ONE
+            # sparse subtraction — cost proportional to the snapshot's nnz at
+            # C speed, never a Python edge walk
+            insertions, removals = mutations
             per_time: dict[Time, tuple[list[int], list[int]]] = {}
-            for u, v, t in insertions:
-                iu = index.get(u)
-                iv = index.get(v)
-                if iu is None or iv is None:  # node universe grew
-                    return cls.from_graph(graph)
-                bucket = per_time.setdefault(t, ([], []))
-                bucket[0].append(iu)
-                bucket[1].append(iv)
-            if any(t not in dirty_set for t in per_time):  # inconsistent stamps
+            rem_time: dict[Time, tuple[list[int], list[int]]] = {}
+            rem_labels: dict[Time, list[EdgeTuple]] = {}
+            for triples, buckets in ((insertions, per_time), (removals, rem_time)):
+                for u, v, t in triples:
+                    iu = index.get(u)
+                    iv = index.get(v)
+                    if iu is None or iv is None:  # node universe grew
+                        return cls.from_graph(graph)
+                    bucket = buckets.setdefault(t, ([], []))
+                    bucket[0].append(iu)
+                    bucket[1].append(iv)
+                    if buckets is rem_time:
+                        rem_labels.setdefault(t, []).append((u, v))
+            if any(t not in dirty_set for t in per_time) or any(
+                t not in dirty_set for t in rem_time
+            ):  # inconsistent stamps
                 return cls.from_graph(graph)
             for t in dirty:
                 adds = per_time.get(t)
+                rems = rem_time.get(t)
                 k = prev_pos.get(t)
-                if adds is None:
+                if adds is None and rems is None:
                     if k is not None:
-                        # stamp moved without a recorded insertion: only
-                        # possible for exotic representations — rebuild it
-                        entry = _rebuild_snapshot(graph, t, index, n, directed)
-                        if entry is None:
-                            return cls.from_graph(graph)
-                        rebuilt[t] = entry
+                        # stamp moved but the window netted to nothing here
+                        # (insert-then-remove pairs, or an exotic stamp bump):
+                        # journal completeness says the edge set is unchanged,
+                        # so the previous objects are still exact
+                        shared_dirty.add(t)
                     else:
                         # a freshly registered, still-empty snapshot
                         op = sp.csr_matrix((n, n), dtype=np.int32)
                         rebuilt[t] = (op, _active_row(op), np.zeros(n, dtype=bool))
                     continue
-                u_idx = np.asarray(adds[0], dtype=np.int64)
-                v_idx = np.asarray(adds[1], dtype=np.int64)
-                delta_op = _snapshot_operator(u_idx, v_idx, n, directed)
-                if k is None:
-                    op = delta_op
-                    mask_row = _active_row(delta_op)
-                    presence_row = np.zeros(n, dtype=bool)
+                if k is None and rems is not None:
+                    # net removals from a snapshot `previous` never compiled
+                    # contradict the journal contract — trust neither
+                    return cls.from_graph(graph)
+                if adds is not None:
+                    u_idx = np.asarray(adds[0], dtype=np.int64)
+                    v_idx = np.asarray(adds[1], dtype=np.int64)
+                    add_op = _snapshot_operator(u_idx, v_idx, n, directed)
                 else:
-                    op = (previous._forward[k] + delta_op).tocsr()
+                    u_idx = v_idx = None
+                    add_op = None
+                if k is None:
+                    op = add_op
+                    mask_row = _active_row(add_op)
+                    presence_row = np.zeros(n, dtype=bool)
+                elif rems is None:
+                    op = (previous._forward[k] + add_op).tocsr()
                     if op.nnz:
                         op.data[:] = 1  # insertions cannot overlap, but clamp
                     # the patched structure is the union of the operands'
-                    mask_row = previous._active[k] | _active_row(delta_op)
+                    mask_row = previous._active[k] | _active_row(add_op)
                     presence_row = previous._presence[k].copy()
-                presence_row[u_idx] = True
-                presence_row[v_idx] = True
+                else:
+                    r_idx = np.asarray(rems[0], dtype=np.int64)
+                    s_idx = np.asarray(rems[1], dtype=np.int64)
+                    sub_op = _snapshot_operator(r_idx, s_idx, n, directed)
+                    patched = previous._forward[k] - sub_op
+                    if add_op is not None:
+                        patched = patched + add_op
+                    op = patched.tocsr()
+                    op.eliminate_zeros()
+                    if op.nnz:
+                        op.data[:] = 1
+                    # removals can deactivate nodes, so the union trick no
+                    # longer applies: recompute the row off the new operator
+                    mask_row = _active_row(op)
+                    presence_row = previous._presence[k].copy()
+                    # a removal endpoint stays present iff it still touches
+                    # any edge at t (self-loops included, which the operator
+                    # drops) — probe the final graph state, which is
+                    # order-independent ground truth
+                    for (a, b), ia, ib in zip(rem_labels[t], rems[0], rems[1]):
+                        presence_row[ia] = _endpoint_present(graph, a, t)
+                        presence_row[ib] = _endpoint_present(graph, b, t)
+                if adds is not None:
+                    presence_row[u_idx] = True
+                    presence_row[v_idx] = True
                 rebuilt[t] = (op, mask_row, presence_row)
         else:
             for t in dirty:
@@ -317,7 +370,10 @@ class CompiledTemporalGraph:
             active_mask=np.stack(mask_rows) if n else np.zeros((len(times), 0), bool),
             label_presence=presence,
         )
-        artifact.delta_stats = {"rebuilt": len(dirty), "reused": reused}
+        artifact.delta_stats = {
+            "rebuilt": len(dirty) - len(shared_dirty),
+            "reused": reused,
+        }
         return artifact
 
     # ------------------------------------------------------------------ #
@@ -535,6 +591,18 @@ def _rebuild_snapshot(
     row[v_idx] = True
     op = _snapshot_operator(u_idx, v_idx, n, directed)
     return op, _active_row(op), row
+
+
+def _endpoint_present(graph: BaseEvolvingGraph, node: Node, time: Time) -> bool:
+    """Whether ``node`` still touches any edge at ``time`` in ``graph``.
+
+    Presence (unlike activeness) counts self-loops, so it cannot be read off
+    the compiled operator; both directions are probed because a directed
+    node may survive on in-edges alone.
+    """
+    if next(graph.out_neighbors_at(node, time), None) is not None:
+        return True
+    return next(graph.in_neighbors_at(node, time), None) is not None
 
 
 def _active_row(operator: sp.csr_matrix) -> np.ndarray:

@@ -9,6 +9,7 @@ from repro.io.mmap_store import (
     STORE_FORMAT,
     ShardedStoreWriter,
     load_sharded,
+    patch_sharded_store,
     save_sharded,
 )
 from repro.io.serialization import (
@@ -32,4 +33,5 @@ __all__ = [
     "ShardedStoreWriter",
     "save_sharded",
     "load_sharded",
+    "patch_sharded_store",
 ]

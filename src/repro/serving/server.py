@@ -39,17 +39,21 @@ Overload robustness (this PR) adds three mechanisms on the admission side:
   and the micro-batch gathering window never waits past the earliest
   pending deadline.  A query that expires while its sweep runs still fails,
   flagged ``swept=True``.
-* **warm-start invalidation** — a mutation batch that is *pure insertion*
-  (detected through the graph's insertion journal,
-  :meth:`~repro.graph.base.BaseEvolvingGraph.edge_insertions_since`) does
-  not prune the forward frontier-family cache entries: their retained
-  ``(T, N)`` distance blocks are folded forward with the engine's
-  decrease-only re-sweep
-  (:meth:`~repro.engine.frontier.FrontierKernel.patch_distance_block`) and
-  re-decoded through the exact coalesce readouts, so patched answers are
-  bit-identical to recomputation at the new version.  Removal or mixed
-  batches — and any entry whose artifact axes changed (new node or
-  timestamp) — keep the exact prune semantics.
+* **warm-start invalidation** — mutation batches do not prune the forward
+  frontier-family cache entries: their retained ``(T, N)`` distance blocks
+  are carried across the mutation in two sound phases driven by the
+  graph's signed mutation journal.  Removals are folded in first with the
+  engine's increase-aware shrink re-sweep
+  (:meth:`~repro.engine.frontier.FrontierKernel.shrink_distance_blocks`)
+  against the mid-batch artifact, then insertions run the decrease-only
+  re-sweep
+  (:meth:`~repro.engine.frontier.FrontierKernel.patch_distance_blocks`)
+  against the final one, and every entry is re-decoded through the exact
+  coalesce readouts — so patched answers are bit-identical to
+  recomputation at the new version, for pure-insert, pure-remove and mixed
+  batches alike.  Entries whose artifact axes changed (a node or timestamp
+  appeared or vanished) and entries whose search root a removal
+  deactivated keep the exact prune semantics.
 
 Freshness contract: a query is answered at *some* mutation version at least
 as new as the one current when it was submitted (the usual serving model);
@@ -773,30 +777,58 @@ class QueryServer:
         """Single-writer admission of one streamed edge batch."""
         from repro.engine import get_compiled
 
+        warm_carried: list | None = None
+        removed: list[TemporalEdgeTuple] = []
         try:
             before = self._graph.mutation_version
+            # phase 1 — removals: capture the pre-removal activeness (the
+            # mask every warm block was computed under), mutate, then fold
+            # the removals into the warm blocks with the increase-aware
+            # shrink against the mid-batch artifact
+            prev_active = None
+            if self._warm_start and removals:
+                prev_active = get_compiled(self._graph).active_mask
             for u, v, t in removals:
-                self._graph.remove_edge(u, v, t)
+                if self._graph.remove_edge(u, v, t):
+                    removed.append((u, v, t))
+            mid = self._graph.mutation_version
+            if self._warm_start and removed:
+                try:
+                    warm_carried = self._shrink_warm_entries(
+                        before, removed, prev_active
+                    )
+                except Exception:
+                    # a failed shrink must never wedge the writer: entries
+                    # stay keyed at the old version, so the prune below
+                    # restores the exact invalidation semantics
+                    warm_carried = None
+            # phase 2 — insertions, then refresh the artifact through the
+            # delta path so the next micro-batch pays nothing; snapshots
+            # the batch did not touch are shared with the previous artifact
             if batch:
                 self._graph.add_edges_from(batch)
-            # refresh the artifact now through the delta path, so the next
-            # micro-batch pays nothing; snapshots the batch did not touch
-            # are shared with the previous artifact
             get_compiled(self._graph)
             version = self._graph.mutation_version
         except Exception as exc:
             future.set_exception(exc)
             return
         patched = 0
-        if self._warm_start and version != before and not removals:
-            insertions = self._graph.edge_insertions_since(before)
-            if insertions is not None:
-                try:
-                    patched = self._patch_warm_entries(before, version, insertions)
-                except Exception:
-                    # a failed patch must never wedge the writer: the prune
-                    # below restores the exact invalidation semantics
-                    patched = 0
+        if self._warm_start and version != before:
+            try:
+                if removed:
+                    patched = self._finish_warm_patch(
+                        before, mid, version, warm_carried or []
+                    )
+                else:
+                    insertions = self._graph.edge_insertions_since(before)
+                    if insertions is not None:
+                        patched = self._patch_warm_entries(
+                            before, version, insertions
+                        )
+            except Exception:
+                # a failed patch must never wedge the writer: the prune
+                # below restores the exact invalidation semantics
+                patched = 0
         with self._lock:
             self.stats.mutations += 1
             self.stats.edges_streamed += len(batch) + len(removals)
@@ -866,6 +898,132 @@ class QueryServer:
             for key, warm in carried
         ]
         for _key, warm in carried:
+            warm.surface = compiled
+        with self._lock:
+            for key, value, warm in moves:
+                self._cache.rekey(before, version, key, value, warm)
+        return len(moves)
+
+    def _shrink_warm_entries(
+        self,
+        before: int,
+        removed: list[TemporalEdgeTuple],
+        prev_active,
+    ) -> list:
+        """Phase 1 of a mixed-batch warm patch: fold the removals in.
+
+        Runs against the *mid-batch* artifact (post-removal,
+        pre-insertion).  Collects every warm entry keyed at ``before``
+        whose axes survived and whose root is still active, shrinks their
+        retained blocks with one grouped increase-aware re-sweep
+        (:meth:`~repro.engine.frontier.FrontierKernel.shrink_distance_blocks`),
+        and returns the carried ``(key, warm)`` pairs for
+        :meth:`_finish_warm_patch`.  Entries are *not* rekeyed here — they
+        stay at the old version until the whole two-phase patch succeeds,
+        so any failure leaves them for the exact pruning pass.
+        """
+        from repro.engine import get_compiled, get_kernel
+
+        compiled = get_compiled(self._graph)  # the mid-batch artifact
+        kernel = get_kernel(self._graph)
+        with self._lock:
+            entries = self._cache.warm_entries(before)
+        if not entries or prev_active is None:
+            return []
+        axes_ok: dict[int, bool] = {}
+        block_ids: set[int] = set()
+        blocks: list = []
+        carried = []
+        for key, entry in entries:
+            warm = entry.warm
+            surface = warm.surface
+            ok = axes_ok.get(id(surface))
+            if ok is None:
+                ok = surface is compiled or (
+                    surface.num_nodes == compiled.num_nodes
+                    and surface.num_snapshots == compiled.num_snapshots
+                    and list(surface.node_labels) == list(compiled.node_labels)
+                    and tuple(surface.times) == tuple(compiled.times)
+                )
+                axes_ok[id(surface)] = ok
+            if not ok:
+                continue
+            slot = compiled.slot(*warm.root)
+            if slot is None or not compiled.active_mask[slot]:
+                continue  # the removals deactivated this root: prune it
+            if id(warm.block) not in block_ids:
+                block_ids.add(id(warm.block))
+                blocks.append(warm.block)
+            carried.append((key, warm))
+        if not carried:
+            return []
+        kernel.shrink_distance_blocks(
+            blocks, removed, prev_active, sweep_mode=self._sweep_mode
+        )
+        for _key, warm in carried:
+            warm.surface = compiled
+        return carried
+
+    def _finish_warm_patch(
+        self, before: int, mid: int, version: int, carried: list
+    ) -> int:
+        """Phase 2 of a mixed-batch warm patch: fold the insertions, rekey.
+
+        The ``mid → version`` journal window contains only the batch's
+        insertions (the removals all landed before ``mid``), so the carried
+        blocks — already exact at the mid-batch artifact — take the usual
+        grouped decrease-only re-sweep against the final artifact, are
+        re-decoded through the exact coalesce readouts, and only then
+        rekeyed from ``before`` to ``version``.  Any entry that drops out
+        along the way (axes changed, journal unavailable) simply stays at
+        the old version for the pruning pass.
+        """
+        from repro.engine import get_compiled, get_kernel
+
+        if not carried:
+            return 0
+        insertions = self._graph.edge_insertions_since(mid)
+        if insertions is None:
+            return 0
+        compiled = get_compiled(self._graph)  # the final artifact
+        kernel = get_kernel(self._graph)
+        axes_ok: dict[int, bool] = {}
+        block_ids: set[int] = set()
+        blocks: list = []
+        pins: list = []
+        kept = []
+        for key, warm in carried:
+            surface = warm.surface
+            ok = axes_ok.get(id(surface))
+            if ok is None:
+                ok = surface is compiled or (
+                    surface.num_nodes == compiled.num_nodes
+                    and surface.num_snapshots == compiled.num_snapshots
+                    and list(surface.node_labels) == list(compiled.node_labels)
+                    and tuple(surface.times) == tuple(compiled.times)
+                )
+                axes_ok[id(surface)] = ok
+            if not ok:
+                continue
+            slot = compiled.slot(*warm.root)
+            if slot is None:  # pragma: no cover - axes match implies a slot
+                continue
+            if id(warm.block) not in block_ids:
+                block_ids.add(id(warm.block))
+                blocks.append(warm.block)
+                pins.append(slot)
+            kept.append((key, warm))
+        if not kept:
+            return 0
+        if insertions:
+            kernel.patch_distance_blocks(
+                blocks, insertions, pinned=pins, sweep_mode=self._sweep_mode
+            )
+        moves = [
+            (key, decode_warm_block(kernel, warm.query, warm.block), warm)
+            for key, warm in kept
+        ]
+        for _key, warm in kept:
             warm.surface = compiled
         with self._lock:
             for key, value, warm in moves:

@@ -24,6 +24,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+import repro.graph.adjacency_list as adjacency_list_module
 from repro.algorithms.incremental import IncrementalBFS
 from repro.core.bfs import evolving_bfs
 from repro.engine import get_compiled, get_kernel, invalidate_kernel
@@ -389,6 +390,211 @@ class TestApplyStreamCompiled:
         calls = []
         apply_stream([(0, 1, 0), (1, 2, 0)], on_batch=lambda g, b: calls.append(b))
         assert calls == [[(0, 1, 0)], [(1, 2, 0)]]
+
+
+class TestSignedJournal:
+    def test_oversized_batch_survives_the_journal_cap(self, monkeypatch):
+        """>cap single-batch regression: trimming must respect consumption.
+
+        Before the fix, ``_journal_append`` dropped the oldest half the
+        moment the journal crossed ``_JOURNAL_LIMIT`` — mid-batch — so the
+        next ``recompile`` saw an incomplete window and degraded to a full
+        rebuild.  With consumption-gated trimming the journal grows past the
+        cap until a delta consumer reads it.
+        """
+        monkeypatch.setattr(adjacency_list_module, "_JOURNAL_LIMIT", 16)
+        seed = [(i, (i + 1) % 8, 0) for i in range(8)]
+        graph = AdjacencyListEvolvingGraph(seed, timestamps=[0, 1])
+        before = CompiledTemporalGraph.from_graph(graph)
+        batch = [(u, v, 1) for u in range(8) for v in range(8) if u != v]
+        assert len(batch) > 16
+        graph.add_edges_from(batch)
+        # nothing was consumed yet, so nothing may have been trimmed (the
+        # journal also still holds the seed ring's own insertions)
+        assert len(graph._journal_versions) == len(batch) + len(seed)
+        assert graph.edge_insertions_since(before.mutation_version) == batch
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats == {"rebuilt": 1, "reused": 1}
+        assert after.forward_operators[0] is before.forward_operators[0]
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+    def test_trim_fires_once_the_window_is_consumed(self, monkeypatch):
+        monkeypatch.setattr(adjacency_list_module, "_JOURNAL_LIMIT", 16)
+        seed = [(i, (i + 1) % 8, 0) for i in range(8)]
+        graph = AdjacencyListEvolvingGraph(seed, timestamps=[0, 1])
+        before = CompiledTemporalGraph.from_graph(graph)
+        graph.add_edges_from([(u, v, 1) for u in range(8) for v in range(8) if u != v])
+        oversized = len(graph._journal_versions)
+        assert oversized > 16
+        CompiledTemporalGraph.recompile(graph, before)  # consumes the window
+        graph.add_edge(0, 2, 0)  # next append may now trim the consumed prefix
+        assert len(graph._journal_versions) < oversized
+
+    def test_mixed_oversized_batch_stays_on_delta_path(self, monkeypatch):
+        monkeypatch.setattr(adjacency_list_module, "_JOURNAL_LIMIT", 8)
+        seed = [(i, (i + 1) % 6, 0) for i in range(6)]
+        graph = AdjacencyListEvolvingGraph(seed, timestamps=[0, 1, 2])
+        graph.add_edges_from([(u, (u + 2) % 6, 1) for u in range(6)])
+        before = CompiledTemporalGraph.from_graph(graph)
+        graph.remove_edges_from([(u, (u + 2) % 6, 1) for u in range(6)])
+        graph.add_edges_from([(u, (u + 3) % 6, 2) for u in range(6) if u % 3])
+        after = CompiledTemporalGraph.recompile(graph, before)
+        assert after.delta_stats == {"rebuilt": 2, "reused": 1}
+        assert after.forward_operators[0] is before.forward_operators[0]
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+
+@st.composite
+def signed_event_streams(draw):
+    """A batched stream of signed events over a universe pinned at time 0."""
+    num_nodes = draw(st.integers(min_value=3, max_value=10))
+    num_times = draw(st.integers(min_value=2, max_value=4))
+    directed = draw(st.booleans())
+    nodes = st.integers(0, num_nodes - 1)
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["+", "-"]),
+                nodes,
+                nodes,
+                st.integers(1, num_times - 1),
+            ).filter(lambda e: e[1] != e[2]),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    batch_size = draw(st.integers(min_value=1, max_value=10))
+    return num_nodes, num_times, directed, EdgeStream(events, batch_size=batch_size)
+
+
+class TestMixedStreamDelta:
+    @DELTA_SETTINGS
+    @given(signed_event_streams())
+    def test_mixed_batches_bit_identical_and_never_full_rebuild(self, case):
+        """Signed streams patch — removals included — and never fall back.
+
+        The time-0 ring pins every node's universe membership and the
+        timestamps are pre-registered, so no batch (insert, remove or mixed)
+        may degrade to a full ``from_graph`` rebuild: the untouched time-0
+        operator must remain the *same object* across the whole stream.
+        """
+        num_nodes, num_times, directed, stream = case
+        ring = [(i, (i + 1) % num_nodes, 0) for i in range(num_nodes)]
+        graph = AdjacencyListEvolvingGraph(
+            ring, directed=directed, timestamps=list(range(num_times))
+        )
+        warm = get_compiled(graph)
+        seen: list[CompiledTemporalGraph] = []
+
+        def on_batch(g, batch, artifact):
+            assert artifact.is_current(g)
+            seen.append(artifact)
+            assert_bit_identical(artifact, CompiledTemporalGraph.from_graph(g))
+
+        apply_stream(stream, graph=graph, compiled=True, on_batch=on_batch)
+        previous = warm
+        for artifact in seen:
+            # a batch of pure no-ops returns the previous artifact unchanged;
+            # any effective batch must take the delta path
+            assert artifact is previous or artifact.delta_stats is not None
+            assert artifact.forward_operators[0] is warm.forward_operators[0]
+            previous = artifact
+
+    def test_pure_removal_batch_never_full_rebuilds(self):
+        ring = [(i, (i + 1) % 6, 0) for i in range(6)]
+        extra = [(i, (i + 2) % 6, 1) for i in range(6)]
+        graph = AdjacencyListEvolvingGraph(ring + extra, timestamps=[0, 1])
+        warm = get_compiled(graph)
+        assert graph.remove_edges_from(extra[:4]) == 4
+        after = get_compiled(graph)
+        assert after.delta_stats == {"rebuilt": 1, "reused": 1}
+        assert after.forward_operators[0] is warm.forward_operators[0]
+        assert_bit_identical(after, CompiledTemporalGraph.from_graph(graph))
+
+    @DELTA_SETTINGS
+    @given(signed_event_streams())
+    def test_incremental_apply_matches_oracle_and_scratch(self, case):
+        """Mixed batches through IncrementalBFS.apply stay exact, per batch."""
+        num_nodes, num_times, directed, stream = case
+        ring = [(i, (i + 1) % num_nodes, 0) for i in range(num_nodes)]
+        timestamps = list(range(num_times))
+        engine_graph = AdjacencyListEvolvingGraph(
+            ring, directed=directed, timestamps=timestamps
+        )
+        oracle_graph = AdjacencyListEvolvingGraph(
+            ring, directed=directed, timestamps=timestamps
+        )
+        root = (0, 0)
+        engine = IncrementalBFS(engine_graph, root, backend="vectorized")
+        oracle = IncrementalBFS(oracle_graph, root, backend="python")
+        for batch in stream.batches():
+            ins = [(u, v, t) for s, u, v, t in batch if s == "+"]
+            rems = [(u, v, t) for s, u, v, t in batch if s == "-"]
+            engine.apply(insertions=ins, removals=rems)
+            oracle.apply(insertions=ins, removals=rems)
+            scratch = evolving_bfs(engine_graph, root, backend="python").reached
+            assert engine.distances == scratch
+            assert oracle.distances == scratch
+
+
+class TestShrinkResweep:
+    def test_shrink_matches_fresh_search(self):
+        # the time-0 ring pins every node's universe membership, so removing
+        # later-time edges can never change the compiled axes
+        ring = [(i, (i + 1) % 15, 0) for i in range(15)]
+        extra = random_temporal_edges(15, 2, 50, seed=5)
+        edges = ring + [(u, v, t + 1) for u, v, t in extra]
+        graph = AdjacencyListEvolvingGraph(edges, timestamps=[0, 1, 2])
+        kernel = get_kernel(graph)
+        root = 0
+        dist = kernel.distance_block((root, 0))
+        prev_active = kernel.compiled.active_mask
+        removals = [e for e in graph.temporal_edges_unordered() if e[2] > 0][:6]
+        assert removals
+        for u, v, t in removals:
+            graph.remove_edge(u, v, t)
+        kernel = get_kernel(graph)
+        assert set(kernel.compiled.node_labels) == graph.nodes()
+        changed = kernel.shrink_distance_block(dist, removals, prev_active)
+        fresh = kernel.distance_block((root, 0))
+        assert np.array_equal(dist, fresh)
+        assert changed >= 0
+
+    def test_group_shrink_matches_single_blocks(self):
+        ring = [(i, (i + 1) % 18, 0) for i in range(18)]
+        extra = random_temporal_edges(18, 2, 70, seed=9)
+        edges = ring + [(u, v, t + 1) for u, v, t in extra]
+        graph = AdjacencyListEvolvingGraph(edges, timestamps=[0, 1, 2])
+        kernel = get_kernel(graph)
+        roots = [(v, 0) for v in range(5)]
+        blocks = [kernel.distance_block(r) for r in roots]
+        singles = [b.copy() for b in blocks]
+        prev_active = kernel.compiled.active_mask
+        removals = [e for e in graph.temporal_edges_unordered() if e[2] > 0][:5]
+        assert removals
+        for u, v, t in removals:
+            graph.remove_edge(u, v, t)
+        kernel = get_kernel(graph)
+        assert set(kernel.compiled.node_labels) == graph.nodes()
+        group_changed = kernel.shrink_distance_blocks(blocks, removals, prev_active)
+        single_changed = [
+            kernel.shrink_distance_block(b, removals, prev_active) for b in singles
+        ]
+        assert group_changed == single_changed
+        for g, s in zip(blocks, singles):
+            assert np.array_equal(g, s)
+
+    def test_root_deactivating_removal_raises(self):
+        graph = AdjacencyListEvolvingGraph(
+            [(0, 1, 0), (1, 2, 0), (2, 0, 1), (0, 1, 1)], directed=True
+        )
+        kernel = get_kernel(graph)
+        dist = kernel.distance_block((2, 0))
+        prev_active = kernel.compiled.active_mask
+        graph.remove_edge(1, 2, 0)  # node 2's only time-0 incident edge
+        kernel = get_kernel(graph)
+        with pytest.raises(GraphError):
+            kernel.shrink_distance_block(dist, [(1, 2, 0)], prev_active)
 
 
 class TestBatchBfsCompiledArtifact:

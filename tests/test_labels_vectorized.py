@@ -449,3 +449,65 @@ def test_fused_tang_steps_bit_identical_to_classic(graph, data, horizon):
                               sweep_mode="fused")
             == kernel.tang_steps(sources, horizon=horizon,
                                  start_index=start_index, sweep_mode="classic"))
+
+
+# --------------------------------------------------------------------------- #
+# delta maintenance: tang_patch repairs a step block after a mutation batch    #
+# --------------------------------------------------------------------------- #
+
+def test_tang_patch_matches_fresh_block_after_mixed_batch():
+    ring = [(i, (i + 1) % 6, 0) for i in range(6)]  # pins the node universe
+    edges = ring + [(0, 2, 1), (2, 4, 1), (1, 3, 2), (3, 5, 2), (4, 0, 2)]
+    graph = AdjacencyListEvolvingGraph(edges, directed=True)
+    kernel = get_label_kernel(graph)
+    sources = [0, 3]
+    steps = kernel.tang_steps_block(sources, horizon=2, start_index=0)
+    before = steps.copy()
+
+    assert graph.remove_edge(1, 3, 2)  # mixed batch confined to t = 2
+    graph.add_edge(5, 1, 2)
+    patched = get_label_kernel(graph)  # delta-refreshed over the new artifact
+    assert patched is not kernel
+    changed = patched.tang_patch(steps, [2], horizon=2)
+    fresh = patched.tang_steps_block(sources, horizon=2, start_index=0)
+    np.testing.assert_array_equal(steps, fresh)
+    assert changed == int((before != fresh).sum())
+
+    # dict-shaped answers ride the same maintained state
+    expected = patched.tang_steps(sources, horizon=2)
+    got = {
+        source: {
+            patched.compiled.node_labels[vi]: int(steps[vi, col])
+            for vi in np.nonzero(steps[:, col] >= 0)[0].tolist()
+        }
+        for col, source in enumerate(sources)
+    }
+    assert got == expected
+
+
+def test_tang_patch_skips_batches_before_the_sweep_window():
+    ring = [(i, (i + 1) % 5, 0) for i in range(5)]
+    graph = AdjacencyListEvolvingGraph(
+        ring + [(0, 2, 1), (1, 3, 2)], directed=True
+    )
+    kernel = get_label_kernel(graph)
+    tail = kernel.tang_steps_block([0, 4], horizon=1, start_index=2)
+    before = tail.copy()
+
+    assert graph.remove_edge(0, 2, 1)  # touches only t = 1, before the window
+    patched = get_label_kernel(graph)
+    assert patched.tang_patch(tail, [1], horizon=1, start_index=2) == 0
+    np.testing.assert_array_equal(tail, before)  # block untouched ...
+    fresh = patched.tang_steps_block([0, 4], horizon=1, start_index=2)
+    np.testing.assert_array_equal(tail, fresh)  # ... and still exact
+
+
+def test_tang_patch_rejects_mismatched_block():
+    graph = AdjacencyListEvolvingGraph([(0, 1, 0), (1, 2, 1)], directed=True)
+    kernel = get_label_kernel(graph)
+    with pytest.raises(GraphError):
+        kernel.tang_patch(np.zeros((99, 1), dtype=np.int32), [1])
+    with pytest.raises(GraphError):
+        kernel.tang_patch(
+            np.zeros((3, 1), dtype=np.int32), [1], start_index=5
+        )

@@ -557,21 +557,59 @@ def test_warm_start_disabled_prunes_on_insertions():
         ).reached
 
 
-def test_warm_start_removal_batches_keep_prune_semantics():
+def test_warm_start_mixed_batches_patch_through():
     graph = _warm_graph()
     with QueryServer(graph, window_s=0.002) as server:
         server.query(BFSQuery(root=(0, 0)))
-        # a removal (even inside a mixed batch) has no decrease-only patch
-        # rule: exact pruning, then recomputation against the edited graph
+        # a mixed insert/remove batch rides the two-phase warm patch: the
+        # removal shrinks the retained block against the mid-batch artifact,
+        # the insertion then folds in decrease-only — no pruning
         server.mutate([(0, 5, 1)], removals=[(3, 4, 1)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == 1
+        assert stats["entries_invalidated"] == 0
+        assert not graph.has_edge(3, 4, 1)
+        misses_before = stats["cache_misses"]
+        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
+            graph, (0, 0), backend="vectorized"
+        ).reached
+        assert server.stats.snapshot()["cache_misses"] == misses_before
+
+
+def test_warm_start_pure_removal_batches_patch_through():
+    graph = _warm_graph()
+    with QueryServer(graph, window_s=0.002) as server:
+        server.query(BFSQuery(root=(0, 0)))
+        server.mutate([], removals=[(3, 4, 1)]).result(timeout=30)
+        server.join()
+        stats = server.stats.snapshot()
+        assert stats["entries_patched"] == 1
+        assert stats["entries_invalidated"] == 0
+        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
+            graph, (0, 0), backend="vectorized"
+        ).reached
+
+
+def test_warm_start_root_deactivating_removal_prunes():
+    # node 2 touches exactly one edge at time 0 but stays in the universe
+    # through its time-1 edge, so removing (1, 2, 0) deactivates the root
+    # slot without changing the artifact axes
+    graph = AdjacencyListEvolvingGraph(
+        [(0, 1, 0), (1, 2, 0), (2, 0, 1), (0, 1, 1)], directed=True
+    )
+    with QueryServer(graph, window_s=0.002) as server:
+        root = (2, 0)
+        assert graph.is_active(*root)
+        server.query(BFSQuery(root=root))
+        # the warm entry's root is deactivated: no sound shrink exists for
+        # it, so it must fall back to exact pruning
+        server.mutate([], removals=[(1, 2, 0)]).result(timeout=30)
         server.join()
         stats = server.stats.snapshot()
         assert stats["entries_patched"] == 0
         assert stats["entries_invalidated"] == 1
-        assert not graph.has_edge(3, 4, 1)
-        assert server.query(BFSQuery(root=(0, 0))) == evolving_bfs(
-            graph, (0, 0), backend="vectorized"
-        ).reached
+        assert not graph.is_active(*root)
 
 
 def test_warm_start_out_of_universe_insertion_prunes():

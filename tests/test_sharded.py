@@ -4,8 +4,9 @@ The sharded stack (``repro.graph.sharded`` + ``repro.engine.sharded_sweep``
 + ``repro.io.mmap_store``) must be *observationally identical* to the
 monolithic kernels on every sweep family it serves: single-source and
 batched BFS (both directions, reversed edges), identity reach counts,
-harmonic closeness sums (to reduction-order rounding — the one float
-reduction), earliest arrival, latest departure, fewest hops, 0/1-semiring
+harmonic closeness sums (bit-exact: shards ship per-snapshot partial rows
+folded in global snapshot order), earliest arrival, latest departure,
+fewest hops, 0/1-semiring
 label blocks and Tang snapshot counts.  The property-based tests assert
 exact equality across shard counts (1, 2, 3, one-snapshot-per-shard and
 explicitly ragged boundaries) and backends, through the algorithm layer's
@@ -60,7 +61,12 @@ from repro.engine.sharded_sweep import BoundaryBlock, ShardedSweepDriver, _FAR
 from repro.exceptions import GraphError, InactiveNodeError
 from repro.graph import AdjacencyListEvolvingGraph, ShardedTemporalGraph
 from repro.graph.sharded import compute_shard_layout, operator_stack_bytes
-from repro.io.mmap_store import ShardedStoreWriter, load_sharded, save_sharded
+from repro.io.mmap_store import (
+    ShardedStoreWriter,
+    load_sharded,
+    patch_sharded_store,
+    save_sharded,
+)
 from repro.parallel.batch import batch_bfs
 from repro.parallel.partition import compiled_snapshot_weights, partition_timestamps
 from repro.serving import QueryServer
@@ -151,13 +157,9 @@ def test_sharded_frontier_family_bit_identical(graph_root, backend):
         assert got == expected_batch
         assert driver.multi_source(roots).reached == expected_multi
         assert driver.identity_reach_counts(roots) == expected_reach
-        got_harmonic = driver.harmonic_closeness_sums(roots)
-        assert set(got_harmonic) == set(expected_harmonic)
-        for r in expected_harmonic:
-            # the only non-bit-exact family: float sums associate per shard
-            assert np.isclose(
-                got_harmonic[r], expected_harmonic[r], rtol=1e-12, atol=1e-12
-            )
+        # bit-exact even for the float family: partial rows are folded in
+        # canonical global snapshot order, replaying the monolithic sum
+        assert driver.harmonic_closeness_sums(roots) == expected_harmonic
 
 
 @SHARD_SETTINGS
@@ -231,10 +233,7 @@ def test_algorithm_layer_shards_flag_bit_identical(graph_root):
     graph, root = graph_root
     assert temporal_out_reach(graph) == temporal_out_reach(graph, shards=2)
     assert temporal_in_reach(graph) == temporal_in_reach(graph, shards=3)
-    mono, sharded = temporal_closeness(graph), temporal_closeness(graph, shards=2)
-    assert set(mono) == set(sharded)
-    for k in mono:
-        assert np.isclose(mono[k], sharded[k], rtol=1e-12, atol=1e-12)
+    assert temporal_closeness(graph) == temporal_closeness(graph, shards=2)
     assert earliest_arrival_times(graph, root) == \
         earliest_arrival_times(graph, root, shards=2)
     assert latest_departure_times(graph, root) == \
@@ -531,3 +530,198 @@ def test_partition_weights_count_materialized_transposes():
     parts = partition_timestamps(graph, 2, compiled=compiled)
     assert [t for group in parts for t in group] == list(graph.timestamps)
     invalidate_kernel(graph)
+
+
+# --------------------------------------------------------------------------- #
+# delta re-sharding: streamed mutations rebuild O(dirty shards)                #
+# --------------------------------------------------------------------------- #
+
+def _mutate_last_snapshot(graph):
+    """A mixed insert/remove batch confined to the final timestamp."""
+    last = max(graph.timestamps)
+    victim = next(e for e in graph.temporal_edges_unordered() if e[2] == last)
+    assert graph.remove_edge(*victim)
+    graph.add_edge(victim[1], victim[0], last)
+    other = next(n for n in sorted(graph.nodes()) if n not in victim[:2])
+    graph.add_edge(victim[0], other, last)
+    return last
+
+
+def test_sharded_driver_delta_recompile_reuses_clean_shards():
+    graph = _banded_graph(num_nodes=20, snapshots=6, seed=7)
+    driver1 = get_sharded_driver(graph, 3)
+    root = graph.active_temporal_nodes()[0]
+    roots = graph.active_temporal_nodes()[:5]
+    driver1.bfs(root)  # warm every shard kernel (serial backend sweeps all)
+    driver1.harmonic_closeness_sums(roots)
+    warmed = dict(driver1._kernels)
+    assert warmed  # the sweep above must have materialized shard kernels
+
+    last = _mutate_last_snapshot(graph)
+    driver2 = get_sharded_driver(graph, 3)
+    assert driver2 is not driver1
+    sharded = driver2.sharded
+    dirty = sharded.shard_of_snapshot(sharded.times.index(last))
+    assert sharded.delta_stats == {
+        "rebuilt": 1,
+        "reused": sharded.num_shards - 1,
+    }
+    for index in range(sharded.num_shards):
+        prev_shard = driver1.sharded.shard(index)
+        if index == dirty:
+            assert sharded.shard(index) is not prev_shard
+        else:
+            # clean shards are carried over as the same objects ...
+            assert sharded.shard(index) is prev_shard
+            # ... together with their warmed kernels
+            assert driver2._kernels[index] is warmed[index]
+
+    # the delta-resharded driver stays bit-identical to the monolithic kernel
+    kernel = get_kernel(graph)
+    assert driver2.bfs(root).reached == kernel.bfs(root).reached
+    assert driver2.harmonic_closeness_sums(roots) == \
+        kernel.harmonic_closeness_sums(roots)
+    assert temporal_closeness(graph) == temporal_closeness(graph, shards=3)
+    invalidate_kernel(graph)
+
+
+def test_sharded_recompile_falls_back_to_full_reshard():
+    graph = _banded_graph(num_nodes=12, snapshots=4, seed=9)
+    compiled = get_compiled(graph)
+
+    # no previous artifact: plain from_compiled, no delta bookkeeping
+    fresh = ShardedTemporalGraph.recompile(compiled, None, num_shards=2)
+    assert fresh.delta_stats is None
+    assert fresh.num_shards == 2
+
+    # universe change (new node label): layouts are incomparable
+    previous = ShardedTemporalGraph.from_compiled(compiled, 2)
+    graph.add_edge(998, 999, 0)
+    grown = get_compiled(graph)
+    resharded = ShardedTemporalGraph.recompile(grown, previous)
+    assert resharded.delta_stats is None
+    assert resharded.num_shards == previous.num_shards
+    assert resharded.node_labels == grown.node_labels
+    invalidate_kernel(graph)
+
+
+def test_sharded_recompile_rejects_store_backed_previous(tmp_path):
+    graph = _banded_graph(num_nodes=12, snapshots=4, seed=10)
+    compiled = get_compiled(graph)
+    save_sharded(compiled, str(tmp_path), num_shards=2)
+    stored = load_sharded(str(tmp_path))
+    # store-backed shards must not be adopted into an in-memory artifact
+    resharded = ShardedTemporalGraph.recompile(compiled, stored)
+    assert resharded.delta_stats is None
+    assert not resharded.store_backed
+    invalidate_kernel(graph)
+
+
+def test_patch_sharded_store_links_clean_shards(tmp_path):
+    graph = _banded_graph(num_nodes=20, snapshots=6, seed=12)
+    previous = get_compiled(graph)
+    save_sharded(previous, str(tmp_path), num_shards=3)
+    base_dir = tmp_path / f"v{previous.mutation_version}"
+
+    last = _mutate_last_snapshot(graph)
+    compiled = get_compiled(graph)
+    assert compiled.delta_stats is not None  # the mutation took the delta path
+    new_dir = patch_sharded_store(compiled, previous, str(tmp_path))
+    assert new_dir == str(tmp_path / f"v{compiled.mutation_version}")
+
+    stored = load_sharded(str(tmp_path))
+    dirty = stored.shard_of_snapshot(stored.times.index(last))
+    for index in range(stored.num_shards):
+        name = f"shard-{index:04d}.forward.data.bin"
+        same = os.path.samefile(base_dir / name, os.path.join(new_dir, name))
+        # clean shard payloads are hard links into the previous version
+        # directory; the dirty shard is rewritten
+        assert same == (index != dirty)
+
+    assert stored.mutation_version == compiled.mutation_version
+    kernel = get_kernel(graph)
+    root = graph.active_temporal_nodes()[0]
+    roots = graph.active_temporal_nodes()[:5]
+    driver = ShardedSweepDriver(stored, backend="serial")
+    assert driver.bfs(root).reached == kernel.bfs(root).reached
+    assert driver.harmonic_closeness_sums(roots) == \
+        kernel.harmonic_closeness_sums(roots)
+    invalidate_kernel(graph)
+
+
+def test_patch_sharded_store_falls_back_on_universe_change(tmp_path):
+    graph = _banded_graph(num_nodes=10, snapshots=3, seed=13)
+    previous = get_compiled(graph)
+    save_sharded(previous, str(tmp_path), num_shards=2)
+
+    graph.add_edge(55, 56, 1)  # new labels: stored layout is incomparable
+    compiled = get_compiled(graph)
+    new_dir = patch_sharded_store(compiled, previous, str(tmp_path))
+
+    stored = load_sharded(str(tmp_path))
+    assert stored.mutation_version == compiled.mutation_version
+    assert stored.num_shards == 2  # the stored shard count is preserved
+    assert stored.node_labels == compiled.node_labels
+    base_name = os.path.join(
+        str(tmp_path / f"v{previous.mutation_version}"),
+        "shard-0000.forward.data.bin",
+    )
+    assert not os.path.samefile(
+        base_name, os.path.join(new_dir, "shard-0000.forward.data.bin")
+    )
+    kernel = get_kernel(graph)
+    root = graph.active_temporal_nodes()[0]
+    driver = ShardedSweepDriver(stored, backend="serial")
+    assert driver.bfs(root).reached == kernel.bfs(root).reached
+    invalidate_kernel(graph)
+
+
+# --------------------------------------------------------------------------- #
+# interpreter shutdown: cached process drivers must not leak workers           #
+# --------------------------------------------------------------------------- #
+
+_ATEXIT_SCRIPT = """
+import sys
+from repro.engine import get_sharded_driver
+from repro.graph import AdjacencyListEvolvingGraph
+
+graph = AdjacencyListEvolvingGraph(
+    [(0, 1, 0), (1, 2, 0), (2, 3, 1), (3, 0, 1), (0, 2, 2)], directed=True
+)
+driver = get_sharded_driver(graph, 2, backend="process", num_workers=2)
+result = driver.bfs((0, 0))  # forces _ensure_processes: workers spawn here
+assert result.reached, "process-backend sweep returned nothing"
+print("PIDS", " ".join(str(p.pid) for p in driver._processes))
+# exit WITHOUT closing: the dispatch atexit hook must reap the workers
+"""
+
+
+def test_atexit_closes_cached_process_drivers():
+    import subprocess
+    import sys
+    import time
+
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ, PYTHONPATH=src_root)
+    proc = subprocess.run(
+        [sys.executable, "-c", _ATEXIT_SCRIPT],
+        capture_output=True, text=True, timeout=120, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    pid_line = next(
+        line for line in proc.stdout.splitlines() if line.startswith("PIDS ")
+    )
+    pids = [int(p) for p in pid_line.split()[1:]]
+    assert pids  # the script must actually have spawned workers
+    deadline = time.monotonic() + 10.0
+    for pid in pids:
+        while True:
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                break  # dead (or recycled by another user): not leaked by us
+            if time.monotonic() > deadline:
+                pytest.fail(f"worker {pid} is still alive after interpreter exit")
+            time.sleep(0.1)

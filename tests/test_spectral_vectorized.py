@@ -34,6 +34,7 @@ from repro.engine import (
     get_compiled,
     get_kernel,
     get_spectral_kernel,
+    invalidate_kernel,
 )
 from repro.exceptions import ConvergenceError, GraphError
 from repro.graph import AdjacencyListEvolvingGraph
@@ -374,3 +375,31 @@ def test_spectral_kernel_over_pickled_artifact(medium_random_graph):
         kernel.broadcast_sums(alpha),
         atol=1e-12,
     )
+
+
+# --------------------------------------------------------------------------- #
+# delta maintenance: dispatch carries LU caches across a mutation batch        #
+# --------------------------------------------------------------------------- #
+
+def test_dispatch_adopts_spectral_caches_across_mutation():
+    ring = [(i, (i + 1) % 5, 0) for i in range(5)]  # pins the node universe
+    edges = ring + [(0, 2, 1), (2, 4, 1), (1, 3, 2), (3, 0, 2)]
+    graph = AdjacencyListEvolvingGraph(edges, directed=False)
+    kernel = get_spectral_kernel(graph)
+    alpha = 0.05
+    kernel.broadcast_sums(alpha)
+    t_count = kernel.compiled.num_snapshots
+    assert kernel.stats.factorizations == t_count  # one LU per snapshot
+
+    assert graph.remove_edge(1, 3, 2)  # mixed batch confined to t = 2
+    graph.add_edge(4, 1, 2)
+    refreshed = get_spectral_kernel(graph)
+    assert refreshed is not kernel
+    after = refreshed.broadcast_sums(alpha)
+    # only the dirty snapshot refactorizes; t = 0, 1 ride the adopted LUs
+    assert refreshed.stats.factorizations == 1
+
+    invalidate_kernel(graph)  # cold path: every snapshot refactorizes
+    scratch = get_spectral_kernel(graph)
+    np.testing.assert_array_equal(after, scratch.broadcast_sums(alpha))
+    assert scratch.stats.factorizations == t_count
